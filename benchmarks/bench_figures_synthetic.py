@@ -1,0 +1,51 @@
+"""Bench: regenerate Figures 7-9 (synthetic curves).
+
+Figure 7: accesses vs data size, point queries, buffer 10.
+Figure 8: accesses vs data size, point queries, buffer 250.
+Figure 9: accesses vs data size, 1% region queries, buffer 10.
+
+Paper shapes: in every figure the HS curve lies above the STR curve at
+equal density, density-5 lies above density-0, and all curves grow with
+data size.
+"""
+
+import pytest
+
+from repro.experiments import synthetic_tables
+
+from conftest import emit, series_by_label
+
+
+def _check_figure(series):
+    by = series_by_label(series)
+    hs5 = next(by[k] for k in by if k.startswith("HS density = 5"))
+    str5 = next(by[k] for k in by if k.startswith("STR density = 5"))
+    hs0 = by["HS density = 0"]
+    str0 = by["STR density = 0"]
+    for i in range(len(hs5.xs)):
+        assert hs5.ys[i] > str5.ys[i]
+        assert hs0.ys[i] > str0.ys[i]
+    for line in series:
+        assert line.ys == sorted(line.ys)  # monotone in data size
+
+
+@pytest.mark.parametrize("fig,runner", [
+    ("fig7", synthetic_tables.figure7),
+    ("fig8", synthetic_tables.figure8),
+    ("fig9", synthetic_tables.figure9),
+])
+def test_figure(benchmark, bench_config, syn_cache, fig, runner):
+    series = benchmark.pedantic(
+        runner, args=(bench_config, syn_cache), rounds=1, iterations=1
+    )
+    emit(fig, series)
+    if fig != "fig8":  # fig8's smallest sizes fit the 250-page buffer
+        _check_figure(series)
+    else:
+        by = series_by_label(series)
+        hs0 = by["HS density = 0"]
+        str0 = by["STR density = 0"]
+        # Compare only at sizes whose tree exceeds the buffer.
+        for x, h, s in zip(hs0.xs, hs0.ys, str0.ys):
+            if x * 1000 / bench_config.capacity > 2 * 250:
+                assert h > s

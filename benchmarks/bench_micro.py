@@ -1,0 +1,98 @@
+"""Micro-benchmarks: throughput of the core operations.
+
+Unlike the ``bench_table*``/``bench_figures*`` files (which regenerate
+paper artefacts once), these use pytest-benchmark's normal repeated-timing
+mode to track the performance of the library's hot paths:
+
+* packing-order computation for each algorithm (the bulk-load sort cost —
+  the paper's claim that STR is "simple" shows up here as sort-dominated
+  runtime);
+* full bulk load;
+* query execution through the buffer pool;
+* the page codec.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Rect, RectArray, bulk_load, make_algorithm
+from repro.datasets import uniform_points
+from repro.storage.page import decode_node, encode_node, required_page_size
+from repro.storage.store import MemoryPageStore
+
+N = 50_000
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform_points(N, seed=0)
+
+
+@pytest.mark.parametrize("algo", ["STR", "HS", "NX"])
+def test_packing_order_throughput(benchmark, points, algo):
+    algorithm = make_algorithm(algo)
+    benchmark(algorithm.order, points, 100)
+
+
+@pytest.mark.parametrize("algo", ["STR", "HS", "NX"])
+def test_bulk_load_throughput(benchmark, points, algo):
+    algorithm = make_algorithm(algo)
+    benchmark(lambda: bulk_load(points, algorithm, capacity=100))
+
+
+def test_point_query_throughput(benchmark, points):
+    tree, _ = bulk_load(points, make_algorithm("STR"), capacity=100)
+    searcher = tree.searcher(buffer_pages=250)
+    rng = np.random.default_rng(1)
+    queries = [Rect.from_point(tuple(p)) for p in rng.random((500, 2))]
+
+    def run():
+        for q in queries:
+            searcher.search(q)
+
+    benchmark(run)
+
+
+def test_region_query_throughput(benchmark, points):
+    tree, _ = bulk_load(points, make_algorithm("STR"), capacity=100)
+    searcher = tree.searcher(buffer_pages=250)
+    rng = np.random.default_rng(1)
+    queries = [
+        Rect(tuple(lo), tuple(np.minimum(lo + 0.1, 1.0)))
+        for lo in rng.random((100, 2))
+    ]
+
+    def run():
+        for q in queries:
+            searcher.search(q)
+
+    benchmark(run)
+
+
+def test_page_encode_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    lo = rng.random((100, 2))
+    rects = RectArray(lo, lo + 0.01)
+    from repro.storage.page import NodePage
+
+    node = NodePage(level=0, children=np.arange(100), rects=rects)
+    size = required_page_size(100, 2)
+    benchmark(encode_node, node, size)
+
+
+def test_page_decode_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    lo = rng.random((100, 2))
+    rects = RectArray(lo, lo + 0.01)
+    from repro.storage.page import NodePage
+
+    node = NodePage(level=0, children=np.arange(100), rects=rects)
+    data = encode_node(node, required_page_size(100, 2))
+    benchmark(decode_node, data)
+
+
+def test_store_write_throughput(benchmark):
+    store = MemoryPageStore(4096)
+    payload = b"\x42" * 4096
+    pid = store.allocate()
+    benchmark(store.write_page, pid, payload)

@@ -1,0 +1,24 @@
+"""Bench: regenerate Table 10 (CFD areas and perimeters).
+
+Paper shapes (the interesting inversion): HS has the *smallest* leaf
+perimeter yet a leaf area nearly twice STR's — and still loses point
+queries, showing area dominates for point queries on skewed point data.
+"""
+
+from repro.experiments import cfd_tables
+
+from conftest import emit
+
+
+def test_table10(benchmark, bench_config, cfd_cache):
+    table = benchmark.pedantic(
+        cfd_tables.table10, args=(bench_config, cfd_cache),
+        rounds=1, iterations=1,
+    )
+    emit("table10", table)
+    rows = {r[0]: r[1:] for r in table.data_rows()}
+    str_a, hs_a, nx_a = rows["leaf area"]
+    str_p, hs_p, nx_p = rows["leaf perimeter"]
+    assert hs_p < str_p          # HS perimeter smallest
+    assert hs_a > 1.2 * str_a    # ...but HS area much larger
+    assert nx_p > 2 * str_p      # NX perimeter worst

@@ -1,0 +1,36 @@
+"""Bench: regenerate Table 2 (disk accesses, synthetic data, buffer=10).
+
+Shape expectations from the paper:
+* HS needs ~26-42% more accesses than STR for point queries;
+* NX ties STR only for point queries on point data, collapses elsewhere;
+* the HS/STR gap narrows as the query region grows.
+"""
+
+import numpy as np
+
+from repro.experiments import synthetic_tables
+
+from conftest import emit
+
+
+def test_table2(benchmark, bench_config, syn_cache):
+    table = benchmark.pedantic(
+        synthetic_tables.table2, args=(bench_config, syn_cache),
+        rounds=1, iterations=1,
+    )
+    emit("table2", table)
+    n = len(bench_config.sizes)
+    hs_ratio = table.column("HS/STR")
+    nx_ratio = table.column("NX/STR")
+    nx_d5_ratio = table.column("NX/STR(d5)")
+
+    point_band = slice(0, n)
+    r1_band = slice(n, 2 * n)
+    r9_band = slice(2 * n, 3 * n)
+
+    assert all(r > 1.15 for r in hs_ratio[point_band])
+    assert all(0.85 < r < 1.2 for r in nx_ratio[point_band])
+    assert all(r > 1.8 for r in nx_ratio[r1_band])
+    assert all(r > 1.8 for r in nx_d5_ratio[point_band])
+    assert (np.mean(hs_ratio[point_band]) > np.mean(hs_ratio[r1_band])
+            > np.mean(hs_ratio[r9_band]))

@@ -1,0 +1,32 @@
+"""Bench: regenerate Table 4 (synthetic areas and perimeters).
+
+Paper shapes: STR has the smallest leaf perimeter; HS leaf area exceeds
+STR's by ~35%; NX leaf perimeter is an order of magnitude larger.
+"""
+
+from repro.experiments import synthetic_tables
+
+from conftest import emit
+
+
+def test_table4(benchmark, bench_config, syn_cache):
+    table = benchmark.pedantic(
+        synthetic_tables.table4, args=(bench_config, syn_cache),
+        rounds=1, iterations=1,
+    )
+    emit("table4", table)
+    rows = table.data_rows()
+    labels = [r[0] for r in rows]
+    # Two bands x four metrics.
+    assert labels == ["leaf area", "total area", "leaf perimeter",
+                      "total perimeter"] * 2
+    for band in (0, 4):
+        leaf_area = rows[band + 0][1:]
+        leaf_perim = rows[band + 2][1:]
+        # Columns come in (STR, HS, NX) triples per size.
+        for i in range(0, len(leaf_area), 3):
+            str_a, hs_a, _ = leaf_area[i:i + 3]
+            str_p, hs_p, nx_p = leaf_perim[i:i + 3]
+            assert hs_a > str_a * 1.1
+            assert hs_p > str_p
+            assert nx_p > 4 * str_p

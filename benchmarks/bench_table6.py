@@ -1,0 +1,23 @@
+"""Bench: regenerate Table 6 (Long Beach areas and perimeters).
+
+Paper shapes: STR produces significantly smaller areas than both HS and
+NX, slightly smaller perimeters than HS, and NX's perimeter is ~7x STR's.
+"""
+
+from repro.experiments import gis_tables
+
+from conftest import emit
+
+
+def test_table6(benchmark, bench_config, gis_cache):
+    table = benchmark.pedantic(
+        gis_tables.table6, args=(bench_config, gis_cache),
+        rounds=1, iterations=1,
+    )
+    emit("table6", table)
+    rows = {r[0]: r[1:] for r in table.data_rows()}
+    str_a, hs_a, nx_a = rows["leaf area"]
+    str_p, hs_p, nx_p = rows["leaf perimeter"]
+    assert str_a < hs_a and str_a < nx_a
+    assert str_p < hs_p
+    assert nx_p > 3 * str_p

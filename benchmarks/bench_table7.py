@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 7 (VLSI disk accesses vs buffer size).
+
+Paper shapes: HS performs slightly *better* than STR for point queries
+(3-11%) and practically the same for region queries; NX is far worse.
+"""
+
+from repro.experiments import vlsi_tables
+
+from conftest import emit
+
+
+def test_table7(benchmark, bench_config, vlsi_cache):
+    table = benchmark.pedantic(
+        vlsi_tables.table7, args=(bench_config, vlsi_cache),
+        rounds=1, iterations=1,
+    )
+    emit("table7", table)
+    rows = table.data_rows()
+    # Rows where the buffer is far smaller than the tree are meaningful.
+    tree_pages = vlsi_cache.tree(vlsi_tables.DATASET_LABEL, "STR").page_count
+    meaningful = [r for r in rows if r[0] * 4 < tree_pages]
+    assert meaningful, "all buffers held the whole tree; enlarge dataset"
+    for row in meaningful:
+        assert 0.8 < row[4] < 1.2      # HS/STR ~ tie (HS often ahead)
+        assert row[5] > 1.5            # NX/STR clearly worse

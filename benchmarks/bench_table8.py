@@ -1,0 +1,25 @@
+"""Bench: regenerate Table 8 (VLSI areas and perimeters).
+
+Paper shapes: HS has slightly smaller leaf area and perimeter than STR on
+this highly skewed data (consistent with its small point-query edge); NX
+is an order of magnitude worse on both.
+"""
+
+from repro.experiments import vlsi_tables
+
+from conftest import emit
+
+
+def test_table8(benchmark, bench_config, vlsi_cache):
+    table = benchmark.pedantic(
+        vlsi_tables.table8, args=(bench_config, vlsi_cache),
+        rounds=1, iterations=1,
+    )
+    emit("table8", table)
+    rows = {r[0]: r[1:] for r in table.data_rows()}
+    str_p, hs_p, nx_p = rows["leaf perimeter"]
+    str_a, hs_a, nx_a = rows["leaf area"]
+    assert nx_p > 1.5 * max(str_p, hs_p)
+    # HS and STR close on both metrics (within ~35% either way).
+    assert 0.65 < hs_p / str_p < 1.35
+    assert 0.5 < hs_a / str_a < 1.5

@@ -1,0 +1,29 @@
+"""Bench: regenerate Table 9 (CFD disk accesses vs buffer size).
+
+Paper shapes: for point queries STR needs clearly fewer accesses than HS,
+the gap widening as the buffer shrinks (HS/STR 1.11 at 250 pages up to
+1.68 at 10); region queries are near ties; NX is far worse for region
+queries.
+"""
+
+from repro.experiments import cfd_tables
+
+from conftest import emit
+
+
+def test_table9(benchmark, bench_config, cfd_cache):
+    table = benchmark.pedantic(
+        cfd_tables.table9, args=(bench_config, cfd_cache),
+        rounds=1, iterations=1,
+    )
+    emit("table9", table)
+    n = len(cfd_tables.TABLE9_BUFFERS)
+    rows = table.data_rows()
+    point_rows = {r[0]: r for r in rows[:n]}
+    assert point_rows[10][4] > 1.15          # HS/STR at the smallest buffer
+    assert point_rows[10][4] > point_rows[250][4] - 0.05
+    region_ratios = table.column("HS/STR")[n:]
+    assert all(0.85 < r < 1.3 for r in region_ratios)
+    region_nx = table.column("NX/STR")[n:]
+    small_buffer_nx = region_nx[n - 3:n] + region_nx[-3:]
+    assert all(r > 2.0 for r in small_buffer_nx)

@@ -1,0 +1,224 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Examples
+--------
+Run the quick profile of Table 2::
+
+    python -m repro table2 --quick
+
+Paper-exact Table 5 with CSV output::
+
+    python -m repro table5 --csv > table5.csv
+
+Emit the Figure 2-4 SVG plots into a directory::
+
+    python -m repro fig234 --out-dir figures/
+
+List everything available::
+
+    python -m repro list
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable
+
+from .experiments import cfd_tables, gis_tables, synthetic_tables, vlsi_tables
+from .experiments.config import DEFAULT_CONFIG, ExperimentConfig
+from .experiments.report import Series, Table
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _series_table(name: str, series: list[Series]) -> Table:
+    """Render figure series as a three-column table for the terminal."""
+    table = Table(title=name, columns=("series", "x", "y"))
+    for line in series:
+        for label, x, y in line.as_table_rows():
+            table.add_row(label, x, y)
+    return table
+
+
+# name -> (callable(config) -> Table | list[Series] | dict[str, str], help)
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "table1": (synthetic_tables.table1,
+               "percent of R-tree held by buffer (synthetic)"),
+    "table2": (synthetic_tables.table2,
+               "disk accesses, synthetic data, buffer=10"),
+    "table3": (synthetic_tables.table3,
+               "disk accesses, synthetic data, buffer=250"),
+    "table4": (synthetic_tables.table4,
+               "areas and perimeters, synthetic data"),
+    "table5": (gis_tables.table5,
+               "disk accesses, Long Beach data, buffer sweep"),
+    "table6": (gis_tables.table6, "areas and perimeters, Long Beach data"),
+    "table7": (vlsi_tables.table7, "disk accesses, VLSI data, buffer sweep"),
+    "table8": (vlsi_tables.table8, "areas and perimeters, VLSI data"),
+    "table9": (cfd_tables.table9, "disk accesses, CFD data, buffer sweep"),
+    "table10": (cfd_tables.table10, "areas and perimeters, CFD data"),
+    "fig7": (synthetic_tables.figure7,
+             "accesses vs size, point queries, buffer 10"),
+    "fig8": (synthetic_tables.figure8,
+             "accesses vs size, point queries, buffer 250"),
+    "fig9": (synthetic_tables.figure9,
+             "accesses vs size, 1% region queries, buffer 10"),
+    "fig10": (gis_tables.figure10,
+              "accesses vs buffer, point queries, Long Beach"),
+    "fig11": (vlsi_tables.figure11,
+              "accesses vs buffer, point/region queries, VLSI"),
+    "fig12": (cfd_tables.figure12,
+              "accesses vs buffer, point queries, CFD"),
+    "fig234": (gis_tables.figures_2_3_4,
+               "leaf MBR SVG plots, Long Beach, NX/HS/STR"),
+    "fig56": (lambda config: cfd_tables.figures_5_6(seed=config.seed),
+              "CFD dataset scatter SVGs (full + center zoom)"),
+    "ext-warmup": (lambda config: _ext_warmup(config),
+                   "extension: LRU warm-up transient curve"),
+    "ext-parallel": (lambda config: _ext_parallel(config),
+                     "extension: parallel shared-nothing declustering"),
+    "ext-dynamic": (lambda config: _ext_dynamic(config),
+                    "extension: packed vs Guttman vs R* builds"),
+    "ext-costmodel": (lambda config: _ext_costmodel(config),
+                      "extension: area/perimeter cost model validation"),
+}
+
+
+def _ext_warmup(config: ExperimentConfig):
+    from .datasets import uniform_points
+    from .experiments.extensions import warmup_curve
+    from .queries import point_queries
+    from .rtree.bulk import bulk_load
+    from .core.packing.registry import make_algorithm
+
+    points = uniform_points(max(config.sizes), seed=config.seed)
+    tree, _ = bulk_load(points, make_algorithm("STR"),
+                        capacity=config.capacity)
+    workload = point_queries(config.query_count,
+                             seed=config.workload_seed("warmup"))
+    return [warmup_curve(tree, workload, buffer_pages=100)]
+
+
+def _ext_parallel(config: ExperimentConfig):
+    from .datasets import uniform_points
+    from .experiments.extensions import parallel_speedup_table
+
+    points = uniform_points(min(50_000, max(config.sizes)),
+                            seed=config.seed)
+    return parallel_speedup_table(points, capacity=config.capacity,
+                                  query_count=min(config.query_count, 500))
+
+
+def _ext_dynamic(config: ExperimentConfig):
+    from .datasets import uniform_points
+    from .experiments.extensions import packed_vs_dynamic_table
+
+    points = uniform_points(min(5_000, max(config.sizes)),
+                            seed=config.seed).centers()
+    return packed_vs_dynamic_table(points,
+                                   query_count=min(config.query_count, 300))
+
+
+def _ext_costmodel(config: ExperimentConfig):
+    from .datasets import uniform_points
+    from .experiments.extensions import cost_model_table
+
+    points = uniform_points(min(50_000, max(config.sizes)),
+                            seed=config.seed)
+    return cost_model_table(points,
+                            query_count=min(config.query_count, 400))
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="str-repro",
+        description=("Reproduce tables/figures from 'STR: A Simple and "
+                     "Efficient Algorithm for R-Tree Packing' (ICDE 1997)"),
+    )
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["list", "all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--quick", action="store_true",
+                        help="small fast profile (same shapes, smaller cells)")
+    parser.add_argument("--queries", type=int, default=None,
+                        help="override queries per cell (paper: 2000)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master RNG seed")
+    parser.add_argument("--csv", action="store_true",
+                        help="emit CSV instead of an aligned table")
+    parser.add_argument("--svg", action="store_true",
+                        help="render figure series as an SVG line chart "
+                             "(figures only; requires --out-dir)")
+    parser.add_argument("--out-dir", default=None,
+                        help="write output files (SVGs, .txt tables) here")
+    return parser
+
+
+def _config_from(args: argparse.Namespace) -> ExperimentConfig:
+    config = ExperimentConfig.quick() if args.quick else DEFAULT_CONFIG
+    overrides = {"seed": args.seed}
+    if args.queries is not None:
+        overrides["query_count"] = args.queries
+    return config.scaled(**overrides)
+
+
+def _emit(name: str, result, args: argparse.Namespace) -> None:
+    if isinstance(result, dict):  # SVG bundles
+        out_dir = args.out_dir if args.out_dir is not None else "."
+        os.makedirs(out_dir, exist_ok=True)
+        for key, svg in result.items():
+            path = os.path.join(out_dir, f"{name}_{key}.svg")
+            with open(path, "w") as f:
+                f.write(svg)
+            print(f"wrote {path}")
+        return
+    if isinstance(result, list) and args.svg:
+        from .viz.linechart import line_chart_svg
+
+        out_dir = args.out_dir if args.out_dir is not None else "."
+        os.makedirs(out_dir, exist_ok=True)
+        path = os.path.join(out_dir, f"{name}.svg")
+        with open(path, "w") as f:
+            f.write(line_chart_svg(result, title=name,
+                                   x_label="x", y_label="disk accesses"))
+        print(f"wrote {path}")
+        return
+    table = (_series_table(name, result) if isinstance(result, list)
+             else result)
+    text = table.to_csv() if args.csv else table.render()
+    if args.out_dir is not None:
+        os.makedirs(args.out_dir, exist_ok=True)
+        ext = "csv" if args.csv else "txt"
+        path = os.path.join(args.out_dir, f"{name}.{ext}")
+        with open(path, "w") as f:
+            f.write(text)
+        print(f"wrote {path}")
+    else:
+        print(text)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for name in sorted(EXPERIMENTS):
+            print(f"{name:10s} {EXPERIMENTS[name][1]}")
+        return 0
+
+    config = _config_from(args)
+    names = (sorted(EXPERIMENTS) if args.experiment == "all"
+             else [args.experiment])
+    for name in names:
+        runner, _ = EXPERIMENTS[name]
+        start = time.time()
+        result = runner(config)
+        _emit(name, result, args)
+        print(f"[{name}: {time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,5 @@
+"""Core abstractions: geometry and the packing-algorithm framework."""
+
+from .geometry import Rect, RectArray, unit_square
+
+__all__ = ["Rect", "RectArray", "unit_square"]

@@ -1,0 +1,47 @@
+"""Nearest-X (NX) packing — Roussopoulos & Leifker (1985).
+
+The simplest packing order: sort rectangles by the x-coordinate of their
+center and pack consecutive runs.  The original paper gives no detail on
+which x to use; following our paper's reading ("we assume that the
+x-coordinate of the rectangle's center is used") we sort by center.
+
+NX ignores all dimensions but the first, so leaves become tall thin
+vertical strips (Figure 2 of the paper), giving enormous perimeters and —
+as the paper's tables show — hopeless region-query performance.  It remains
+competitive only for point queries on point data, and exists here as the
+baseline that demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...core.geometry import RectArray
+from .base import PackingAlgorithm, validate_permutation
+
+__all__ = ["NearestX"]
+
+
+class NearestX(PackingAlgorithm):
+    """Sort by center x-coordinate (dimension 0)."""
+
+    name = "NX"
+
+    def __init__(self, dimension: int = 0):
+        if dimension < 0:
+            raise ValueError("dimension must be >= 0")
+        self.dimension = dimension
+
+    def order(self, rects: RectArray, capacity: int) -> np.ndarray:
+        self._check(rects, capacity)
+        if self.dimension >= rects.ndim:
+            raise ValueError(
+                f"sort dimension {self.dimension} out of range for "
+                f"{rects.ndim}-d data"
+            )
+        keys = rects.centers()[:, self.dimension]
+        perm = np.argsort(keys, kind="stable")
+        return validate_permutation(perm, len(rects))
+
+    def __repr__(self) -> str:
+        return f"NearestX(dimension={self.dimension})"

@@ -1,0 +1,46 @@
+"""Name-based lookup of packing algorithms.
+
+Experiment configs, the CLI and the benchmarks refer to algorithms by the
+paper's abbreviations (``STR``, ``HS``, ``NX``); this registry resolves
+those (case-insensitively, with a few aliases) to fresh instances.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .base import PackingAlgorithm, PackingError
+from .hilbert import HilbertSort
+from .nearest_x import NearestX
+from .str_ import SortTileRecursive
+
+__all__ = ["ALGORITHMS", "make_algorithm", "algorithm_names"]
+
+ALGORITHMS: dict[str, Callable[[], PackingAlgorithm]] = {
+    "str": SortTileRecursive,
+    "sort-tile-recursive": SortTileRecursive,
+    "hs": HilbertSort,
+    "hilbert": HilbertSort,
+    "hilbert-sort": HilbertSort,
+    "nx": NearestX,
+    "nearest-x": NearestX,
+}
+
+#: Canonical paper order for reports: the proposal first, then baselines.
+PAPER_ORDER = ("STR", "HS", "NX")
+
+
+def make_algorithm(name: str) -> PackingAlgorithm:
+    """Instantiate a packing algorithm from a paper abbreviation or alias."""
+    try:
+        return ALGORITHMS[name.strip().lower()]()
+    except KeyError:
+        raise PackingError(
+            f"unknown packing algorithm {name!r}; "
+            f"known: {sorted(set(ALGORITHMS))}"
+        ) from None
+
+
+def algorithm_names() -> tuple[str, ...]:
+    """Canonical names in the order the paper reports them."""
+    return PAPER_ORDER

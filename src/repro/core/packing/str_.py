@@ -1,0 +1,104 @@
+"""Sort-Tile-Recursive (STR) packing — the paper's contribution.
+
+Two dimensions (the base case)
+------------------------------
+Let ``P = ceil(r / n)`` be the number of leaf pages and ``S = ceil(sqrt(P))``.
+Sort the rectangles by center x-coordinate and cut the sorted list into
+``S`` *vertical slices* of ``S * n`` consecutive rectangles (the last slice
+may be short).  Sort each slice by center y-coordinate and pack runs of
+``n``.  The data space ends up tiled by a roughly ``S x S`` grid of compact
+leaves — Figure 4 of the paper.
+
+k dimensions
+------------
+Sort by the first center coordinate, cut into ``S = ceil(P ** (1/k))``
+*slabs* of ``n * ceil(P ** ((k-1)/k))`` consecutive rectangles, and recurse
+on each slab with the remaining ``k - 1`` coordinates.  ``k = 1`` is a plain
+sort (the paper notes 1-D data is already handled well by B-trees).
+
+The implementation below is a pure permutation producer over numpy arrays:
+no copying of rectangle data, one ``argsort`` per slab, recursion depth
+``k``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...core.geometry import RectArray
+from .base import (
+    PackingAlgorithm,
+    PackingError,
+    ceil_pow_frac,
+    validate_permutation,
+)
+
+__all__ = ["SortTileRecursive", "str_slab_sizes"]
+
+
+def str_slab_sizes(count: int, capacity: int, dims_left: int) -> list[int]:
+    """Sizes of the consecutive slabs STR cuts at the current dimension.
+
+    ``dims_left`` is the number of coordinates not yet consumed (``k`` at
+    the top level).  Returns a list summing to ``count``; every slab is
+    ``capacity * ceil(P ** ((dims_left-1)/dims_left))`` rectangles except
+    possibly the last.
+    """
+    if count < 1:
+        raise PackingError("count must be >= 1")
+    if capacity < 1:
+        raise PackingError("capacity must be >= 1")
+    if dims_left < 1:
+        raise PackingError("dims_left must be >= 1")
+    if dims_left == 1:
+        return [count]
+    pages = math.ceil(count / capacity)
+    # The paper's slab width, computed exactly: n * ceil(P^((k-1)/k)).
+    # At k=2 this is n * ceil(sqrt(P)) = S*n, the "vertical slice" width.
+    slab = capacity * ceil_pow_frac(pages, dims_left - 1, dims_left)
+    sizes = []
+    remaining = count
+    while remaining > 0:
+        take = min(slab, remaining)
+        sizes.append(take)
+        remaining -= take
+    return sizes
+
+
+class SortTileRecursive(PackingAlgorithm):
+    """The STR ordering (works for any dimensionality >= 1)."""
+
+    name = "STR"
+
+    def order(self, rects: RectArray, capacity: int) -> np.ndarray:
+        self._check(rects, capacity)
+        centers = rects.centers()
+        all_idx = np.arange(len(rects), dtype=np.int64)
+        perm = self._order_slab(centers, all_idx, dim=0, capacity=capacity)
+        return validate_permutation(perm, len(rects))
+
+    def _order_slab(self, centers: np.ndarray, idx: np.ndarray, dim: int,
+                    capacity: int) -> np.ndarray:
+        """Recursively order the subset ``idx`` starting at coordinate ``dim``."""
+        ndim = centers.shape[1]
+        dims_left = ndim - dim
+        keys = centers[idx, dim]
+        local = np.argsort(keys, kind="stable")
+        ordered = idx[local]
+        if dims_left <= 1:
+            return ordered
+        sizes = str_slab_sizes(len(ordered), capacity, dims_left)
+        if len(sizes) == 1:
+            # A single slab: just recurse into the remaining dimensions.
+            return self._order_slab(centers, ordered, dim + 1, capacity)
+        pieces = []
+        offset = 0
+        for size in sizes:
+            chunk = ordered[offset:offset + size]
+            pieces.append(
+                self._order_slab(centers, chunk, dim + 1, capacity)
+            )
+            offset += size
+        return np.concatenate(pieces)

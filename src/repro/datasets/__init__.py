@@ -1,0 +1,58 @@
+"""Dataset generators for the paper's four data families.
+
+Real-data substitutions (TIGER/VLSI/CFD) are documented in DESIGN.md
+section 3; generators are deterministic in their ``seed``.
+"""
+
+from .cfd import (
+    CFD_NODE_COUNT,
+    CFD_QUERY_WINDOW,
+    CFD_SMALL_NODE_COUNT,
+    airfoil_like,
+    airfoil_points,
+)
+from .gis import LONG_BEACH_SEGMENT_COUNT, long_beach_like
+from .io import load_rects, save_rects
+from .normalize import normalize_points, normalize_rects
+from .statistics import (
+    dataset_card,
+    morisita_index,
+    quadrat_counts,
+    size_spread,
+    thinness,
+)
+from .tiger import read_rt1, write_rt1
+from .synthetic import (
+    PAPER_DENSITIES,
+    PAPER_SIZES,
+    uniform_points,
+    uniform_squares,
+)
+from .vlsi import VLSI_RECT_COUNT, vlsi_like
+
+__all__ = [
+    "uniform_points",
+    "uniform_squares",
+    "PAPER_SIZES",
+    "PAPER_DENSITIES",
+    "long_beach_like",
+    "LONG_BEACH_SEGMENT_COUNT",
+    "vlsi_like",
+    "VLSI_RECT_COUNT",
+    "airfoil_like",
+    "airfoil_points",
+    "CFD_NODE_COUNT",
+    "CFD_SMALL_NODE_COUNT",
+    "CFD_QUERY_WINDOW",
+    "normalize_rects",
+    "dataset_card",
+    "morisita_index",
+    "quadrat_counts",
+    "size_spread",
+    "thinness",
+    "read_rt1",
+    "write_rt1",
+    "normalize_points",
+    "save_rects",
+    "load_rects",
+]

@@ -1,0 +1,134 @@
+"""CFD-like data: mesh nodes around a multi-element airfoil.
+
+The paper's scientific workload is a Delaunay mesh for a Boeing 737 wing
+cross-section with flaps deployed (Mavriplis 1995): 52,510 point nodes,
+*dense where the solution changes rapidly* — i.e. exponentially
+concentrated around the wing surfaces — and nearly empty elsewhere.  The
+plotted data (the paper's Figures 5 and 6) is a black smudge around the
+centroid with blank ovals where the wing elements sit.
+
+The original meshes are not distributed here, so this generator builds a
+point cloud with the same structure:
+
+* three elliptical elements (main airfoil, slat, flap) around (0.53, 0.5);
+* points sampled on rings around each element with surface-normal offsets
+  drawn from an exponential whose scale grows with distance (advancing-
+  front meshes coarsen geometrically away from walls);
+* element interiors are kept empty, reproducing the blank ovals;
+* a sparse geometric far-field fills the rest of the unit square.
+
+The paper restricts CFD queries to the box (0.48, 0.48)-(0.6, 0.6);
+:data:`CFD_QUERY_WINDOW` records it for the experiment harness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import Rect, RectArray
+
+__all__ = [
+    "airfoil_like",
+    "airfoil_points",
+    "CFD_NODE_COUNT",
+    "CFD_SMALL_NODE_COUNT",
+    "CFD_QUERY_WINDOW",
+]
+
+#: Node count of the paper's main CFD experiment data set.
+CFD_NODE_COUNT = 52_510
+
+#: Node count of the smaller mesh the paper plots in Figure 5.
+CFD_SMALL_NODE_COUNT = 5_088
+
+#: Query window used in Section 4.4.
+CFD_QUERY_WINDOW = Rect((0.48, 0.48), (0.6, 0.6))
+
+# (center, semi-axes, rotation, weight) of the wing elements, placed so the
+# dense smudge sits just right of the domain center like the paper's plots.
+_ELEMENTS = (
+    ((0.530, 0.500), (0.040, 0.0085), -0.10, 0.62),  # main element
+    ((0.487, 0.507), (0.012, 0.0040), -0.45, 0.16),  # leading-edge slat
+    ((0.578, 0.491), (0.018, 0.0050), -0.30, 0.22),  # trailing-edge flap
+)
+
+
+def _ellipse_frame(center, axes, angle):
+    c = np.asarray(center)
+    rot = np.array(
+        [[np.cos(angle), -np.sin(angle)], [np.sin(angle), np.cos(angle)]]
+    )
+    return c, np.asarray(axes), rot
+
+
+def _inside_any_element(points: np.ndarray) -> np.ndarray:
+    """Mask of points strictly inside a wing element (to be rejected)."""
+    inside = np.zeros(len(points), dtype=bool)
+    for center, axes, angle, _ in _ELEMENTS:
+        c, ax, rot = _ellipse_frame(center, axes, angle)
+        local = (points - c) @ rot  # rotate into the element frame
+        inside |= ((local / ax) ** 2).sum(axis=1) < 1.0
+    return inside
+
+
+def _surface_band(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Points in geometrically-coarsening bands around the elements."""
+    weights = np.array([w for *_, w in _ELEMENTS])
+    element_of = rng.choice(len(_ELEMENTS), size=count, p=weights / weights.sum())
+    out = np.empty((count, 2))
+    for i, (center, axes, angle, _) in enumerate(_ELEMENTS):
+        mask = element_of == i
+        n = int(mask.sum())
+        if n == 0:
+            continue
+        c, ax, rot = _ellipse_frame(center, axes, angle)
+        theta = rng.uniform(0, 2 * np.pi, size=n)
+        ring = np.column_stack([np.cos(theta) * ax[0], np.sin(theta) * ax[1]])
+        normal = np.column_stack([np.cos(theta) * ax[1], np.sin(theta) * ax[0]])
+        norms = np.linalg.norm(normal, axis=1, keepdims=True)
+        normal = normal / np.where(norms > 0, norms, 1.0)
+        # Wall-normal spacing: exponential near the wall with a heavy tail,
+        # mimicking geometric mesh growth away from the surface.
+        offset = rng.exponential(0.004, size=n) * np.exp(rng.exponential(0.9, size=n))
+        pts = c + (ring + normal * offset[:, None]) @ rot.T
+        out[mask] = pts
+    return out
+
+
+def _far_field(rng: np.random.Generator, count: int) -> np.ndarray:
+    """Sparse outer mesh: radially exponential rings around the wing."""
+    center = np.array([0.53, 0.5])
+    theta = rng.uniform(0, 2 * np.pi, size=count)
+    radius = 0.06 * np.exp(rng.exponential(0.75, size=count))
+    pts = center + np.column_stack(
+        [np.cos(theta) * radius, np.sin(theta) * radius * 0.8]
+    )
+    return pts
+
+
+def airfoil_points(count: int, *, seed: int = 0) -> np.ndarray:
+    """``(count, 2)`` mesh-node positions inside the unit square."""
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = np.random.default_rng(seed)
+    points = np.empty((0, 2))
+    while len(points) < count:
+        need = count - len(points)
+        n_band = int(np.ceil(need * 0.8)) + 16
+        n_far = int(np.ceil(need * 0.2)) + 16
+        batch = np.concatenate(
+            [_surface_band(rng, n_band), _far_field(rng, n_far)]
+        )
+        ok = (
+            ~_inside_any_element(batch)
+            & (batch >= 0.0).all(axis=1)
+            & (batch <= 1.0).all(axis=1)
+        )
+        points = np.concatenate([points, batch[ok]])
+    out = points[:count]
+    return out[rng.permutation(count)]
+
+
+def airfoil_like(count: int = CFD_NODE_COUNT, *, seed: int = 0) -> RectArray:
+    """A synthetic stand-in for the paper's CFD mesh, as degenerate rects."""
+    return RectArray.from_points(airfoil_points(count, seed=seed))

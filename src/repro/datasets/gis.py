@@ -1,0 +1,144 @@
+"""TIGER-like GIS data: a synthetic Long Beach street network.
+
+The paper's GIS workload is the Long Beach county subset of the U.S.
+Census TIGER files — 53,145 street-line segments.  The original file is not
+shipped here, so this module synthesises a street network with the same
+properties the packing comparison is sensitive to:
+
+* **thin rectangles** — each record is the MBR of a short street segment,
+  so one side is typically much longer than the other;
+* **mild spatial skew** — a denser "downtown" core with density falling off
+  toward the county edges, plus a few long arterials, but nothing like the
+  VLSI/CFD extremes;
+* **small extents** — segments are short relative to the data space
+  (blocks of a city grid), giving leaf MBRs whose size is dominated by
+  tile geometry rather than object size.
+
+Construction: sample north-south and east-west street center lines whose
+positions mix a uniform component with a Gaussian downtown cluster; cut
+every street at its crossings with the perpendicular streets; each block
+edge becomes one segment record with a small positional jitter (streets
+are not perfectly straight).  A few long diagonal arterials are added, then
+the collection is trimmed/padded to the requested count and normalised to
+the unit square.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import RectArray
+from .normalize import normalize_rects
+
+__all__ = ["long_beach_like", "LONG_BEACH_SEGMENT_COUNT"]
+
+#: Segment count of the real Long Beach TIGER extract the paper uses.
+LONG_BEACH_SEGMENT_COUNT = 53_145
+
+
+def _street_positions(rng: np.random.Generator, count: int,
+                      downtown: float, spread: float) -> np.ndarray:
+    """Street coordinates: 55% uniform grid-ish, 45% downtown cluster."""
+    n_cluster = int(count * 0.45)
+    uniform = rng.random(count - n_cluster)
+    cluster = rng.normal(downtown, spread, size=n_cluster)
+    pos = np.concatenate([uniform, cluster])
+    return np.sort(np.clip(pos, 0.0, 1.0))
+
+
+def _grid_segments(rng: np.random.Generator, xs: np.ndarray, ys: np.ndarray,
+                   jitter: float) -> tuple[np.ndarray, np.ndarray]:
+    """Block edges of the street grid as (lo, hi) arrays."""
+    los: list[np.ndarray] = []
+    his: list[np.ndarray] = []
+
+    # Vertical streets: at each x, segments between consecutive y crossings.
+    for x in xs:
+        # Streets do not all run the full county: clip to a random extent.
+        y0, y1 = np.sort(rng.random(2))
+        if y1 - y0 < 0.05:
+            continue
+        crossings = ys[(ys >= y0) & (ys <= y1)]
+        if len(crossings) < 2:
+            continue
+        a = crossings[:-1]
+        b = crossings[1:]
+        jx = rng.normal(0.0, jitter, size=len(a))
+        width = np.abs(rng.normal(0.0, jitter, size=len(a))) + 1e-5
+        lo = np.column_stack([x + jx - width / 2, a])
+        hi = np.column_stack([x + jx + width / 2, b])
+        los.append(lo)
+        his.append(hi)
+
+    # Horizontal streets, symmetric construction.
+    for y in ys:
+        x0, x1 = np.sort(rng.random(2))
+        if x1 - x0 < 0.05:
+            continue
+        crossings = xs[(xs >= x0) & (xs <= x1)]
+        if len(crossings) < 2:
+            continue
+        a = crossings[:-1]
+        b = crossings[1:]
+        jy = rng.normal(0.0, jitter, size=len(a))
+        height = np.abs(rng.normal(0.0, jitter, size=len(a))) + 1e-5
+        lo = np.column_stack([a, y + jy - height / 2])
+        hi = np.column_stack([b, y + jy + height / 2])
+        los.append(lo)
+        his.append(hi)
+
+    return np.concatenate(los), np.concatenate(his)
+
+
+def _arterial_segments(rng: np.random.Generator, count: int
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Diagonal arterial roads chopped into short segments."""
+    los = np.empty((count, 2))
+    his = np.empty((count, 2))
+    pos = 0
+    while pos < count:
+        start = rng.random(2)
+        angle = rng.uniform(0, 2 * np.pi)
+        direction = np.array([np.cos(angle), np.sin(angle)])
+        n_seg = min(int(rng.integers(20, 120)), count - pos)
+        seg_len = rng.uniform(0.002, 0.006)
+        points = start + np.arange(n_seg + 1)[:, None] * direction * seg_len
+        points = np.clip(points, 0.0, 1.0)
+        a, b = points[:-1], points[1:]
+        los[pos:pos + n_seg] = np.minimum(a, b)
+        his[pos:pos + n_seg] = np.maximum(a, b)
+        pos += n_seg
+    return los, his
+
+
+def long_beach_like(count: int = LONG_BEACH_SEGMENT_COUNT, *,
+                    seed: int = 0) -> RectArray:
+    """A synthetic stand-in for the paper's Long Beach TIGER data.
+
+    Returns exactly ``count`` thin segment MBRs normalised to the unit
+    square.  Deterministic in ``seed``.
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    # Street counts scale with the square root of the target so the mean
+    # segment length stays block-sized at any count.
+    n_streets = max(8, int(np.sqrt(count / 2.2)))
+    xs = _street_positions(rng, n_streets, downtown=0.35, spread=0.13)
+    ys = _street_positions(rng, n_streets, downtown=0.45, spread=0.16)
+    los, his = _grid_segments(rng, xs, ys, jitter=0.0008)
+
+    n_arterial = max(1, count // 25)
+    alos, ahis = _arterial_segments(rng, n_arterial)
+    los = np.concatenate([los, alos])
+    his = np.concatenate([his, ahis])
+
+    if len(los) < count:
+        # Top up with extra arterials (rare; depends on grid randomness).
+        extra_lo, extra_hi = _arterial_segments(rng, count - len(los))
+        los = np.concatenate([los, extra_lo])
+        his = np.concatenate([his, extra_hi])
+    perm = rng.permutation(len(los))[:count]
+    rects = RectArray(los[perm], his[perm])
+    return normalize_rects(rects)

@@ -1,0 +1,50 @@
+"""Dataset persistence.
+
+Generated datasets (and any user-provided ones, e.g. a real TIGER extract)
+round-trip through two formats:
+
+* ``.npz`` — compact binary via numpy, the default;
+* ``.txt`` — one rectangle per line, ``lo... hi...`` whitespace-separated,
+  matching the simple ASCII layout the paper's archive distributed
+  (``RectNode.normal.ascii`` in Figure 5's caption).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from ..core.geometry import GeometryError, RectArray
+
+__all__ = ["save_rects", "load_rects"]
+
+
+def save_rects(path: str | os.PathLike, rects: RectArray) -> None:
+    """Write a rectangle set; format chosen by extension (.npz or .txt)."""
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        np.savez_compressed(path, los=rects.los, his=rects.his)
+    elif path.endswith(".txt"):
+        table = np.hstack([rects.los, rects.his])
+        header = f"ndim={rects.ndim} count={len(rects)} columns=lo...hi..."
+        np.savetxt(path, table, header=header)
+    else:
+        raise GeometryError(f"unknown dataset extension: {path}")
+
+
+def load_rects(path: str | os.PathLike) -> RectArray:
+    """Read a rectangle set written by :func:`save_rects`."""
+    path = os.fspath(path)
+    if path.endswith(".npz"):
+        with np.load(path) as data:
+            return RectArray(data["los"], data["his"])
+    if path.endswith(".txt"):
+        table = np.loadtxt(path, ndmin=2)
+        if table.shape[1] % 2:
+            raise GeometryError(
+                f"{path}: {table.shape[1]} columns is not an even lo/hi split"
+            )
+        k = table.shape[1] // 2
+        return RectArray(table[:, :k], table[:, k:])
+    raise GeometryError(f"unknown dataset extension: {path}")

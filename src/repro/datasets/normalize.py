@@ -1,0 +1,42 @@
+"""Normalisation of datasets to the unit square.
+
+Section 3: "To provide a uniform experiment space we normalize all data
+sets to the unit square."  Normalisation is affine and per-dimension: the
+dataset MBR is mapped onto ``[0, 1]^k``.  Degenerate dimensions (all data
+on a hyperplane) map to 0.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import RectArray
+
+__all__ = ["normalize_rects", "normalize_points"]
+
+
+def normalize_points(points: np.ndarray) -> np.ndarray:
+    """Affinely map a point cloud so its bounding box is the unit cube."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[0] < 1:
+        raise ValueError("points must be a non-empty (n, k) array")
+    lo = pts.min(axis=0)
+    span = pts.max(axis=0) - lo
+    safe = np.where(span > 0.0, span, 1.0)
+    return (pts - lo) / safe
+
+
+def normalize_rects(rects: RectArray) -> RectArray:
+    """Affinely map a rectangle set so its MBR is the unit cube.
+
+    The same transform is applied to lower and upper corners, so shapes,
+    relative sizes and the packing order are all preserved.
+    """
+    mbr = rects.mbr()
+    lo = np.asarray(mbr.lo)
+    span = np.asarray(mbr.extents, dtype=np.float64)
+    safe = np.where(span > 0.0, span, 1.0)
+    los = (rects.los - lo) / safe
+    his = (rects.his - lo) / safe
+    # Guard against float drift pushing a corner infinitesimally past 1.
+    return RectArray(np.clip(los, 0.0, 1.0), np.clip(his, 0.0, 1.0))

@@ -1,0 +1,98 @@
+"""VLSI-like data: highly skewed rectangles in location *and* size.
+
+The paper's VLSI workload is a Bell Labs CIF chip design with 453,994
+rectangles whose sizes span a factor of ~40,000 in area and whose locations
+are extremely clustered ("regions of the chip covered by several thousand
+rectangles and some covered by no rectangles at all").  That file is
+proprietary, so this generator reproduces the two skews that drive the
+paper's VLSI findings (HS ≈ STR, HS slightly ahead on point queries):
+
+* **location skew** — rectangles concentrate in a hierarchy of "macro
+  blocks": a few dozen block regions of wildly different densities, with
+  sub-clusters inside blocks and a thin uniform background of global
+  routing.  Substantial parts of the die stay empty.
+* **size skew** — side lengths are log-uniform over a ~200x range, giving
+  an area range of ~40,000x as the paper reports, and widths/heights are
+  drawn independently so long thin wires coexist with square cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import RectArray
+
+__all__ = ["vlsi_like", "VLSI_RECT_COUNT"]
+
+#: Rectangle count of the Bell Labs design used in the paper.
+VLSI_RECT_COUNT = 453_994
+
+
+def _macro_blocks(rng: np.random.Generator, n_blocks: int
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Block centers, extents, and (unnormalised) density weights."""
+    centers = rng.random((n_blocks, 2)) * 0.9 + 0.05
+    extents = rng.uniform(0.02, 0.22, size=(n_blocks, 2))
+    # Zipf-ish weights: a handful of blocks hold thousands of rects each.
+    weights = 1.0 / np.arange(1, n_blocks + 1) ** 1.1
+    return centers, extents, rng.permutation(weights)
+
+
+def vlsi_like(count: int = 100_000, *, seed: int = 0,
+              size_range: float = 200.0) -> RectArray:
+    """A synthetic stand-in for the paper's VLSI CIF data.
+
+    Parameters
+    ----------
+    count:
+        Number of rectangles.  The paper's file has 453,994
+        (:data:`VLSI_RECT_COUNT`); experiments default to 100,000 for
+        pure-Python time budgets — the skew statistics are count-invariant.
+    seed:
+        RNG seed; the dataset is deterministic in it.
+    size_range:
+        Ratio of largest to smallest side length (area spans its square,
+        40,000x at the default, matching the paper's description).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if size_range <= 1.0:
+        raise ValueError("size_range must be > 1")
+    rng = np.random.default_rng(seed)
+
+    n_blocks = 40
+    centers, extents, weights = _macro_blocks(rng, n_blocks)
+    probs = weights / weights.sum()
+
+    n_background = max(1, int(count * 0.04))
+    n_clustered = count - n_background
+
+    block_of = rng.choice(n_blocks, size=n_clustered, p=probs)
+    # Position inside a block: a Gaussian sub-cluster blend makes hotspots
+    # within hotspots, as standard-cell rows do.
+    local = rng.beta(2.0, 2.0, size=(n_clustered, 2))
+    sub = rng.normal(0.5, 0.18, size=(n_clustered, 2))
+    mix = rng.random(n_clustered) < 0.5
+    local[mix] = np.clip(sub[mix], 0.0, 1.0)
+    pos = centers[block_of] + (local - 0.5) * extents[block_of]
+
+    background = rng.random((n_background, 2))
+    pos = np.clip(np.concatenate([pos, background]), 0.0, 1.0)
+
+    # Log-range side lengths; squaring the uniform exponent skews mass
+    # toward the small end so tiny cells dominate, as in real designs,
+    # while the largest shapes still reach the full ``size_range`` ratio.
+    s_min = 0.2 / np.sqrt(count)  # keeps density plausible at any count
+    log_span = np.log(size_range)
+    widths = s_min * np.exp(log_span * rng.random(count) ** 2.5)
+    heights = s_min * np.exp(log_span * rng.random(count) ** 2.5)
+
+    los = pos - np.column_stack([widths, heights]) / 2.0
+    his = pos + np.column_stack([widths, heights]) / 2.0
+    los = np.clip(los, 0.0, 1.0)
+    his = np.clip(his, 0.0, 1.0)
+    # Clamping can zero an extent; restore a hair of width so MBRs stay
+    # genuine rectangles (the CIF data has no zero-area shapes).
+    his = np.maximum(his, np.minimum(los + 1e-9, 1.0))
+    perm = rng.permutation(count)
+    return RectArray(los[perm], his[perm])

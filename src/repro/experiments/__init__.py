@@ -1,0 +1,27 @@
+"""Experiment harness: one module per group of paper tables/figures.
+
+Synthetic (Tables 1-4, Figures 7-9):   repro.experiments.synthetic_tables
+GIS/TIGER (Tables 5-6, Figures 2-4, 10): repro.experiments.gis_tables
+VLSI (Tables 7-8, Figure 11):          repro.experiments.vlsi_tables
+CFD (Tables 9-10, Figures 5-6, 12):    repro.experiments.cfd_tables
+"""
+
+from .config import DEFAULT_CONFIG, QUICK_CONFIG, ExperimentConfig
+from .report import Series, Table
+from .runner import PAPER_CAPACITY, QueryRunResult, TreeCache, run_queries
+from .trace import QueryTrace, paired_comparison, trace_queries
+
+__all__ = [
+    "ExperimentConfig",
+    "DEFAULT_CONFIG",
+    "QUICK_CONFIG",
+    "Table",
+    "Series",
+    "TreeCache",
+    "QueryRunResult",
+    "run_queries",
+    "QueryTrace",
+    "trace_queries",
+    "paired_comparison",
+    "PAPER_CAPACITY",
+]

@@ -1,0 +1,148 @@
+"""CFD experiments: Tables 9-10, Figure 12, and the Figure 5-6 plots.
+
+Section 4.4 restricts CFD queries to the box (0.48, 0.48)-(0.6, 0.6) —
+the dense region around the wing — because the far field is so sparse that
+unrestricted queries have huge variance.  Point queries and region-query
+lower-left corners are uniform in that window; region queries add exactly
+0.01 or 0.03 to the corner ("query region area = 0.0001 / 0.0009" in
+Table 9) and truncate at 0.6.
+"""
+
+from __future__ import annotations
+
+from ..datasets.cfd import (
+    CFD_QUERY_WINDOW,
+    CFD_SMALL_NODE_COUNT,
+    airfoil_points,
+    airfoil_like,
+)
+from ..queries.workloads import point_queries, region_queries
+from ..viz.svg import scatter_svg
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .realdata import buffer_sweep_table, quality_table
+from .report import Series, Table
+from .runner import TreeCache
+
+__all__ = [
+    "cfd_cache",
+    "DATASET_LABEL",
+    "TABLE9_BUFFERS",
+    "FIGURE12_BUFFERS",
+    "table9",
+    "table10",
+    "figure12",
+    "figures_5_6",
+]
+
+DATASET_LABEL = "cfd-airfoil"
+
+#: Buffer sizes in Table 9 (paper lists them largest-first).
+TABLE9_BUFFERS = (250, 100, 50, 25, 20, 15, 10)
+
+#: Buffer sweep of Figure 12.
+FIGURE12_BUFFERS = (10, 15, 20, 25, 30, 40, 50, 60, 70, 80, 90, 100)
+
+#: Exact region-query sides of Section 4.4.
+REGION_SIDES = (0.01, 0.03)
+
+
+def cfd_cache(config: ExperimentConfig = DEFAULT_CONFIG) -> TreeCache:
+    """Tree cache holding the CFD-like dataset."""
+    cache = TreeCache(capacity=config.capacity)
+    cache.add_dataset(
+        DATASET_LABEL,
+        airfoil_like(config.cfd_count,
+                     seed=config.dataset_seed(DATASET_LABEL)),
+    )
+    return cache
+
+
+def _sections(config: ExperimentConfig):
+    def make_point():
+        return point_queries(
+            config.query_count, seed=config.workload_seed("cfd-point"),
+            window=CFD_QUERY_WINDOW,
+        )
+
+    def make_region(side: float):
+        return lambda: region_queries(
+            side, config.query_count,
+            seed=config.workload_seed(f"cfd-region-{side}"),
+            window=CFD_QUERY_WINDOW,
+            kind=f"region area={side * side:g}",
+        )
+
+    return (
+        ("Point Queries", make_point),
+        ("Region Queries, Query Region Area = 0.0001",
+         make_region(REGION_SIDES[0])),
+        ("Region Queries, Query Region Area = 0.0009",
+         make_region(REGION_SIDES[1])),
+    )
+
+
+def table9(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 9: disk accesses on CFD data across buffer sizes."""
+    cache = cache if cache is not None else cfd_cache(config)
+    table = buffer_sweep_table(
+        cache, DATASET_LABEL, TABLE9_BUFFERS, _sections(config),
+        title=(f"Table 9: Number of Disk Accesses, CFD {config.cfd_count} "
+               "Node Data, Buffer Size Varied for Point and Region Queries"),
+    )
+    table.notes.append(
+        "queries restricted to the (0.48,0.48)-(0.6,0.6) window "
+        "(paper Section 4.4); synthetic airfoil stand-in (DESIGN.md)"
+    )
+    return table
+
+
+def table10(config: ExperimentConfig = DEFAULT_CONFIG,
+            cache: TreeCache | None = None) -> Table:
+    """Table 10: CFD areas and perimeters."""
+    cache = cache if cache is not None else cfd_cache(config)
+    return quality_table(
+        cache, DATASET_LABEL,
+        title=(f"Table 10: CFD {config.cfd_count} Node Data Set, "
+               "Areas and Perimeters"),
+    )
+
+
+def figure12(config: ExperimentConfig = DEFAULT_CONFIG,
+             cache: TreeCache | None = None,
+             buffers: tuple[int, ...] = FIGURE12_BUFFERS) -> list[Series]:
+    """Figure 12: point-query accesses vs buffer size, STR vs HS."""
+    cache = cache if cache is not None else cfd_cache(config)
+    workload = point_queries(
+        config.query_count, seed=config.workload_seed("cfd-point"),
+        window=CFD_QUERY_WINDOW,
+    )
+    hs = Series(label="HS")
+    strs = Series(label="STR")
+    for buffer_pages in buffers:
+        hs.add(buffer_pages,
+               cache.run(DATASET_LABEL, "HS", workload, buffer_pages
+                         ).mean_accesses)
+        strs.add(buffer_pages,
+                 cache.run(DATASET_LABEL, "STR", workload, buffer_pages
+                           ).mean_accesses)
+    return [hs, strs]
+
+
+def figures_5_6(seed: int = 0) -> dict[str, str]:
+    """Figures 5-6: the small CFD mesh, full view and center zoom (SVG)."""
+    points = airfoil_points(CFD_SMALL_NODE_COUNT, seed=seed)
+    full = scatter_svg(
+        points, title=f"Full Data for {CFD_SMALL_NODE_COUNT} Node Data Set"
+    )
+    window = (0.48, 0.48, 0.6, 0.6)
+    mask = (
+        (points[:, 0] >= window[0]) & (points[:, 0] <= window[2])
+        & (points[:, 1] >= window[1]) & (points[:, 1] <= window[3])
+    )
+    zoom = scatter_svg(
+        points[mask],
+        title=f"Data Around Center for {CFD_SMALL_NODE_COUNT} Node Data Set",
+        bounds=window,
+    )
+    return {"figure5_full": full, "figure6_zoom": zoom}

@@ -1,0 +1,70 @@
+"""Experiment configuration shared by all table/figure modules.
+
+The default profile reproduces the paper's protocol exactly: 2,000 queries
+per cell, synthetic sizes 10k-300k, node capacity 100, the documented
+dataset sizes for TIGER/VLSI/CFD stand-ins (VLSI scaled to 100k by default,
+see DESIGN.md).  :meth:`ExperimentConfig.quick` gives a profile small
+enough for CI and iterative runs — same shapes, fewer/smaller cells.
+
+All randomness is seeded: dataset seeds and workload seeds are derived from
+``seed`` so two runs with the same config are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..datasets.cfd import CFD_NODE_COUNT
+from ..datasets.gis import LONG_BEACH_SEGMENT_COUNT
+from ..datasets.synthetic import PAPER_SIZES
+
+__all__ = ["ExperimentConfig", "DEFAULT_CONFIG", "QUICK_CONFIG"]
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs for the reproduction experiments."""
+
+    #: Queries per experiment cell (paper: 2,000).
+    query_count: int = 2_000
+    #: Synthetic data sizes (paper: 10k, 25k, 50k, 100k, 300k).
+    sizes: tuple[int, ...] = PAPER_SIZES
+    #: Synthetic densities shown in the paper's tables/figures.
+    densities: tuple[float, float] = (0.0, 5.0)
+    #: TIGER-like segment count (paper: 53,145).
+    tiger_count: int = LONG_BEACH_SEGMENT_COUNT
+    #: VLSI-like rectangle count (paper: 453,994; default scaled — DESIGN.md).
+    vlsi_count: int = 100_000
+    #: CFD-like node count (paper: 52,510).
+    cfd_count: int = CFD_NODE_COUNT
+    #: Node capacity, the paper's ``n``.
+    capacity: int = 100
+    #: Master seed; dataset/workload seeds derive from it.
+    seed: int = 0
+
+    def dataset_seed(self, label: str) -> int:
+        """Stable per-dataset seed derived from the master seed."""
+        return self.seed * 1_000_003 + sum(ord(c) for c in label)
+
+    def workload_seed(self, label: str) -> int:
+        """Stable per-workload seed, distinct from dataset seeds."""
+        return self.seed * 7_000_003 + 13 * sum(ord(c) for c in label) + 1
+
+    def scaled(self, **changes) -> "ExperimentConfig":
+        """A copy with some fields replaced."""
+        return replace(self, **changes)
+
+    @classmethod
+    def quick(cls) -> "ExperimentConfig":
+        """A fast profile for tests/CI: same shapes, much smaller cells."""
+        return cls(
+            query_count=300,
+            sizes=(10_000, 25_000),
+            tiger_count=20_000,
+            vlsi_count=20_000,
+            cfd_count=20_000,
+        )
+
+
+DEFAULT_CONFIG = ExperimentConfig()
+QUICK_CONFIG = ExperimentConfig.quick()

@@ -1,0 +1,125 @@
+"""GIS (Long Beach TIGER-like) experiments: Tables 5-6, Figures 2-4 and 10.
+
+Table 5   — disk accesses vs buffer size (10-250) for point / 1% / 9%
+            region queries.
+Table 6   — areas and perimeters.
+Figure 10 — point-query accesses vs buffer size, 10-500, STR vs HS.
+Figures 2-4 — leaf-level MBR plots per algorithm (SVG via repro.viz).
+"""
+
+from __future__ import annotations
+
+from ..datasets.gis import long_beach_like
+from ..queries.workloads import workload_for
+from ..viz.svg import leaf_mbr_svg
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .realdata import buffer_sweep_table, quality_table
+from .report import Series, Table
+from .runner import TreeCache
+
+__all__ = [
+    "gis_cache",
+    "DATASET_LABEL",
+    "TABLE5_BUFFERS",
+    "FIGURE10_BUFFERS",
+    "table5",
+    "table6",
+    "figure10",
+    "figures_2_3_4",
+]
+
+DATASET_LABEL = "tiger-long-beach"
+
+#: Buffer sizes in Table 5.
+TABLE5_BUFFERS = (10, 25, 50, 100, 250)
+
+#: Buffer sweep of Figure 10.
+FIGURE10_BUFFERS = (10, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500)
+
+
+def gis_cache(config: ExperimentConfig = DEFAULT_CONFIG) -> TreeCache:
+    """Tree cache holding the TIGER-like dataset."""
+    cache = TreeCache(capacity=config.capacity)
+    cache.add_dataset(
+        DATASET_LABEL,
+        long_beach_like(config.tiger_count,
+                        seed=config.dataset_seed(DATASET_LABEL)),
+    )
+    return cache
+
+
+def _sections(config: ExperimentConfig):
+    def make(kind: str):
+        return lambda: workload_for(
+            kind, count=config.query_count,
+            seed=config.workload_seed(f"gis-{kind}"),
+        )
+
+    return (
+        ("Point Queries", make("point")),
+        ("Region Queries, Query Region = 1% of Data", make("region1")),
+        ("Region Queries, Query Region = 9% of Data", make("region9")),
+    )
+
+
+def table5(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 5: disk accesses on Long Beach data across buffer sizes."""
+    cache = cache if cache is not None else gis_cache(config)
+    table = buffer_sweep_table(
+        cache, DATASET_LABEL, TABLE5_BUFFERS, _sections(config),
+        title=("Table 5: Number of Disk Accesses, Long Beach Data, "
+               "Point and Region Queries and Different Buffer Sizes"),
+    )
+    table.notes.append(
+        f"synthetic TIGER stand-in, {config.tiger_count} segments "
+        "(see DESIGN.md section 3)"
+    )
+    return table
+
+
+def table6(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 6: Long Beach areas and perimeters."""
+    cache = cache if cache is not None else gis_cache(config)
+    return quality_table(
+        cache, DATASET_LABEL,
+        title="Table 6: Tiger Long Beach Data, Areas and Perimeters",
+    )
+
+
+def figure10(config: ExperimentConfig = DEFAULT_CONFIG,
+             cache: TreeCache | None = None,
+             buffers: tuple[int, ...] = FIGURE10_BUFFERS) -> list[Series]:
+    """Figure 10: point-query accesses vs buffer size, STR vs HS."""
+    cache = cache if cache is not None else gis_cache(config)
+    workload = workload_for(
+        "point", count=config.query_count,
+        seed=config.workload_seed("gis-point"),
+    )
+    hs = Series(label="HS")
+    strs = Series(label="STR")
+    for buffer_pages in buffers:
+        hs.add(buffer_pages,
+               cache.run(DATASET_LABEL, "HS", workload, buffer_pages
+                         ).mean_accesses)
+        strs.add(buffer_pages,
+                 cache.run(DATASET_LABEL, "STR", workload, buffer_pages
+                           ).mean_accesses)
+    return [hs, strs]
+
+
+def figures_2_3_4(config: ExperimentConfig = DEFAULT_CONFIG,
+                  cache: TreeCache | None = None) -> dict[str, str]:
+    """Figures 2-4: leaf MBRs of the Long Beach tree per algorithm.
+
+    Returns ``{algorithm: svg_text}`` — NX shows vertical strips, HS
+    fractal clusters, STR the vertical-slice tiling, matching the paper's
+    plots qualitatively.
+    """
+    cache = cache if cache is not None else gis_cache(config)
+    return {
+        algo: leaf_mbr_svg(cache.tree(DATASET_LABEL, algo),
+                           title=f"Leaf MBRs, Long Beach-like data, {algo}")
+        for algo in ("NX", "HS", "STR")
+    }

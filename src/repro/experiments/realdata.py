@@ -1,0 +1,71 @@
+"""Shared machinery for the real-data experiments (Tables 5-10).
+
+The GIS, VLSI and CFD experiments all have the same two shapes:
+
+* a **buffer sweep**: mean disk accesses per query for STR/HS/NX and the
+  HS/STR, NX/STR ratios, with one row per buffer size and one section per
+  query type;
+* a **quality table**: leaf/total area and perimeter for each algorithm.
+
+The dataset-specific modules supply the data, the buffer list, and the
+query-window specifics; this module renders the paper-layout tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..queries.workloads import QueryWorkload
+from .report import Table
+from .runner import TreeCache
+
+__all__ = ["buffer_sweep_table", "quality_table"]
+
+_ALGOS = ("STR", "HS", "NX")
+
+
+def buffer_sweep_table(
+    cache: TreeCache,
+    dataset_label: str,
+    buffers: Sequence[int],
+    sections: Sequence[tuple[str, Callable[[], QueryWorkload]]],
+    title: str,
+) -> Table:
+    """Disk accesses vs buffer size, one section per query type.
+
+    ``sections`` pairs a section heading with a zero-argument workload
+    factory (factories defer RNG work until the section actually runs).
+    """
+    table = Table(
+        title=title,
+        columns=("Buffer Size", "STR", "HS", "NX", "HS/STR", "NX/STR"),
+    )
+    for heading, make_workload in sections:
+        table.add_section(heading)
+        workload = make_workload()
+        for buffer_pages in buffers:
+            means = [
+                cache.run(dataset_label, algo, workload, buffer_pages
+                          ).mean_accesses
+                for algo in _ALGOS
+            ]
+            str_mean = means[0] if means[0] > 0 else float("nan")
+            table.add_row(
+                buffer_pages, *means,
+                means[1] / str_mean, means[2] / str_mean,
+            )
+    return table
+
+
+def quality_table(cache: TreeCache, dataset_label: str, title: str) -> Table:
+    """Leaf/total area and perimeter per algorithm (Tables 6, 8, 10)."""
+    table = Table(title=title, columns=("metric", "STR", "HS", "NX"))
+    qualities = {
+        algo: cache.quality(dataset_label, algo) for algo in _ALGOS
+    }
+    for metric in ("leaf area", "total area",
+                   "leaf perimeter", "total perimeter"):
+        table.add_row(
+            metric, *(qualities[a].as_row()[metric] for a in _ALGOS)
+        )
+    return table

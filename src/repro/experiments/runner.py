@@ -1,0 +1,131 @@
+"""Experiment execution: build packed trees, replay query batches.
+
+The paper's protocol, reproduced here verbatim:
+
+1. Build an R-tree from the data set with the packing algorithm under
+   test (node capacity 100; the same data for every algorithm).
+2. Attach an LRU buffer of the experiment's size, starting **cold** (the
+   reported numbers include the warm-up transient — the 25k/250-page rows
+   of Table 3, where nearly the whole tree fits, only make sense this way).
+3. Run 2,000 queries and report *mean disk accesses per query*.
+
+:class:`TreeCache` keeps one built tree per (dataset, algorithm) pair so a
+table that sweeps buffer sizes does not rebuild trees per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.geometry import RectArray
+from ..core.packing.base import PackingAlgorithm
+from ..core.packing.registry import make_algorithm
+from ..queries.workloads import QueryWorkload
+from ..rtree.bulk import BulkLoadReport, bulk_load
+from ..rtree.paged import PagedRTree
+from ..rtree.stats import TreeQuality, measure_paged
+
+__all__ = ["QueryRunResult", "TreeCache", "run_queries", "PAPER_CAPACITY"]
+
+#: "All results are obtained from R-trees with 100 rectangles per node."
+PAPER_CAPACITY = 100
+
+
+@dataclass(frozen=True)
+class QueryRunResult:
+    """Outcome of one (tree, workload, buffer) experiment cell."""
+
+    algorithm: str
+    workload: str
+    buffer_pages: int
+    query_count: int
+    total_accesses: int
+    total_results: int
+
+    @property
+    def mean_accesses(self) -> float:
+        """Disk accesses per query — the paper's reported number."""
+        return self.total_accesses / self.query_count
+
+    @property
+    def mean_results(self) -> float:
+        return self.total_results / self.query_count
+
+
+def run_queries(tree: PagedRTree, workload: QueryWorkload,
+                buffer_pages: int, *, policy: str = "lru",
+                algorithm: str = "?") -> QueryRunResult:
+    """Replay a workload through a cold buffer; mean accesses per query."""
+    searcher = tree.searcher(buffer_pages, policy=policy)
+    total_results = 0
+    for query in workload:
+        total_results += int(searcher.search(query).size)
+    return QueryRunResult(
+        algorithm=algorithm,
+        workload=workload.kind,
+        buffer_pages=buffer_pages,
+        query_count=len(workload),
+        total_accesses=searcher.disk_accesses,
+        total_results=total_results,
+    )
+
+
+class TreeCache:
+    """Builds and memoises packed trees for one experiment's data sets.
+
+    Keys are ``(dataset_label, algorithm_name)``; the cache also retains
+    build reports and quality metrics so area/perimeter tables come for
+    free once the disk-access tables have run.
+    """
+
+    def __init__(self, capacity: int = PAPER_CAPACITY):
+        self.capacity = capacity
+        self._trees: dict[tuple[str, str], PagedRTree] = {}
+        self._reports: dict[tuple[str, str], BulkLoadReport] = {}
+        self._datasets: dict[str, RectArray] = {}
+
+    def add_dataset(self, label: str, rects: RectArray) -> None:
+        """Register a dataset under a label (idempotent for equal labels)."""
+        self._datasets[label] = rects
+
+    def dataset(self, label: str) -> RectArray:
+        """Look up a registered dataset by label."""
+        try:
+            return self._datasets[label]
+        except KeyError:
+            raise KeyError(
+                f"dataset {label!r} not registered "
+                f"(have {sorted(self._datasets)})"
+            ) from None
+
+    def tree(self, dataset_label: str, algorithm: str | PackingAlgorithm
+             ) -> PagedRTree:
+        """The packed tree for this dataset/algorithm, building on demand."""
+        algo = (make_algorithm(algorithm) if isinstance(algorithm, str)
+                else algorithm)
+        key = (dataset_label, algo.name)
+        if key not in self._trees:
+            rects = self.dataset(dataset_label)
+            tree, report = bulk_load(rects, algo, capacity=self.capacity)
+            self._trees[key] = tree
+            self._reports[key] = report
+        return self._trees[key]
+
+    def report(self, dataset_label: str, algorithm: str) -> BulkLoadReport:
+        """The build report for this dataset/algorithm (building on demand)."""
+        self.tree(dataset_label, algorithm)  # ensure built
+        algo_name = make_algorithm(algorithm).name
+        return self._reports[(dataset_label, algo_name)]
+
+    def quality(self, dataset_label: str, algorithm: str) -> TreeQuality:
+        """Area/perimeter metrics for this dataset/algorithm's tree."""
+        return measure_paged(self.tree(dataset_label, algorithm))
+
+    def run(self, dataset_label: str, algorithm: str,
+            workload: QueryWorkload, buffer_pages: int, *,
+            policy: str = "lru") -> QueryRunResult:
+        """One experiment cell: build (cached), replay, return the result."""
+        tree = self.tree(dataset_label, algorithm)
+        algo_name = make_algorithm(algorithm).name
+        return run_queries(tree, workload, buffer_pages,
+                           policy=policy, algorithm=algo_name)

@@ -1,0 +1,239 @@
+"""Synthetic-data experiments: Tables 1-4 and Figures 7-9 of the paper.
+
+Table 1   — percent of the R-tree held by buffers of 10 and 250 pages.
+Tables 2/3 — mean disk accesses for point / 1% / 9% region queries over
+             point data and density-5 region data, buffer 10 / 250.
+Table 4   — leaf/total area and perimeter sums for the 50k and 300k sets.
+Figures 7-9 — disk accesses vs data size curves (point queries at buffers
+             10 and 250; 1% region queries at buffer 10).
+
+Every function takes an :class:`~repro.experiments.config.ExperimentConfig`
+so the paper-exact and quick profiles share one code path.
+"""
+
+from __future__ import annotations
+
+from ..datasets.synthetic import uniform_points, uniform_squares
+from ..queries.workloads import workload_for
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .report import Series, Table
+from .runner import TreeCache
+
+__all__ = [
+    "synthetic_cache",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "figure7",
+    "figure8",
+    "figure9",
+]
+
+#: The three algorithms in the paper's column order for these tables.
+_ALGOS = ("STR", "HS", "NX")
+
+#: Workload sections in the paper's row-band order.
+_WORKLOADS = (
+    ("point", "Point Queries"),
+    ("region1", "Region Queries, Query Region = 1% of Data"),
+    ("region9", "Region Queries, Query Region = 9% of Data"),
+)
+
+
+def _point_label(size: int) -> str:
+    return f"synthetic-point-{size}"
+
+
+def _region_label(size: int, density: float) -> str:
+    return f"synthetic-d{density:g}-{size}"
+
+
+def synthetic_cache(config: ExperimentConfig = DEFAULT_CONFIG) -> TreeCache:
+    """A tree cache pre-loaded with every synthetic dataset in the config."""
+    cache = TreeCache(capacity=config.capacity)
+    for size in config.sizes:
+        label = _point_label(size)
+        cache.add_dataset(
+            label, uniform_points(size, seed=config.dataset_seed(label))
+        )
+        for density in config.densities:
+            if density == 0.0:
+                continue
+            rlabel = _region_label(size, density)
+            cache.add_dataset(
+                rlabel,
+                uniform_squares(size, density,
+                                seed=config.dataset_seed(rlabel)),
+            )
+    return cache
+
+
+def table1(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 1: percent of the R-tree held by 10- and 250-page buffers."""
+    cache = cache if cache is not None else synthetic_cache(config)
+    table = Table(
+        title="Table 1: Percent of R-Tree Held By Buffer",
+        columns=("Data Size", "R-Tree Pages", "Buffer = 10", "Buffer = 250"),
+    )
+    for size in config.sizes:
+        tree = cache.tree(_point_label(size), "STR")
+        pages = tree.page_count
+        table.add_row(
+            size,
+            pages,
+            f"{min(100.0, 100.0 * 10 / pages):.2f}%",
+            f"{min(100.0, 100.0 * 250 / pages):.2f}%",
+        )
+    table.notes.append(
+        "pages counted from the built STR tree (capacity "
+        f"{config.capacity}); paper reports 101/254/506/1011/3031"
+    )
+    return table
+
+
+def _accesses_table(buffer_pages: int, config: ExperimentConfig,
+                    cache: TreeCache | None) -> Table:
+    """Shared engine for Tables 2 and 3."""
+    cache = cache if cache is not None else synthetic_cache(config)
+    density = max(config.densities)
+    table = Table(
+        title=(f"Number of Disk Accesses, Synthetic Data, "
+               f"Buffersize = {buffer_pages}"),
+        columns=(
+            "Data Size",
+            "STR", "HS", "NX", "HS/STR", "NX/STR",            # point data
+            "STR(d5)", "HS(d5)", "NX(d5)", "HS/STR(d5)", "NX/STR(d5)",
+        ),
+    )
+    for wkey, section in _WORKLOADS:
+        table.add_section(section)
+        for size in config.sizes:
+            workload = workload_for(
+                wkey, count=config.query_count,
+                seed=config.workload_seed(f"{wkey}-{size}"),
+            )
+            cells: list[float] = []
+            for dlabel in (_point_label(size), _region_label(size, density)):
+                means = [
+                    cache.run(dlabel, algo, workload, buffer_pages
+                              ).mean_accesses
+                    for algo in _ALGOS
+                ]
+                str_mean = means[0] if means[0] > 0 else float("nan")
+                cells.extend(means)
+                cells.append(means[1] / str_mean)
+                cells.append(means[2] / str_mean)
+            table.add_row(size // 1000, *cells)
+    table.notes.append(
+        f"{config.query_count} queries per cell, cold LRU buffer of "
+        f"{buffer_pages} pages; sizes in thousands"
+    )
+    return table
+
+
+def table2(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 2: disk accesses on synthetic data, buffer = 10 pages."""
+    return _accesses_table(10, config, cache)
+
+
+def table3(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 3: disk accesses on synthetic data, buffer = 250 pages."""
+    return _accesses_table(250, config, cache)
+
+
+def table4(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None,
+           sizes: tuple[int, int] | None = None) -> Table:
+    """Table 4: areas and perimeters for the 50k and 300k synthetic sets.
+
+    ``sizes`` overrides the pair of sizes (quick profiles use smaller
+    ones); the paper uses (50k, 300k).
+    """
+    cache = cache if cache is not None else synthetic_cache(config)
+    if sizes is None:
+        wanted = (50_000, 300_000)
+        sizes = tuple(s for s in wanted if s in config.sizes) or (
+            config.sizes[0], config.sizes[-1]
+        )
+    density = max(config.densities)
+    cols = ["metric"]
+    for size in sizes:
+        for algo in _ALGOS:
+            cols.append(f"{algo} {size // 1000}K")
+    table = Table(
+        title="Table 4: Synthetic Data Areas and Perimeters",
+        columns=tuple(cols),
+    )
+    metric_names = ("leaf area", "total area",
+                    "leaf perimeter", "total perimeter")
+    for section, labeller in (
+        ("Point Data", _point_label),
+        (f"Region Data, Density = {density:g}",
+         lambda s: _region_label(s, density)),
+    ):
+        table.add_section(section)
+        qualities = {
+            (size, algo): cache.quality(labeller(size), algo)
+            for size in sizes for algo in _ALGOS
+        }
+        for metric in metric_names:
+            row = [metric]
+            for size in sizes:
+                for algo in _ALGOS:
+                    row.append(qualities[(size, algo)].as_row()[metric])
+            table.add_row(*row)
+    return table
+
+
+def _figure_series(buffer_pages: int, workload_key: str,
+                   config: ExperimentConfig, cache: TreeCache | None
+                   ) -> list[Series]:
+    """Four curves (HS/STR x density 5/0) of accesses vs data size."""
+    cache = cache if cache is not None else synthetic_cache(config)
+    density = max(config.densities)
+    series = [
+        Series(label=f"HS density = {density:g}"),
+        Series(label=f"STR density = {density:g}"),
+        Series(label="HS density = 0"),
+        Series(label="STR density = 0"),
+    ]
+    for size in config.sizes:
+        workload = workload_for(
+            workload_key, count=config.query_count,
+            seed=config.workload_seed(f"{workload_key}-{size}"),
+        )
+        runs = {
+            (algo, dens): cache.run(
+                _point_label(size) if dens == 0.0
+                else _region_label(size, density),
+                algo, workload, buffer_pages,
+            ).mean_accesses
+            for algo in ("HS", "STR") for dens in (0.0, density)
+        }
+        series[0].add(size / 1000, runs[("HS", density)])
+        series[1].add(size / 1000, runs[("STR", density)])
+        series[2].add(size / 1000, runs[("HS", 0.0)])
+        series[3].add(size / 1000, runs[("STR", 0.0)])
+    return series
+
+
+def figure7(config: ExperimentConfig = DEFAULT_CONFIG,
+            cache: TreeCache | None = None) -> list[Series]:
+    """Figure 7: accesses vs size, point queries, buffer 10."""
+    return _figure_series(10, "point", config, cache)
+
+
+def figure8(config: ExperimentConfig = DEFAULT_CONFIG,
+            cache: TreeCache | None = None) -> list[Series]:
+    """Figure 8: accesses vs size, point queries, buffer 250."""
+    return _figure_series(250, "point", config, cache)
+
+
+def figure9(config: ExperimentConfig = DEFAULT_CONFIG,
+            cache: TreeCache | None = None) -> list[Series]:
+    """Figure 9: accesses vs size, 1% region queries, buffer 10."""
+    return _figure_series(10, "region1", config, cache)

@@ -1,0 +1,108 @@
+"""VLSI experiments: Tables 7-8 and Figure 11.
+
+Table 7   — disk accesses vs buffer (10-500), point / 1% / 9% queries.
+Table 8   — areas and perimeters.
+Figure 11 — accesses vs buffer size for all three query types, STR vs HS.
+
+The dataset is the highly-skewed :func:`repro.datasets.vlsi.vlsi_like`
+stand-in; the paper's finding here is the interesting negative result —
+HS edges out STR for point queries on this data.
+"""
+
+from __future__ import annotations
+
+from ..datasets.vlsi import vlsi_like
+from ..queries.workloads import workload_for
+from .config import DEFAULT_CONFIG, ExperimentConfig
+from .realdata import buffer_sweep_table, quality_table
+from .report import Series, Table
+from .runner import TreeCache
+
+__all__ = [
+    "vlsi_cache",
+    "DATASET_LABEL",
+    "TABLE7_BUFFERS",
+    "table7",
+    "table8",
+    "figure11",
+]
+
+DATASET_LABEL = "vlsi-cif"
+
+#: Buffer sizes in Table 7 / Figure 11.
+TABLE7_BUFFERS = (10, 25, 50, 100, 250, 500)
+
+
+def vlsi_cache(config: ExperimentConfig = DEFAULT_CONFIG) -> TreeCache:
+    """Tree cache holding the VLSI-like dataset."""
+    cache = TreeCache(capacity=config.capacity)
+    cache.add_dataset(
+        DATASET_LABEL,
+        vlsi_like(config.vlsi_count,
+                  seed=config.dataset_seed(DATASET_LABEL)),
+    )
+    return cache
+
+
+def _sections(config: ExperimentConfig):
+    def make(kind: str):
+        return lambda: workload_for(
+            kind, count=config.query_count,
+            seed=config.workload_seed(f"vlsi-{kind}"),
+        )
+
+    return (
+        ("Point Queries", make("point")),
+        ("Region Queries, Query Region = 1% of Data", make("region1")),
+        ("Region Queries, Query Region = 9% of Data", make("region9")),
+    )
+
+
+def table7(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 7: disk accesses on VLSI data across buffer sizes."""
+    cache = cache if cache is not None else vlsi_cache(config)
+    table = buffer_sweep_table(
+        cache, DATASET_LABEL, TABLE7_BUFFERS, _sections(config),
+        title=("Table 7: Number of Disk Accesses, VLSI Data, "
+               "Buffer Size Varied for Point and Region Queries"),
+    )
+    table.notes.append(
+        f"synthetic VLSI stand-in, {config.vlsi_count} rectangles "
+        "(paper: 453,994; see DESIGN.md section 3)"
+    )
+    return table
+
+
+def table8(config: ExperimentConfig = DEFAULT_CONFIG,
+           cache: TreeCache | None = None) -> Table:
+    """Table 8: VLSI areas and perimeters."""
+    cache = cache if cache is not None else vlsi_cache(config)
+    return quality_table(
+        cache, DATASET_LABEL,
+        title="Table 8: VLSI Data, Areas and Perimeters",
+    )
+
+
+def figure11(config: ExperimentConfig = DEFAULT_CONFIG,
+             cache: TreeCache | None = None,
+             buffers: tuple[int, ...] = TABLE7_BUFFERS) -> list[Series]:
+    """Figure 11: accesses vs buffer for point/1%/9% queries, STR vs HS."""
+    cache = cache if cache is not None else vlsi_cache(config)
+    series: list[Series] = []
+    for kind, label in (("region9", "9%"), ("region1", "1%"),
+                        ("point", "Point")):
+        workload = workload_for(
+            kind, count=config.query_count,
+            seed=config.workload_seed(f"vlsi-{kind}"),
+        )
+        for algo in ("HS", "STR"):
+            line = Series(label=f"{algo} {label}")
+            for buffer_pages in buffers:
+                line.add(
+                    buffer_pages,
+                    cache.run(DATASET_LABEL, algo, workload, buffer_pages
+                              ).mean_accesses,
+                )
+            series.append(line)
+    return series

@@ -1,0 +1,14 @@
+"""Hilbert space-filling curve substrate for Hilbert Sort packing."""
+
+from .curve import d2xy, hilbert_index, hilbert_point, xy2d
+from .float_key import DEFAULT_ORDER, float_hilbert_keys, snap_to_grid
+
+__all__ = [
+    "hilbert_index",
+    "hilbert_point",
+    "xy2d",
+    "d2xy",
+    "float_hilbert_keys",
+    "snap_to_grid",
+    "DEFAULT_ORDER",
+]

@@ -1,0 +1,89 @@
+"""Hilbert keys for floating-point coordinates.
+
+The paper's Hilbert Sort description only covers integer coordinates and
+sketches how to extend the method to floats: view each float as its
+(exponent, mantissa) bit pattern on a conceptual grid of
+``2**(2**sizeof(exp) + sizeof(mantissa))`` cells and compare center points
+bit-by-bit until they fall in different sub-quadrants.
+
+Operationally this is equivalent to snapping every center point onto a
+sufficiently fine integer grid and comparing the resulting integer Hilbert
+indices: two points compare equal only when they share a grid cell, i.e.
+when discrimination would have needed more bits than the grid provides.
+We implement exactly that, with the grid resolution (``order`` bits per
+dimension) as an explicit parameter.  The default of 16 bits resolves
+~65k cells per axis — far below any meaningful coordinate difference in the
+paper's unit-square datasets, so the truncation never changes an ordering
+decision in practice (and the test-suite checks order-stability between 16
+and 24 bits on representative data).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.geometry import GeometryError, Rect
+from .curve import MAX_UINT64_BITS, HilbertError, hilbert_index
+
+__all__ = [
+    "DEFAULT_ORDER",
+    "max_order_for_ndim",
+    "snap_to_grid",
+    "float_hilbert_keys",
+]
+
+DEFAULT_ORDER = 16
+
+
+def max_order_for_ndim(ndim: int) -> int:
+    """Largest grid order whose Hilbert index still fits in uint64."""
+    if ndim < 1:
+        raise HilbertError("ndim must be >= 1")
+    return min(62, MAX_UINT64_BITS // ndim)
+
+
+def snap_to_grid(points: np.ndarray, bounds: Rect, order: int) -> np.ndarray:
+    """Map float points in ``bounds`` onto the ``2**order`` integer grid.
+
+    Points are scaled so ``bounds`` spans the full grid; values on the upper
+    boundary land in the last cell (the grid is half-open per cell but the
+    data MBR is closed).  Points outside ``bounds`` are clamped — callers
+    normally pass the dataset MBR so nothing clamps, but query-time use with
+    stale bounds degrades gracefully instead of raising.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise GeometryError("points must be (n, k)")
+    if pts.shape[1] != bounds.ndim:
+        raise GeometryError(
+            f"points have {pts.shape[1]} dims, bounds {bounds.ndim}"
+        )
+    cells = np.uint64(1) << np.uint64(order)
+    lo = np.asarray(bounds.lo)
+    span = np.asarray(bounds.extents, dtype=np.float64)
+    # Degenerate axes (all data on a line) map to cell 0.
+    safe_span = np.where(span > 0.0, span, 1.0)
+    scaled = (pts - lo) / safe_span
+    scaled = np.clip(scaled, 0.0, 1.0)
+    grid = np.floor(scaled * float(cells)).astype(np.uint64)
+    return np.minimum(grid, cells - np.uint64(1))
+
+
+def float_hilbert_keys(
+    points: np.ndarray, bounds: Rect, *, order: int = DEFAULT_ORDER
+) -> np.ndarray:
+    """Hilbert sort keys for float points.
+
+    Returns a ``(n,)`` uint64 array; sorting by it realises the paper's
+    Hilbert Sort ordering.  ``order`` is capped automatically so the key
+    fits in 64 bits for the given dimensionality.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2:
+        raise GeometryError("points must be (n, k)")
+    ndim = pts.shape[1]
+    capped = min(order, max_order_for_ndim(ndim))
+    if capped < 1:
+        raise HilbertError(f"no valid order for ndim={ndim}")
+    grid = snap_to_grid(pts, bounds, capped)
+    return hilbert_index(grid, capped)

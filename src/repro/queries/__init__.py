@@ -1,0 +1,21 @@
+"""Query workload generators (paper Section 3 / Section 4.4)."""
+
+from .workloads import (
+    PAPER_QUERY_COUNT,
+    REGION_SIDE_1PCT,
+    REGION_SIDE_9PCT,
+    QueryWorkload,
+    point_queries,
+    region_queries,
+    workload_for,
+)
+
+__all__ = [
+    "QueryWorkload",
+    "point_queries",
+    "region_queries",
+    "workload_for",
+    "PAPER_QUERY_COUNT",
+    "REGION_SIDE_1PCT",
+    "REGION_SIDE_9PCT",
+]

@@ -1,0 +1,412 @@
+"""Dynamic Hilbert R-tree (Kamel & Faloutsos, VLDB 1995 — the paper's [7]).
+
+The packing comparison paper cites the Hilbert R-tree as the dynamic
+descendant of Hilbert-Sort packing: keep *all* entries totally ordered by
+the Hilbert value of their center, so the tree is structurally a B+-tree
+over Hilbert keys whose nodes additionally maintain MBRs for spatial
+search.  Inserting then never needs Guttman's heuristics — position is
+dictated by the key — and leaves stay as compact as HS packing produces.
+
+Implementation notes
+--------------------
+* Nodes keep entries sorted by Hilbert key; internal entries carry the
+  subtree's **LHV** (largest Hilbert value) for routing and its MBR for
+  queries.
+* Overflow first tries to **rotate one entry into an adjacent sibling**
+  (the cooperative flavour of Kamel & Faloutsos's s-to-(s+1) split policy
+  with s = 2); only when both neighbours are full does the node split in
+  half.  This keeps utilisation well above plain half-splitting.
+* Underflow on delete borrows from a sibling or merges with it, exactly
+  like a B+-tree.
+* Hilbert keys come from :mod:`repro.hilbert.float_key` on a fixed key
+  ``bounds`` rectangle supplied at construction (growing data beyond the
+  bounds still works — keys clamp — but locality degrades, so pass
+  generous bounds).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..core.geometry import GeometryError, Rect, enclosing_mbr, unit_square
+from ..hilbert.float_key import DEFAULT_ORDER, float_hilbert_keys
+from .node import RTreeError
+
+__all__ = ["HilbertRTree"]
+
+
+@dataclass
+class _HEntry:
+    """One slot: Hilbert key + MBR + (data id | child)."""
+
+    key: int
+    rect: Rect
+    data_id: Optional[int] = None
+    child: Optional["_HNode"] = None
+
+
+@dataclass
+class _HNode:
+    level: int
+    entries: list[_HEntry] = field(default_factory=list)
+    parent: Optional["_HNode"] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    @property
+    def count(self) -> int:
+        return len(self.entries)
+
+    def lhv(self) -> int:
+        """Largest Hilbert value in the subtree (entries stay sorted)."""
+        return self.entries[-1].key if self.entries else -1
+
+    def mbr(self) -> Rect:
+        if not self.entries:
+            raise RTreeError("empty node has no MBR")
+        return enclosing_mbr(e.rect for e in self.entries)
+
+    def keys(self) -> list[int]:
+        return [e.key for e in self.entries]
+
+    def index_in_parent(self) -> int:
+        assert self.parent is not None
+        for i, entry in enumerate(self.parent.entries):
+            if entry.child is self:
+                return i
+        raise RTreeError("node missing from its parent")
+
+
+class HilbertRTree:
+    """A dynamic R-tree ordered by Hilbert value (B+-tree structure).
+
+    Parameters
+    ----------
+    ndim, capacity:
+        As for :class:`~repro.rtree.tree.RTree`.
+    curve_order:
+        Bits per dimension of the Hilbert key grid.
+    bounds:
+        Rectangle the key grid spans (default: unit square).  Points
+        outside clamp onto the boundary cells.
+    """
+
+    def __init__(self, ndim: int = 2, capacity: int = 100, *,
+                 curve_order: int = DEFAULT_ORDER,
+                 bounds: Rect | None = None):
+        if ndim < 1:
+            raise GeometryError("ndim must be >= 1")
+        if capacity < 3:
+            raise RTreeError("capacity must be >= 3 for 2-to-3 splits")
+        self.ndim = ndim
+        self.capacity = capacity
+        self.min_entries = max(1, capacity // 2)
+        self.curve_order = curve_order
+        self.bounds = bounds if bounds is not None else unit_square(ndim)
+        if self.bounds.ndim != ndim:
+            raise GeometryError("bounds dimensionality mismatch")
+        self._root = _HNode(level=0)
+        self._size = 0
+
+    # -- keys ------------------------------------------------------------
+
+    def hilbert_key(self, rect: Rect) -> int:
+        """Hilbert key of a rectangle's center on this tree's grid."""
+        center = np.asarray(rect.center)[None, :]
+        key = float_hilbert_keys(center, self.bounds,
+                                 order=self.curve_order)
+        return int(key[0])
+
+    # -- basics -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        return self._root.level + 1
+
+    def is_empty(self) -> bool:
+        """True when the tree holds no records."""
+        return self._size == 0
+
+    def iter_nodes(self) -> Iterator[_HNode]:
+        """Walk every node (pre-order)."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if not node.is_leaf:
+                stack.extend(e.child for e in node.entries)
+
+    def node_count(self) -> int:
+        """Total nodes including the root."""
+        return sum(1 for _ in self.iter_nodes())
+
+    def space_utilization(self) -> float:
+        """Mean leaf fill fraction (the packed-vs-dynamic metric)."""
+        leaves = [n for n in self.iter_nodes() if n.is_leaf]
+        if not leaves or self._size == 0:
+            return 0.0
+        return sum(n.count for n in leaves) / (len(leaves) * self.capacity)
+
+    # -- search ------------------------------------------------------------
+
+    def search(self, query: Rect) -> list[int]:
+        """Data ids of all rectangles intersecting ``query``."""
+        if query.ndim != self.ndim:
+            raise GeometryError("query dimensionality mismatch")
+        out: list[int] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                if entry.rect.intersects(query):
+                    if node.is_leaf:
+                        out.append(entry.data_id)  # type: ignore[arg-type]
+                    else:
+                        stack.append(entry.child)  # type: ignore[arg-type]
+        return out
+
+    def point_query(self, point: Sequence[float]) -> list[int]:
+        """Data ids of all rectangles containing ``point``."""
+        return self.search(Rect.from_point(point))
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, rect: Rect, data_id: int) -> None:
+        """Insert one rectangle at its Hilbert position."""
+        if rect.ndim != self.ndim:
+            raise GeometryError("rect dimensionality mismatch")
+        key = self.hilbert_key(rect)
+        leaf = self._choose_leaf(key)
+        pos = bisect.bisect_right(leaf.keys(), key)
+        leaf.entries.insert(pos, _HEntry(key=key, rect=rect,
+                                         data_id=int(data_id)))
+        self._size += 1
+        self._refresh_upward(leaf)
+        if leaf.count > self.capacity:
+            self._handle_overflow(leaf)
+
+    def _choose_leaf(self, key: int) -> _HNode:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_left([e.key for e in node.entries], key)
+            if idx == node.count:
+                idx -= 1
+            node = node.entries[idx].child  # type: ignore[assignment]
+        return node
+
+    # -- overflow: rotate into a sibling, else split -------------------------
+
+    def _siblings(self, node: _HNode) -> tuple[Optional[_HNode],
+                                               Optional[_HNode]]:
+        if node.parent is None:
+            return None, None
+        idx = node.index_in_parent()
+        left = node.parent.entries[idx - 1].child if idx > 0 else None
+        right = (node.parent.entries[idx + 1].child
+                 if idx + 1 < node.parent.count else None)
+        return left, right
+
+    def _handle_overflow(self, node: _HNode) -> None:
+        left, right = self._siblings(node)
+        if left is not None and left.count < self.capacity:
+            self._rotate(node, left, to_left=True)
+            return
+        if right is not None and right.count < self.capacity:
+            self._rotate(node, right, to_left=False)
+            return
+        self._split(node)
+
+    def _rotate(self, node: _HNode, sibling: _HNode, *, to_left: bool
+                ) -> None:
+        """Move one boundary entry into an adjacent sibling."""
+        if to_left:
+            moved = node.entries.pop(0)
+            sibling.entries.append(moved)
+        else:
+            moved = node.entries.pop()
+            sibling.entries.insert(0, moved)
+        if moved.child is not None:
+            moved.child.parent = sibling
+        self._refresh_upward(node)
+        self._refresh_upward(sibling)
+
+    def _split(self, node: _HNode) -> None:
+        half = node.count // 2
+        right = _HNode(level=node.level)
+        right.entries = node.entries[half:]
+        node.entries = node.entries[:half]
+        for entry in right.entries:
+            if entry.child is not None:
+                entry.child.parent = right
+
+        parent = node.parent
+        if parent is None:
+            new_root = _HNode(level=node.level + 1)
+            new_root.entries = [
+                _HEntry(key=node.lhv(), rect=node.mbr(), child=node),
+                _HEntry(key=right.lhv(), rect=right.mbr(), child=right),
+            ]
+            node.parent = new_root
+            right.parent = new_root
+            self._root = new_root
+            return
+
+        idx = node.index_in_parent()
+        parent.entries[idx] = _HEntry(key=node.lhv(), rect=node.mbr(),
+                                      child=node)
+        parent.entries.insert(
+            idx + 1, _HEntry(key=right.lhv(), rect=right.mbr(), child=right)
+        )
+        right.parent = parent
+        self._refresh_upward(parent)
+        if parent.count > self.capacity:
+            self._handle_overflow(parent)
+
+    def _refresh_upward(self, node: _HNode) -> None:
+        """Recompute (LHV, MBR) along the path to the root."""
+        while node.parent is not None:
+            idx = node.index_in_parent()
+            entry = node.parent.entries[idx]
+            entry.key = node.lhv()
+            entry.rect = node.mbr()
+            node = node.parent
+
+    # -- deletion ------------------------------------------------------------
+
+    def delete(self, rect: Rect, data_id: int) -> bool:
+        """Remove one record; returns False when absent."""
+        if rect.ndim != self.ndim:
+            raise GeometryError("rect dimensionality mismatch")
+        key = self.hilbert_key(rect)
+        leaf, pos = self._find_record(key, rect, int(data_id))
+        if leaf is None:
+            return False
+        leaf.entries.pop(pos)
+        self._size -= 1
+        if leaf.entries:
+            self._refresh_upward(leaf)
+        self._handle_underflow(leaf)
+        return True
+
+    def _find_record(self, key: int, rect: Rect, data_id: int
+                     ) -> tuple[Optional[_HNode], int]:
+        """Locate a record by key (duplicate keys: scan the key run)."""
+        node = self._root
+        while not node.is_leaf:
+            # Duplicate LHVs can spread a key run over siblings; search
+            # every child whose key range may contain `key`.
+            candidates = [
+                e.child for e in node.entries
+                if e.key >= key and e.rect.intersects(rect)
+            ]
+            for child in candidates:
+                found, pos = self._search_down(child, key, rect, data_id)
+                if found is not None:
+                    return found, pos
+            return None, -1
+        return self._scan_leaf(node, key, rect, data_id)
+
+    def _search_down(self, node: _HNode, key: int, rect: Rect,
+                     data_id: int) -> tuple[Optional[_HNode], int]:
+        if node.is_leaf:
+            return self._scan_leaf(node, key, rect, data_id)
+        for entry in node.entries:
+            if entry.key >= key and entry.rect.intersects(rect):
+                found, pos = self._search_down(entry.child, key, rect,
+                                               data_id)
+                if found is not None:
+                    return found, pos
+        return None, -1
+
+    @staticmethod
+    def _scan_leaf(leaf: _HNode, key: int, rect: Rect, data_id: int
+                   ) -> tuple[Optional[_HNode], int]:
+        for i, entry in enumerate(leaf.entries):
+            if entry.key == key and entry.data_id == data_id \
+                    and entry.rect == rect:
+                return leaf, i
+        return None, -1
+
+    def _handle_underflow(self, node: _HNode) -> None:
+        parent = node.parent
+        if parent is None:
+            # Shrink the root when it has a single child.
+            while not self._root.is_leaf and self._root.count == 1:
+                only = self._root.entries[0].child
+                assert only is not None
+                only.parent = None
+                self._root = only
+            return
+        if node.count >= self.min_entries:
+            return
+        left, right = self._siblings(node)
+        donor = None
+        if left is not None and left.count > self.min_entries:
+            donor, to_left = left, False
+        elif right is not None and right.count > self.min_entries:
+            donor, to_left = right, True
+        if donor is not None:
+            self._rotate(donor, node, to_left=to_left)
+            return
+        # Merge with a sibling (one must exist unless parent is tiny).
+        partner = left if left is not None else right
+        if partner is None:
+            return
+        first, second = (partner, node) if partner is left else (node,
+                                                                 partner)
+        first.entries.extend(second.entries)
+        for entry in second.entries:
+            if entry.child is not None:
+                entry.child.parent = first
+        parent.entries.pop(second.index_in_parent())
+        second.parent = None
+        if first.entries:
+            self._refresh_upward(first)
+        self._handle_underflow(parent)
+
+    # -- invariants (used by the test-suite) -----------------------------------
+
+    def validate(self, expected_ids=None) -> None:
+        """Check B+-tree + R-tree invariants; raises AssertionError."""
+        from collections import Counter
+
+        data: list[tuple[int, int]] = []
+
+        def visit(node: _HNode, is_root: bool) -> None:
+            keys = node.keys()
+            assert keys == sorted(keys), "entries out of Hilbert order"
+            assert node.count <= self.capacity, "overfull node"
+            if not is_root:
+                assert node.count >= 1, "empty non-root node"
+            if node.is_leaf:
+                for e in node.entries:
+                    assert e.data_id is not None
+                    data.append((e.key, e.data_id))
+                return
+            for e in node.entries:
+                assert e.child is not None
+                assert e.child.parent is node, "broken parent pointer"
+                assert e.child.level == node.level - 1
+                assert e.key == e.child.lhv(), "stale LHV"
+                assert e.rect == e.child.mbr(), "stale MBR"
+                visit(e.child, is_root=False)
+
+        if self._root.count or self._size == 0:
+            visit(self._root, is_root=True)
+        assert len(data) == self._size, "size mismatch"
+        keys = [k for k, _ in data]
+        # The leaf sequence is globally ordered by Hilbert key... per leaf;
+        # global order follows from per-node order + LHV routing, checked
+        # via parent keys above.
+        if expected_ids is not None:
+            assert Counter(i for _, i in data) == Counter(
+                int(i) for i in expected_ids), "data id mismatch"

@@ -1,0 +1,264 @@
+"""Read-optimised paged R-tree.
+
+A :class:`PagedRTree` is what a packing algorithm produces: a static tree
+whose nodes live one-per-page in a :class:`~repro.storage.store.PageStore`.
+Queries run through a :class:`PagedSearcher`, which routes every node visit
+through an LRU (or other) buffer pool so that *disk accesses per query* —
+the paper's primary metric — falls straight out of the shared
+:class:`~repro.storage.counters.IOStats`.
+
+Design notes
+------------
+* Node visits are vectorized: the buffer caches decoded
+  :class:`~repro.storage.page.NodePage` values and each visit does a single
+  numpy overlap test over the node's entries.  The *unit of caching and
+  accounting is still a page*, so the access counts are identical to a
+  byte-level buffer.
+* The root page is read on every query like any other page (the paper uses
+  plain LRU for all levels; pinning is available for the ablation).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from ..core.geometry import GeometryError, Rect
+from ..storage.buffer import BufferPool, ReplacementPolicy
+from ..storage.counters import IOStats
+from ..storage.page import NodePage, decode_node
+from ..storage.store import PageStore
+
+__all__ = ["PagedRTree", "PagedSearcher", "LevelSummary"]
+
+
+@dataclass(frozen=True)
+class LevelSummary:
+    """Per-level aggregate used by the area/perimeter tables."""
+
+    level: int
+    node_count: int
+    entry_count: int
+    total_area: float
+    total_perimeter: float
+
+
+class PagedRTree:
+    """A static R-tree whose nodes are pages in a store.
+
+    Instances are produced by :func:`repro.rtree.bulk.bulk_load`; the
+    constructor only wires up already-written pages.
+    """
+
+    def __init__(self, store: PageStore, root_page: int, *, height: int,
+                 ndim: int, capacity: int, size: int):
+        if height < 1:
+            raise GeometryError("height must be >= 1")
+        self.store = store
+        self.root_page = root_page
+        self.height = height
+        self.ndim = ndim
+        self.capacity = capacity
+        self._size = size
+
+    def __len__(self) -> int:
+        """Number of indexed data rectangles."""
+        return self._size
+
+    @property
+    def page_count(self) -> int:
+        """Total pages (nodes) in the tree's store."""
+        return self.store.page_count
+
+    # -- persistence ------------------------------------------------------
+
+    def save_meta(self, path: str | os.PathLike) -> None:
+        """Write the tree header (root page, height, geometry) as JSON.
+
+        The node pages themselves live in the page store; for a
+        :class:`~repro.storage.store.FilePageStore` this sidecar is all
+        that is needed to reopen the tree in another process — see
+        :meth:`open`.
+        """
+        meta = {
+            "format": "repro-rtree-meta-v1",
+            "root_page": self.root_page,
+            "height": self.height,
+            "ndim": self.ndim,
+            "capacity": self.capacity,
+            "size": self._size,
+            "page_size": self.store.page_size,
+        }
+        with open(os.fspath(path), "w") as f:
+            json.dump(meta, f, indent=2)
+
+    @classmethod
+    def open(cls, store: PageStore, meta_path: str | os.PathLike
+             ) -> "PagedRTree":
+        """Reattach a tree whose pages are already in ``store``."""
+        with open(os.fspath(meta_path)) as f:
+            meta = json.load(f)
+        if meta.get("format") != "repro-rtree-meta-v1":
+            raise GeometryError(
+                f"{meta_path}: not a repro R-tree meta file"
+            )
+        if meta["page_size"] != store.page_size:
+            raise GeometryError(
+                f"store page size {store.page_size} != saved "
+                f"{meta['page_size']}"
+            )
+        return cls(
+            store,
+            int(meta["root_page"]),
+            height=int(meta["height"]),
+            ndim=int(meta["ndim"]),
+            capacity=int(meta["capacity"]),
+            size=int(meta["size"]),
+        )
+
+    # -- uncounted access (stats, validation, visualisation) -----------------
+
+    def read_node(self, page_id: int) -> NodePage:
+        """Decode one node *without* touching I/O counters.
+
+        Metric collection (area/perimeter tables, validation, SVG plots)
+        must not pollute the experiment's access counts, so it uses
+        :meth:`PageStore.peek_page`.
+        """
+        return decode_node(self.store.peek_page(page_id))
+
+    def root_node(self) -> NodePage:
+        """Decode the root page (uncounted)."""
+        return self.read_node(self.root_page)
+
+    def iter_nodes(self) -> Iterator[tuple[int, NodePage]]:
+        """Breadth-first ``(page_id, node)`` walk, uncounted."""
+        queue = [self.root_page]
+        while queue:
+            page_id = queue.pop(0)
+            node = self.read_node(page_id)
+            yield page_id, node
+            if not node.is_leaf:
+                queue.extend(int(c) for c in node.children)
+
+    def iter_level(self, level: int) -> Iterator[tuple[int, NodePage]]:
+        """All nodes at a leaf-anchored level (0 = leaves), uncounted."""
+        for page_id, node in self.iter_nodes():
+            if node.level == level:
+                yield page_id, node
+
+    def level_pages(self, level: int) -> list[int]:
+        """Page ids of every node at a leaf-anchored level."""
+        return [pid for pid, _ in self.iter_level(level)]
+
+    def level_summaries(self) -> list[LevelSummary]:
+        """Area/perimeter roll-up per level (root level included).
+
+        Summaries cover the MBRs *stored in* nodes at each level, i.e. the
+        leaf summary aggregates over leaf nodes' own MBRs as the paper's
+        "leaf" rows do — see :mod:`repro.rtree.stats` for the exact paper
+        metric computed from these.
+        """
+        acc: dict[int, list] = {}
+        for _, node in self.iter_nodes():
+            slot = acc.setdefault(node.level, [0, 0, 0.0, 0.0])
+            slot[0] += 1
+            slot[1] += node.count
+            slot[2] += node.rects.total_area()
+            slot[3] += node.rects.total_perimeter()
+        return [
+            LevelSummary(level, *acc[level])
+            for level in sorted(acc, reverse=True)
+        ]
+
+    def mbr(self) -> Rect:
+        """MBR of the whole dataset."""
+        return self.root_node().rects.mbr()
+
+    # -- searchers ------------------------------------------------------------
+
+    def searcher(self, buffer_pages: int, *,
+                 policy: str | ReplacementPolicy = "lru",
+                 stats: IOStats | None = None) -> "PagedSearcher":
+        """A query executor with its own buffer of ``buffer_pages`` pages."""
+        return PagedSearcher(self, buffer_pages, policy=policy, stats=stats)
+
+
+class PagedSearcher:
+    """Executes queries against a :class:`PagedRTree` through a buffer pool.
+
+    One searcher corresponds to one experiment run in the paper: a freshly
+    cold buffer of a given size, then a stream of queries whose misses are
+    disk accesses.
+    """
+
+    def __init__(self, tree: PagedRTree, buffer_pages: int, *,
+                 policy: str | ReplacementPolicy = "lru",
+                 stats: IOStats | None = None):
+        self.tree = tree
+        self.stats = stats if stats is not None else IOStats()
+
+        def fetch(page_id: int) -> NodePage:
+            # Reads triggered by this searcher are charged to its own stats,
+            # keeping per-experiment accounting separate from build I/O.
+            return decode_node(tree.store.read_page(page_id, self.stats))
+
+        self.buffer: BufferPool[int, NodePage] = BufferPool(
+            buffer_pages, fetch, stats=self.stats, policy=policy
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def search(self, query: Rect) -> np.ndarray:
+        """Data ids of all rectangles intersecting ``query``."""
+        if query.ndim != self.tree.ndim:
+            raise GeometryError("query dimensionality mismatch")
+        hits: list[np.ndarray] = []
+        stack = [self.tree.root_page]
+        while stack:
+            node = self.buffer.get(stack.pop())
+            mask = node.rects.intersects_rect(query)
+            if not mask.any():
+                continue
+            matched = node.children[mask]
+            if node.is_leaf:
+                hits.append(matched)
+            else:
+                stack.extend(int(c) for c in matched)
+        if not hits:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(hits)
+
+    def point_query(self, point: Sequence[float]) -> np.ndarray:
+        """Data ids of all rectangles containing ``point``."""
+        return self.search(Rect.from_point(point))
+
+    def count(self, query: Rect) -> int:
+        """Number of matches without keeping the ids."""
+        return int(self.search(query).size)
+
+    # -- experiment plumbing --------------------------------------------------
+
+    def pin_levels(self, levels: Sequence[int]) -> None:
+        """Pin every page at the given leaf-anchored levels (ablation)."""
+        for level in levels:
+            for page_id in self.tree.level_pages(level):
+                self.buffer.pin(page_id)
+
+    def warm(self, queries: Sequence[Rect]) -> None:
+        """Run queries without keeping their results (buffer warm-up)."""
+        for q in queries:
+            self.search(q)
+
+    def reset_stats(self) -> None:
+        """Zero this searcher's access counters."""
+        self.stats.reset()
+
+    @property
+    def disk_accesses(self) -> int:
+        """Total page fetches so far (the paper's metric, before averaging)."""
+        return self.stats.disk_reads

@@ -1,0 +1,200 @@
+"""Guttman node-splitting algorithms.
+
+When a dynamic insert overflows a node, its entries must be divided between
+two nodes so that total dead space is small.  Guttman (1984) gives three
+strategies; we implement the two used in practice:
+
+* :class:`QuadraticSplit` — picks the pair of entries that would waste the
+  most area together as seeds, then assigns the rest greedily by the
+  *difference* of enlargements (most decisive entry first).
+* :class:`LinearSplit` — picks seeds by normalised separation along some
+  dimension, then assigns the rest in arbitrary order by enlargement.
+
+Both honour the minimum fill ``m``: once a group must absorb all remaining
+entries to reach ``m``, it does.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from ..core.geometry import Rect
+from .node import Entry, RTreeError
+
+__all__ = ["SplitAlgorithm", "QuadraticSplit", "LinearSplit", "make_split"]
+
+
+class SplitAlgorithm(abc.ABC):
+    """Strategy interface: divide an overflowing entry list into two groups."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def split(self, entries: list[Entry], min_fill: int
+              ) -> tuple[list[Entry], list[Entry]]:
+        """Partition ``entries`` into two non-empty groups of >= min_fill."""
+
+    def _check(self, entries: list[Entry], min_fill: int) -> None:
+        if len(entries) < 2:
+            raise RTreeError("cannot split fewer than two entries")
+        if min_fill < 1 or 2 * min_fill > len(entries):
+            raise RTreeError(
+                f"min_fill {min_fill} infeasible for {len(entries)} entries"
+            )
+
+
+def _group_mbr(group: list[Entry]) -> Rect:
+    out = group[0].rect
+    for e in group[1:]:
+        out = out.union(e.rect)
+    return out
+
+
+class QuadraticSplit(SplitAlgorithm):
+    """Guttman's quadratic-cost split (the classic default)."""
+
+    name = "quadratic"
+
+    def split(self, entries: list[Entry], min_fill: int
+              ) -> tuple[list[Entry], list[Entry]]:
+        self._check(entries, min_fill)
+        remaining = list(entries)
+        seed_a, seed_b = self._pick_seeds(remaining)
+        # Remove the later index first so the earlier stays valid.
+        for idx in sorted((seed_a, seed_b), reverse=True):
+            remaining.pop(idx)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = group_a[0].rect
+        mbr_b = group_b[0].rect
+
+        while remaining:
+            # Forced assignment when one group must take everything left.
+            if len(group_a) + len(remaining) == min_fill:
+                group_a.extend(remaining)
+                remaining.clear()
+                break
+            if len(group_b) + len(remaining) == min_fill:
+                group_b.extend(remaining)
+                remaining.clear()
+                break
+            idx, prefer_a = self._pick_next(remaining, mbr_a, mbr_b,
+                                            len(group_a), len(group_b))
+            entry = remaining.pop(idx)
+            if prefer_a:
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.rect)
+        return group_a, group_b
+
+    @staticmethod
+    def _pick_seeds(entries: list[Entry]) -> tuple[int, int]:
+        """The pair whose combined MBR wastes the most area."""
+        worst = -1.0
+        pair = (0, 1)
+        for i in range(len(entries)):
+            ri = entries[i].rect
+            for j in range(i + 1, len(entries)):
+                rj = entries[j].rect
+                waste = ri.union(rj).area() - ri.area() - rj.area()
+                if waste > worst:
+                    worst = waste
+                    pair = (i, j)
+        return pair
+
+    @staticmethod
+    def _pick_next(remaining: list[Entry], mbr_a: Rect, mbr_b: Rect,
+                   size_a: int, size_b: int) -> tuple[int, bool]:
+        """Entry with max |d_a - d_b|, and which group it prefers."""
+        best_idx = 0
+        best_diff = -1.0
+        best_prefer_a = True
+        for i, entry in enumerate(remaining):
+            da = mbr_a.enlargement(entry.rect)
+            db = mbr_b.enlargement(entry.rect)
+            diff = abs(da - db)
+            if diff > best_diff:
+                best_diff = diff
+                best_idx = i
+                if da != db:
+                    best_prefer_a = da < db
+                elif mbr_a.area() != mbr_b.area():
+                    best_prefer_a = mbr_a.area() < mbr_b.area()
+                else:
+                    best_prefer_a = size_a <= size_b
+        return best_idx, best_prefer_a
+
+
+class LinearSplit(SplitAlgorithm):
+    """Guttman's linear-cost split."""
+
+    name = "linear"
+
+    def split(self, entries: list[Entry], min_fill: int
+              ) -> tuple[list[Entry], list[Entry]]:
+        self._check(entries, min_fill)
+        remaining = list(entries)
+        seed_a, seed_b = self._pick_seeds(remaining)
+        for idx in sorted((seed_a, seed_b), reverse=True):
+            remaining.pop(idx)
+        group_a = [entries[seed_a]]
+        group_b = [entries[seed_b]]
+        mbr_a = group_a[0].rect
+        mbr_b = group_b[0].rect
+
+        for pos, entry in enumerate(remaining):
+            left = len(remaining) - pos
+            if len(group_a) + left == min_fill:
+                group_a.extend(remaining[pos:])
+                break
+            if len(group_b) + left == min_fill:
+                group_b.extend(remaining[pos:])
+                break
+            da = mbr_a.enlargement(entry.rect)
+            db = mbr_b.enlargement(entry.rect)
+            if da < db or (da == db and len(group_a) <= len(group_b)):
+                group_a.append(entry)
+                mbr_a = mbr_a.union(entry.rect)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union(entry.rect)
+        return group_a, group_b
+
+    @staticmethod
+    def _pick_seeds(entries: list[Entry]) -> tuple[int, int]:
+        """Pair with greatest normalised separation along any dimension."""
+        ndim = entries[0].rect.ndim
+        best_sep = -1.0
+        pair = (0, 1)
+        for d in range(ndim):
+            highest_lo_idx = max(range(len(entries)),
+                                 key=lambda i: entries[i].rect.lo[d])
+            lowest_hi_idx = min(range(len(entries)),
+                                key=lambda i: entries[i].rect.hi[d])
+            if highest_lo_idx == lowest_hi_idx:
+                continue
+            width = (max(e.rect.hi[d] for e in entries)
+                     - min(e.rect.lo[d] for e in entries))
+            if width <= 0.0:
+                continue
+            sep = (entries[highest_lo_idx].rect.lo[d]
+                   - entries[lowest_hi_idx].rect.hi[d]) / width
+            if sep > best_sep:
+                best_sep = sep
+                pair = (lowest_hi_idx, highest_lo_idx)
+        if pair[0] == pair[1]:  # fully degenerate data; any pair works
+            pair = (0, 1)
+        return pair
+
+
+def make_split(name: str) -> SplitAlgorithm:
+    """Instantiate a split algorithm by name (``quadratic``/``linear``)."""
+    table = {"quadratic": QuadraticSplit, "linear": LinearSplit}
+    try:
+        return table[name.lower()]()
+    except KeyError:
+        raise RTreeError(
+            f"unknown split {name!r}; choose from {sorted(table)}"
+        ) from None

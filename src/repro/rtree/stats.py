@@ -1,0 +1,101 @@
+"""Tree-quality metrics: the paper's area and perimeter tables.
+
+The paper's secondary comparison metric is "the sum of the area and
+perimeter of the MBRs of the R-tree nodes", reported two ways:
+
+* **leaf** — summed over the MBRs of leaf-level nodes only (argued to be
+  the most meaningful, since upper levels are usually buffered);
+* **total** — summed over all nodes at all levels.
+
+A node's MBR is the MBR of the entries it stores.  For every non-root node
+that rectangle is stored in its parent, so "sum over nodes at level L" is
+equivalently "sum over entries at level L+1" plus, for the root, its own
+enclosing MBR.  We compute directly from each node's entry set, which
+handles the root uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .paged import PagedRTree
+from .tree import RTree
+
+__all__ = ["TreeQuality", "measure_paged", "measure_dynamic"]
+
+
+@dataclass(frozen=True)
+class TreeQuality:
+    """The four numbers each of the paper's Tables 4, 6, 8 and 10 reports."""
+
+    leaf_area: float
+    total_area: float
+    leaf_perimeter: float
+    total_perimeter: float
+    node_count: int
+    height: int
+
+    def as_row(self) -> dict[str, float]:
+        """Row dict in the paper's table order."""
+        return {
+            "leaf area": self.leaf_area,
+            "total area": self.total_area,
+            "leaf perimeter": self.leaf_perimeter,
+            "total perimeter": self.total_perimeter,
+        }
+
+
+def measure_paged(tree: PagedRTree) -> TreeQuality:
+    """Quality metrics of a packed/paged tree (uncounted page reads)."""
+    leaf_area = 0.0
+    leaf_perimeter = 0.0
+    total_area = 0.0
+    total_perimeter = 0.0
+    nodes = 0
+    for _, node in tree.iter_nodes():
+        mbr = node.rects.mbr()
+        area = mbr.area()
+        perim = mbr.perimeter()
+        nodes += 1
+        total_area += area
+        total_perimeter += perim
+        if node.is_leaf:
+            leaf_area += area
+            leaf_perimeter += perim
+    return TreeQuality(
+        leaf_area=leaf_area,
+        total_area=total_area,
+        leaf_perimeter=leaf_perimeter,
+        total_perimeter=total_perimeter,
+        node_count=nodes,
+        height=tree.height,
+    )
+
+
+def measure_dynamic(tree: RTree) -> TreeQuality:
+    """Quality metrics of a dynamic in-memory tree."""
+    leaf_area = 0.0
+    leaf_perimeter = 0.0
+    total_area = 0.0
+    total_perimeter = 0.0
+    nodes = 0
+    for node in tree.iter_nodes():
+        if node.count == 0:
+            continue  # only possible for an empty root
+        mbr = node.mbr()
+        area = mbr.area()
+        perim = mbr.perimeter()
+        nodes += 1
+        total_area += area
+        total_perimeter += perim
+        if node.is_leaf:
+            leaf_area += area
+            leaf_perimeter += perim
+    return TreeQuality(
+        leaf_area=leaf_area,
+        total_area=total_area,
+        leaf_perimeter=leaf_perimeter,
+        total_perimeter=total_perimeter,
+        node_count=nodes,
+        height=tree.height,
+    )

@@ -1,0 +1,133 @@
+"""Structural invariant checking for both tree representations.
+
+The test-suite (including its hypothesis properties) leans on these
+checkers: after any build or mutation the tree must satisfy the classic
+R-tree invariants.  Violations raise :class:`ValidationError` with a
+description of the offending node.
+
+Checked invariants
+------------------
+1. Every parent entry's rectangle equals (not merely contains) the MBR of
+   the child it points to — packed and Guttman-maintained trees both keep
+   MBRs tight.
+2. All leaves are at level 0 and all root-to-leaf paths have equal length.
+3. No node exceeds ``capacity`` entries; dynamic trees also respect the
+   minimum fill for non-root nodes.
+4. The set of data ids stored at the leaves matches the expected multiset.
+5. Page-id graph of a paged tree is a proper tree: every non-root page is
+   referenced exactly once.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+from .node import Node
+from .paged import PagedRTree
+from .tree import RTree
+
+__all__ = ["ValidationError", "validate_paged", "validate_dynamic"]
+
+
+class ValidationError(AssertionError):
+    """An R-tree invariant does not hold."""
+
+
+def validate_paged(tree: PagedRTree,
+                   expected_ids: Iterable[int] | None = None) -> None:
+    """Check all invariants of a paged tree; raises on the first violation."""
+    seen_pages: Counter[int] = Counter()
+    data_ids: list[int] = []
+    root = tree.root_node()
+    if root.level != tree.height - 1:
+        raise ValidationError(
+            f"root level {root.level} does not match height {tree.height}"
+        )
+
+    stack = [(tree.root_page, None)]  # (page, expected mbr or None for root)
+    while stack:
+        page_id, expected_mbr = stack.pop()
+        node = tree.read_node(page_id)
+        if node.count > tree.capacity:
+            raise ValidationError(
+                f"page {page_id} holds {node.count} > capacity {tree.capacity}"
+            )
+        mbr = node.rects.mbr()
+        if expected_mbr is not None and mbr != expected_mbr:
+            raise ValidationError(
+                f"page {page_id}: parent entry {expected_mbr} != node MBR {mbr}"
+            )
+        if node.is_leaf:
+            data_ids.extend(int(c) for c in node.children)
+        else:
+            for i in range(node.count):
+                child_page = int(node.children[i])
+                seen_pages[child_page] += 1
+                child = tree.read_node(child_page)
+                if child.level != node.level - 1:
+                    raise ValidationError(
+                        f"page {child_page} at level {child.level} under "
+                        f"level-{node.level} parent"
+                    )
+                stack.append((child_page, node.rects[i]))
+
+    for page_id, refs in seen_pages.items():
+        if refs != 1:
+            raise ValidationError(f"page {page_id} referenced {refs} times")
+    if tree.root_page in seen_pages:
+        raise ValidationError("root page referenced by an internal node")
+
+    if len(data_ids) != len(tree):
+        raise ValidationError(
+            f"tree claims {len(tree)} records, leaves hold {len(data_ids)}"
+        )
+    if expected_ids is not None:
+        expected = Counter(int(i) for i in expected_ids)
+        if Counter(data_ids) != expected:
+            raise ValidationError("leaf data ids do not match expected ids")
+
+
+def validate_dynamic(tree: RTree,
+                     expected_ids: Iterable[int] | None = None) -> None:
+    """Check all invariants of a dynamic tree; raises on the first violation."""
+    data_ids: list[int] = []
+    root = tree.root
+
+    def visit(node: Node, is_root: bool) -> None:
+        node.validate_shape(tree.ndim)
+        if node.count > tree.capacity:
+            raise ValidationError(
+                f"node at level {node.level} holds {node.count} entries"
+            )
+        if not is_root and node.count < tree.min_entries:
+            raise ValidationError(
+                f"non-root node at level {node.level} underfull: "
+                f"{node.count} < {tree.min_entries}"
+            )
+        if node.is_leaf:
+            data_ids.extend(e.data_id for e in node.entries)
+            return
+        for entry in node.entries:
+            child = entry.child
+            assert child is not None
+            if child.parent is not node:
+                raise ValidationError("broken parent pointer")
+            if child.level != node.level - 1:
+                raise ValidationError("level discontinuity")
+            if entry.rect != child.mbr():
+                raise ValidationError(
+                    f"stale MBR: entry {entry.rect} vs child {child.mbr()}"
+                )
+            visit(child, is_root=False)
+
+    if root.count > 0 or len(tree) == 0:
+        visit(root, is_root=True)
+    if len(data_ids) != len(tree):
+        raise ValidationError(
+            f"tree claims {len(tree)} records, leaves hold {len(data_ids)}"
+        )
+    if expected_ids is not None:
+        expected = Counter(int(i) for i in expected_ids)
+        if Counter(int(i) for i in data_ids) != expected:
+            raise ValidationError("leaf data ids do not match expected ids")

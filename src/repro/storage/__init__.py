@@ -1,0 +1,24 @@
+"""Storage substrate: pages, page stores, buffer pool, I/O accounting."""
+
+from .buffer import BufferPool, ClockPolicy, FIFOPolicy, LRUPolicy, make_policy
+from .counters import IOStats
+from .page import NodePage, decode_node, encode_node, required_page_size
+from .store import FilePageStore, MemoryPageStore, PageStore
+from .striped import StripedPageStore
+
+__all__ = [
+    "BufferPool",
+    "LRUPolicy",
+    "FIFOPolicy",
+    "ClockPolicy",
+    "make_policy",
+    "IOStats",
+    "NodePage",
+    "encode_node",
+    "decode_node",
+    "required_page_size",
+    "PageStore",
+    "MemoryPageStore",
+    "FilePageStore",
+    "StripedPageStore",
+]

@@ -1,0 +1,89 @@
+"""I/O accounting.
+
+The paper's primary comparison metric is the *number of disk accesses*
+required to satisfy a query, measured through an LRU buffer over a raw disk
+partition.  :class:`IOStats` is the single source of truth for that count:
+every component that touches a page (buffer pool, page store) increments the
+same counters, and experiment runners snapshot/reset them around each query
+batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["IOStats"]
+
+
+@dataclass
+class IOStats:
+    """Mutable counter bundle for page-level I/O.
+
+    Attributes
+    ----------
+    disk_reads:
+        Pages fetched from the backing store (buffer misses).  This is the
+        paper's "disk accesses" figure.
+    disk_writes:
+        Pages written back to the store (dirty evictions + explicit flushes).
+    buffer_hits:
+        Page requests satisfied from the buffer pool.
+    buffer_misses:
+        Page requests that had to go to the store.  Equal to ``disk_reads``
+        for read-only workloads; kept separate so write-path accounting
+        stays honest.
+    """
+
+    disk_reads: int = 0
+    disk_writes: int = 0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    _history: list["IOStats"] = field(default_factory=list, repr=False)
+
+    def reset(self) -> None:
+        """Zero all counters (history is preserved)."""
+        self.disk_reads = 0
+        self.disk_writes = 0
+        self.buffer_hits = 0
+        self.buffer_misses = 0
+
+    def snapshot(self) -> "IOStats":
+        """An immutable-ish copy of the current counts."""
+        return IOStats(
+            disk_reads=self.disk_reads,
+            disk_writes=self.disk_writes,
+            buffer_hits=self.buffer_hits,
+            buffer_misses=self.buffer_misses,
+        )
+
+    def checkpoint(self) -> None:
+        """Append a snapshot to the history, then reset."""
+        self._history.append(self.snapshot())
+        self.reset()
+
+    @property
+    def history(self) -> tuple["IOStats", ...]:
+        return tuple(self._history)
+
+    @property
+    def total_accesses(self) -> int:
+        """Reads + writes: total page traffic to the store."""
+        return self.disk_reads + self.disk_writes
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from the buffer (0 when idle)."""
+        total = self.buffer_hits + self.buffer_misses
+        if total == 0:
+            return 0.0
+        return self.buffer_hits / total
+
+    def __add__(self, other: "IOStats") -> "IOStats":
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        return IOStats(
+            disk_reads=self.disk_reads + other.disk_reads,
+            disk_writes=self.disk_writes + other.disk_writes,
+            buffer_hits=self.buffer_hits + other.buffer_hits,
+            buffer_misses=self.buffer_misses + other.buffer_misses,
+        )

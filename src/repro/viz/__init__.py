@@ -1,0 +1,6 @@
+"""SVG visualisation of datasets and leaf-level MBRs (Figures 2-6)."""
+
+from .linechart import line_chart_svg
+from .svg import leaf_mbr_svg, rects_svg, scatter_svg
+
+__all__ = ["rects_svg", "scatter_svg", "leaf_mbr_svg", "line_chart_svg"]

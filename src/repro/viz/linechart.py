@@ -1,0 +1,149 @@
+"""SVG line charts for the paper's figure series.
+
+The experiment runners for Figures 7-12 return
+:class:`~repro.experiments.report.Series` lists; this renders them as
+standalone SVG line charts (axes, ticks, legend, one polyline per series)
+so ``python -m repro fig7 --svg`` produces something that looks like the
+paper's plot rather than a table.  Pure text generation, no plotting
+dependency.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Sequence
+
+from ..experiments.report import Series
+
+__all__ = ["line_chart_svg"]
+
+_W, _H = 760, 520
+_ML, _MR, _MT, _MB = 70, 180, 50, 60  # margins (legend lives right)
+_COLORS = ("#1f4e8c", "#c0392b", "#1e8449", "#7d3c98",
+           "#b7950b", "#148f9b", "#873600", "#4a235a")
+_DASHES = ("", "6,4", "2,3", "8,3,2,3")
+
+
+def _nice_ticks(lo: float, hi: float, target: int = 6) -> list[float]:
+    """Round tick positions covering [lo, hi]."""
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / target
+    mag = 10 ** math.floor(math.log10(raw))
+    for mult in (1, 2, 2.5, 5, 10):
+        step = mult * mag
+        if raw <= step:
+            break
+    first = math.floor(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + step / 2:
+        if t >= lo - step / 2:
+            ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def line_chart_svg(series: Sequence[Series], *, title: str = "",
+                   x_label: str = "x", y_label: str = "y") -> str:
+    """Render series as an SVG line chart with a legend."""
+    populated = [s for s in series if s.xs]
+    if not populated:
+        raise ValueError("no data to plot")
+    x_min = min(min(s.xs) for s in populated)
+    x_max = max(max(s.xs) for s in populated)
+    y_min = min(0.0, min(min(s.ys) for s in populated))
+    y_max = max(max(s.ys) for s in populated)
+    x_ticks = _nice_ticks(x_min, x_max)
+    y_ticks = _nice_ticks(y_min, y_max)
+    x_lo, x_hi = min(x_ticks[0], x_min), max(x_ticks[-1], x_max)
+    y_lo, y_hi = min(y_ticks[0], y_min), max(y_ticks[-1], y_max)
+
+    plot_w = _W - _ML - _MR
+    plot_h = _H - _MT - _MB
+
+    def px(x: float) -> float:
+        return _ML + (x - x_lo) / (x_hi - x_lo or 1.0) * plot_w
+
+    def py(y: float) -> float:
+        return _MT + (1.0 - (y - y_lo) / (y_hi - y_lo or 1.0)) * plot_h
+
+    out = io.StringIO()
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_W}" '
+        f'height="{_H}" viewBox="0 0 {_W} {_H}" '
+        f'font-family="sans-serif">\n'
+    )
+    out.write(f'  <title>{title}</title>\n')
+    out.write(f'  <rect width="{_W}" height="{_H}" fill="white"/>\n')
+    out.write(
+        f'  <text x="{_W / 2}" y="26" text-anchor="middle" '
+        f'font-size="16">{title}</text>\n'
+    )
+
+    # Axes + grid + ticks.
+    out.write(
+        f'  <rect x="{_ML}" y="{_MT}" width="{plot_w}" height="{plot_h}" '
+        f'fill="none" stroke="#333"/>\n'
+    )
+    for t in x_ticks:
+        x = px(t)
+        out.write(
+            f'  <line x1="{x:.1f}" y1="{_MT}" x2="{x:.1f}" '
+            f'y2="{_MT + plot_h}" stroke="#ddd"/>\n'
+        )
+        out.write(
+            f'  <text x="{x:.1f}" y="{_MT + plot_h + 18}" '
+            f'text-anchor="middle" font-size="11">{t:g}</text>\n'
+        )
+    for t in y_ticks:
+        y = py(t)
+        out.write(
+            f'  <line x1="{_ML}" y1="{y:.1f}" x2="{_ML + plot_w}" '
+            f'y2="{y:.1f}" stroke="#ddd"/>\n'
+        )
+        out.write(
+            f'  <text x="{_ML - 8}" y="{y + 4:.1f}" text-anchor="end" '
+            f'font-size="11">{t:g}</text>\n'
+        )
+    out.write(
+        f'  <text x="{_ML + plot_w / 2}" y="{_H - 14}" '
+        f'text-anchor="middle" font-size="12">{x_label}</text>\n'
+    )
+    out.write(
+        f'  <text x="20" y="{_MT + plot_h / 2}" font-size="12" '
+        f'text-anchor="middle" '
+        f'transform="rotate(-90 20 {_MT + plot_h / 2})">{y_label}</text>\n'
+    )
+
+    # Series polylines + markers + legend.
+    for i, s in enumerate(populated):
+        color = _COLORS[i % len(_COLORS)]
+        dash = _DASHES[i % len(_DASHES)]
+        pts = " ".join(f"{px(x):.1f},{py(y):.1f}"
+                       for x, y in zip(s.xs, s.ys))
+        dash_attr = f' stroke-dasharray="{dash}"' if dash else ""
+        out.write(
+            f'  <polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"{dash_attr}/>\n'
+        )
+        for x, y in zip(s.xs, s.ys):
+            out.write(
+                f'  <circle cx="{px(x):.1f}" cy="{py(y):.1f}" r="2.6" '
+                f'fill="{color}"/>\n'
+            )
+        ly = _MT + 16 + i * 20
+        lx = _ML + plot_w + 14
+        out.write(
+            f'  <line x1="{lx}" y1="{ly - 4}" x2="{lx + 26}" '
+            f'y2="{ly - 4}" stroke="{color}" stroke-width="1.8"'
+            f'{dash_attr}/>\n'
+        )
+        out.write(
+            f'  <text x="{lx + 32}" y="{ly}" font-size="11">'
+            f'{s.label}</text>\n'
+        )
+
+    out.write("</svg>\n")
+    return out.getvalue()

@@ -1,0 +1,113 @@
+"""Dependency-free SVG rendering of datasets and tree leaves.
+
+The paper's Figures 2-6 are plots: leaf-level MBRs of the Long Beach tree
+under each packing algorithm, and scatter views of the CFD mesh.  A full
+plotting stack is out of scope for an offline library, but SVG is just
+text; these helpers emit standalone files good enough to eyeball the
+qualitative claims (NX's vertical strips, HS's fractal clusters, STR's
+tiling, the CFD smudge).
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from ..core.geometry import RectArray
+
+__all__ = ["rects_svg", "scatter_svg", "leaf_mbr_svg"]
+
+_CANVAS = 720
+_MARGIN = 40
+
+
+def _open_svg(out: io.StringIO, title: str) -> None:
+    size = _CANVAS + 2 * _MARGIN
+    out.write(
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{size}" '
+        f'height="{size}" viewBox="0 0 {size} {size}">\n'
+    )
+    out.write(f"  <title>{title}</title>\n")
+    out.write(
+        f'  <rect x="0" y="0" width="{size}" height="{size}" fill="white"/>\n'
+    )
+    out.write(
+        f'  <rect x="{_MARGIN}" y="{_MARGIN}" width="{_CANVAS}" '
+        f'height="{_CANVAS}" fill="none" stroke="#888"/>\n'
+    )
+    out.write(
+        f'  <text x="{_MARGIN}" y="{_MARGIN - 10}" font-size="16" '
+        f'font-family="sans-serif">{title}</text>\n'
+    )
+
+
+def _project(xy: np.ndarray, bounds: tuple[float, float, float, float]
+             ) -> np.ndarray:
+    """Data coordinates -> SVG pixels (y flipped)."""
+    x0, y0, x1, y1 = bounds
+    span = np.array([max(x1 - x0, 1e-12), max(y1 - y0, 1e-12)])
+    scaled = (xy - np.array([x0, y0])) / span
+    px = _MARGIN + scaled[:, 0] * _CANVAS
+    py = _MARGIN + (1.0 - scaled[:, 1]) * _CANVAS
+    return np.column_stack([px, py])
+
+
+def _bounds_of(los: np.ndarray, his: np.ndarray,
+               bounds: tuple[float, float, float, float] | None
+               ) -> tuple[float, float, float, float]:
+    if bounds is not None:
+        return bounds
+    lo = los.min(axis=0)
+    hi = his.max(axis=0)
+    return (float(lo[0]), float(lo[1]), float(hi[0]), float(hi[1]))
+
+
+def rects_svg(rects: RectArray, *, title: str = "rectangles",
+              bounds: tuple[float, float, float, float] | None = None,
+              stroke: str = "#1f4e8c") -> str:
+    """Outline drawing of 2-D rectangles (the paper's Figures 2-4 style)."""
+    if rects.ndim != 2:
+        raise ValueError("SVG rendering is 2-D only")
+    box = _bounds_of(rects.los, rects.his, bounds)
+    lo_px = _project(rects.los, box)
+    hi_px = _project(rects.his, box)
+    out = io.StringIO()
+    _open_svg(out, title)
+    for (x0, y0), (x1, y1) in zip(lo_px, hi_px):
+        # Projection flips y, so y1 < y0 in pixel space.
+        w = max(x1 - x0, 0.5)
+        h = max(y0 - y1, 0.5)
+        out.write(
+            f'  <rect x="{x0:.1f}" y="{y1:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="none" stroke="{stroke}" '
+            f'stroke-width="0.6"/>\n'
+        )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def scatter_svg(points: np.ndarray, *, title: str = "points",
+                bounds: tuple[float, float, float, float] | None = None,
+                radius: float = 1.0, fill: str = "#222") -> str:
+    """Scatter plot of 2-D points (the paper's Figures 5-6 style)."""
+    pts = np.asarray(points, dtype=np.float64)
+    if pts.ndim != 2 or pts.shape[1] != 2:
+        raise ValueError("points must be (n, 2)")
+    box = _bounds_of(pts, pts, bounds)
+    px = _project(pts, box)
+    out = io.StringIO()
+    _open_svg(out, title)
+    for x, y in px:
+        out.write(
+            f'  <circle cx="{x:.1f}" cy="{y:.1f}" r="{radius}" '
+            f'fill="{fill}"/>\n'
+        )
+    out.write("</svg>\n")
+    return out.getvalue()
+
+
+def leaf_mbr_svg(tree, *, title: str = "leaf MBRs") -> str:
+    """Leaf-level MBR outlines of a :class:`~repro.rtree.paged.PagedRTree`."""
+    leaf_mbrs = [node.rects.mbr() for _, node in tree.iter_level(0)]
+    return rects_svg(RectArray.from_rects(leaf_mbrs), title=title)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Rect, RectArray
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def unit_points(rng):
+    """1,000 uniform points in the unit square as degenerate rects."""
+    return RectArray.from_points(rng.random((1000, 2)))
+
+
+@pytest.fixture
+def small_rects(rng):
+    """200 small random rectangles inside the unit square."""
+    lo = rng.random((200, 2)) * 0.9
+    extent = rng.random((200, 2)) * 0.1
+    return RectArray(lo, lo + extent)
+
+
+@pytest.fixture
+def sample_rect():
+    return Rect((0.2, 0.3), (0.6, 0.8))
+
+
+def brute_force_search(rects: RectArray, query: Rect) -> set[int]:
+    """Oracle: ids of rectangles intersecting the query, by full scan."""
+    return set(np.flatnonzero(rects.intersects_rect(query)).tolist())

@@ -1,0 +1,82 @@
+"""Property-based tests for bulk loading across random shapes/capacities."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import RectArray
+from repro.core.packing import SortTileRecursive, leaf_group_sizes
+from repro.core.packing.str_ import str_slab_sizes
+from repro.rtree.bulk import bulk_load
+from repro.rtree.stats import measure_paged
+
+
+@st.composite
+def datasets(draw):
+    n = draw(st.integers(1, 400))
+    seed = draw(st.integers(0, 2 ** 31))
+    ndim = draw(st.integers(1, 4))
+    rng = np.random.default_rng(seed)
+    return RectArray.from_points(rng.random((n, ndim)))
+
+
+@given(datasets(), st.integers(2, 30))
+@settings(max_examples=60, deadline=None)
+def test_tree_geometry_invariants(rects, capacity):
+    tree, report = bulk_load(rects, SortTileRecursive(), capacity=capacity)
+    # Leaf count is exactly ceil(n / capacity).
+    leaves = sum(1 for _, n in tree.iter_nodes() if n.is_leaf)
+    assert leaves == -(-len(rects) // capacity)
+    # Height is the minimum possible for this fan-out.
+    height = 1
+    level_nodes = leaves
+    while level_nodes > 1:
+        level_nodes = -(-level_nodes // capacity)
+        height += 1
+    assert tree.height == height
+    # Every page written is reachable.
+    reachable = {pid for pid, _ in tree.iter_nodes()}
+    assert len(reachable) == report.pages_written
+
+
+@given(datasets(), st.integers(2, 30))
+@settings(max_examples=40, deadline=None)
+def test_root_mbr_equals_dataset_mbr(rects, capacity):
+    tree, _ = bulk_load(rects, SortTileRecursive(), capacity=capacity)
+    assert tree.mbr() == rects.mbr()
+
+
+@given(datasets(), st.integers(2, 30))
+@settings(max_examples=40, deadline=None)
+def test_quality_metrics_are_consistent(rects, capacity):
+    tree, _ = bulk_load(rects, SortTileRecursive(), capacity=capacity)
+    q = measure_paged(tree)
+    assert q.leaf_area <= q.total_area + 1e-12
+    assert q.leaf_perimeter <= q.total_perimeter + 1e-12
+    assert q.node_count == tree.page_count
+    # The root MBR alone lower-bounds total area at every level... at
+    # least the root's own contribution is included:
+    assert q.total_area >= tree.mbr().area() - 1e-12
+
+
+@given(st.integers(1, 100_000), st.integers(1, 500))
+@settings(max_examples=100)
+def test_leaf_group_sizes_always_partition(count, capacity):
+    sizes = leaf_group_sizes(count, capacity)
+    assert sum(sizes) == count
+    assert all(0 < s <= capacity for s in sizes)
+    assert all(s == capacity for s in sizes[:-1])
+
+
+@given(st.integers(1, 100_000), st.integers(1, 500), st.integers(1, 5))
+@settings(max_examples=100)
+def test_str_slab_sizes_always_partition(count, capacity, dims_left):
+    sizes = str_slab_sizes(count, capacity, dims_left)
+    assert sum(sizes) == count
+    assert all(s > 0 for s in sizes)
+    if dims_left == 1:
+        assert sizes == [count]
+    else:
+        # All slabs equal except possibly the last.
+        assert all(s == sizes[0] for s in sizes[:-1])
+        assert sizes[-1] <= sizes[0]

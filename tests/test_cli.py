@@ -1,0 +1,76 @@
+"""Unit tests for the CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def run_cli(capsys, *args):
+    code = main(list(args))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_list(capsys):
+    code, out = run_cli(capsys, "list")
+    assert code == 0
+    for name in ("table1", "table9", "fig12", "fig234"):
+        assert name in out
+
+
+def test_experiment_registry_covers_every_table_and_figure():
+    tables = {f"table{i}" for i in range(1, 11)}
+    figures = {"fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+               "fig234", "fig56"}
+    assert tables | figures <= set(EXPERIMENTS)
+
+
+def test_table1_quick(capsys):
+    code, out = run_cli(capsys, "table1", "--quick")
+    assert code == 0
+    assert "Percent of R-Tree Held By Buffer" in out
+    assert "101" in out
+
+
+def test_table6_quick_csv(capsys):
+    code, out = run_cli(capsys, "table6", "--quick", "--queries", "50")
+    assert code == 0
+    assert "leaf perimeter" in out
+
+
+def test_csv_mode(capsys):
+    code, out = run_cli(capsys, "table1", "--quick", "--csv")
+    assert code == 0
+    assert out.splitlines()[0].startswith("Data Size,")
+
+
+def test_figure_rendered_as_series_table(capsys):
+    code, out = run_cli(capsys, "fig10", "--quick", "--queries", "50")
+    assert code == 0
+    assert "series" in out
+    assert "STR" in out and "HS" in out
+
+
+def test_out_dir_writes_files(tmp_path, capsys):
+    code, out = run_cli(capsys, "table1", "--quick",
+                        "--out-dir", str(tmp_path))
+    assert code == 0
+    assert (tmp_path / "table1.txt").exists()
+
+
+def test_svg_bundle_written(tmp_path, capsys):
+    code, out = run_cli(capsys, "fig56", "--out-dir", str(tmp_path))
+    assert code == 0
+    files = list(tmp_path.glob("*.svg"))
+    assert len(files) == 2
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["table99"])
+
+
+def test_seed_changes_results(capsys):
+    _, out_a = run_cli(capsys, "table6", "--quick", "--seed", "1")
+    _, out_b = run_cli(capsys, "table6", "--quick", "--seed", "2")
+    assert out_a != out_b

@@ -1,0 +1,53 @@
+"""Unit tests for experiment configuration."""
+
+from repro.datasets.synthetic import PAPER_SIZES
+from repro.experiments.config import (
+    DEFAULT_CONFIG,
+    QUICK_CONFIG,
+    ExperimentConfig,
+)
+
+
+def test_default_matches_paper_protocol():
+    assert DEFAULT_CONFIG.query_count == 2000
+    assert DEFAULT_CONFIG.sizes == PAPER_SIZES
+    assert DEFAULT_CONFIG.capacity == 100
+    assert DEFAULT_CONFIG.cfd_count == 52_510
+    assert DEFAULT_CONFIG.tiger_count == 53_145
+
+
+def test_quick_is_smaller():
+    assert QUICK_CONFIG.query_count < DEFAULT_CONFIG.query_count
+    assert max(QUICK_CONFIG.sizes) < max(DEFAULT_CONFIG.sizes)
+
+
+def test_dataset_seeds_distinct_per_label():
+    c = ExperimentConfig()
+    assert c.dataset_seed("a") != c.dataset_seed("b")
+
+
+def test_dataset_and_workload_seeds_disjoint():
+    c = ExperimentConfig()
+    labels = ["tiger", "vlsi", "cfd", "point-10000"]
+    ds = {c.dataset_seed(lb) for lb in labels}
+    ws = {c.workload_seed(lb) for lb in labels}
+    assert not ds & ws
+
+
+def test_seed_changes_all_derived_seeds():
+    a = ExperimentConfig(seed=0)
+    b = ExperimentConfig(seed=1)
+    assert a.dataset_seed("x") != b.dataset_seed("x")
+
+
+def test_scaled_replaces_fields():
+    c = DEFAULT_CONFIG.scaled(query_count=10)
+    assert c.query_count == 10
+    assert c.sizes == DEFAULT_CONFIG.sizes
+
+
+def test_frozen():
+    import pytest
+
+    with pytest.raises(Exception):
+        DEFAULT_CONFIG.query_count = 5

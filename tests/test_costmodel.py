@@ -1,0 +1,113 @@
+"""Unit tests for the analytical cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, Rect, RectArray
+from repro.core.packing import HilbertSort, NearestX, SortTileRecursive
+from repro.queries import region_queries
+from repro.rtree.bulk import bulk_load
+from repro.rtree.costmodel import (
+    expected_accesses_by_level,
+    expected_accesses_quadratic,
+    expected_node_accesses,
+)
+from repro.rtree.stats import measure_paged
+
+
+@pytest.fixture(scope="module")
+def tree():
+    rng = np.random.default_rng(0)
+    rects = RectArray.from_points(rng.random((20_000, 2)))
+    return bulk_load(rects, SortTileRecursive(), capacity=100)[0]
+
+
+class TestModelBasics:
+    def test_point_query_model_equals_total_area_plus_root(self, tree):
+        """At q=0 the visit probability is just each node's area; the model
+        must equal the measured area sums."""
+        q = measure_paged(tree)
+        assert expected_node_accesses(tree, 0.0) == pytest.approx(
+            q.total_area)
+
+    def test_by_level_sums_to_total(self, tree):
+        by_level = expected_accesses_by_level(tree, 0.1)
+        assert sum(by_level.values()) == pytest.approx(
+            expected_node_accesses(tree, 0.1))
+
+    def test_monotone_in_query_size(self, tree):
+        costs = [expected_node_accesses(tree, q)
+                 for q in (0.0, 0.05, 0.1, 0.3)]
+        assert costs == sorted(costs)
+
+    def test_capped_by_node_count(self, tree):
+        assert expected_node_accesses(tree, 1.0) <= tree.page_count + 1e-9
+
+    def test_rect_query_extents(self, tree):
+        iso = expected_node_accesses(tree, 0.1)
+        aniso = expected_node_accesses(tree, (0.1, 0.1))
+        assert iso == pytest.approx(aniso)
+
+    def test_negative_extent_rejected(self, tree):
+        with pytest.raises(GeometryError):
+            expected_node_accesses(tree, -0.1)
+
+    def test_wrong_arity_rejected(self, tree):
+        with pytest.raises(GeometryError):
+            expected_node_accesses(tree, (0.1, 0.1, 0.1))
+
+
+class TestModelAgainstMeasurement:
+    @pytest.mark.parametrize("side", [0.05, 0.1, 0.2])
+    def test_predicts_unbuffered_accesses(self, tree, side):
+        """On uniform data the model must predict measured un-buffered
+        accesses within ~15% (clamping at the boundary explains the
+        residual: queries near edges are smaller)."""
+        searcher = tree.searcher(buffer_pages=1)
+        workload = region_queries(side, 400, seed=3)
+        for q in workload:
+            searcher.search(q)
+        measured = searcher.disk_accesses / len(workload)
+        predicted = expected_node_accesses(tree, side)
+        assert predicted == pytest.approx(measured, rel=0.15)
+
+    def test_ranks_algorithms_like_measurement(self):
+        """The paper's use of area+perimeter: the model must rank STR, HS
+        and NX in the same order as measured accesses."""
+        rng = np.random.default_rng(5)
+        rects = RectArray.from_points(rng.random((10_000, 2)))
+        side = 0.1
+        predicted = {}
+        measured = {}
+        for algo in (SortTileRecursive(), HilbertSort(), NearestX()):
+            t, _ = bulk_load(rects, algo, capacity=100)
+            predicted[algo.name] = expected_node_accesses(t, side)
+            searcher = t.searcher(buffer_pages=1)
+            for q in region_queries(side, 300, seed=6):
+                searcher.search(q)
+            measured[algo.name] = searcher.disk_accesses
+        rank = lambda d: sorted(d, key=d.get)
+        assert rank(predicted) == rank(measured) == ["STR", "HS", "NX"]
+
+
+class TestQuadraticForm:
+    def test_matches_exact_model_for_small_queries(self, tree):
+        """Without boundary clipping the 2-D closed form equals the exact
+        Minkowski model; check on a query small enough that clipping is
+        negligible."""
+        q = measure_paged(tree)
+        side = 0.01
+        closed = expected_accesses_quadratic(
+            q.total_area, q.total_perimeter, tree.page_count, side)
+        exact = expected_node_accesses(tree, side)
+        assert closed == pytest.approx(exact, rel=0.02)
+
+    def test_zero_side_is_area(self, tree):
+        q = measure_paged(tree)
+        assert expected_accesses_quadratic(
+            q.total_area, q.total_perimeter, tree.page_count, 0.0
+        ) == q.total_area
+
+    def test_negative_rejected(self):
+        with pytest.raises(GeometryError):
+            expected_accesses_quadratic(1.0, 1.0, 10, -0.1)

@@ -1,0 +1,61 @@
+"""Unit tests for IOStats."""
+
+from repro.storage.counters import IOStats
+
+
+def test_starts_at_zero():
+    s = IOStats()
+    assert s.disk_reads == s.disk_writes == 0
+    assert s.buffer_hits == s.buffer_misses == 0
+
+
+def test_reset():
+    s = IOStats(disk_reads=5, disk_writes=2, buffer_hits=9, buffer_misses=1)
+    s.reset()
+    assert s.disk_reads == 0 and s.buffer_hits == 0
+
+
+def test_snapshot_is_independent():
+    s = IOStats(disk_reads=3)
+    snap = s.snapshot()
+    s.disk_reads += 10
+    assert snap.disk_reads == 3
+
+
+def test_checkpoint_appends_history_and_resets():
+    s = IOStats(disk_reads=7)
+    s.checkpoint()
+    assert s.disk_reads == 0
+    assert len(s.history) == 1
+    assert s.history[0].disk_reads == 7
+
+
+def test_total_accesses():
+    s = IOStats(disk_reads=3, disk_writes=4)
+    assert s.total_accesses == 7
+
+
+def test_hit_ratio():
+    s = IOStats(buffer_hits=3, buffer_misses=1)
+    assert s.hit_ratio == 0.75
+
+
+def test_hit_ratio_idle_is_zero():
+    assert IOStats().hit_ratio == 0.0
+
+
+def test_addition():
+    a = IOStats(disk_reads=1, buffer_hits=2)
+    b = IOStats(disk_reads=3, buffer_misses=4)
+    c = a + b
+    assert c.disk_reads == 4
+    assert c.buffer_hits == 2
+    assert c.buffer_misses == 4
+
+
+def test_addition_wrong_type():
+    try:
+        IOStats() + 3
+        assert False, "expected TypeError"
+    except TypeError:
+        pass

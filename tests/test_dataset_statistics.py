@@ -1,0 +1,134 @@
+"""Unit tests for dataset skew statistics — and through them, the
+DESIGN.md claims about each synthetic stand-in."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, RectArray
+from repro.datasets import (
+    airfoil_like,
+    long_beach_like,
+    uniform_points,
+    uniform_squares,
+    vlsi_like,
+)
+from repro.datasets.statistics import (
+    dataset_card,
+    morisita_index,
+    quadrat_counts,
+    size_spread,
+    thinness,
+)
+
+
+class TestQuadratCounts:
+    def test_shape_and_total(self, unit_points):
+        counts = quadrat_counts(unit_points, bins=8)
+        assert counts.shape == (8, 8)
+        assert counts.sum() == len(unit_points)
+
+    def test_bad_bins(self, unit_points):
+        with pytest.raises(GeometryError):
+            quadrat_counts(unit_points, bins=1)
+
+    def test_3d_rejected(self, rng):
+        with pytest.raises(GeometryError):
+            quadrat_counts(RectArray.from_points(rng.random((10, 3))))
+
+
+class TestMorisita:
+    def test_uniform_near_one(self):
+        m = morisita_index(uniform_points(20_000, seed=1))
+        assert 0.9 < m < 1.1
+
+    def test_single_cluster_far_above_one(self, rng):
+        from repro.core.geometry import unit_square
+
+        pts = rng.normal(0.5, 0.01, size=(5_000, 2))
+        m = morisita_index(RectArray.from_points(np.clip(pts, 0, 1)),
+                           bounds=unit_square())
+        # All mass in a handful of quadrats out of 256.
+        assert m > 20
+
+    def test_frame_matters_for_tight_clusters(self, rng):
+        """Within its own MBR a cluster is uniform; over the unit square
+        it is extreme — the docstring's caveat, verified."""
+        from repro.core.geometry import unit_square
+
+        pts = np.clip(rng.normal(0.5, 0.01, size=(3_000, 2)), 0, 1)
+        ra = RectArray.from_points(pts)
+        assert morisita_index(ra) < morisita_index(
+            ra, bounds=unit_square())
+
+    def test_regular_grid_below_one(self):
+        g = 32
+        xs, ys = np.meshgrid(np.linspace(0, 1, g), np.linspace(0, 1, g))
+        pts = np.column_stack([xs.ravel(), ys.ravel()])
+        m = morisita_index(RectArray.from_points(pts), bins=8)
+        assert m < 1.0
+
+    def test_needs_two_points(self):
+        one = RectArray.from_points(np.array([[0.5, 0.5]]))
+        with pytest.raises(GeometryError):
+            morisita_index(one)
+
+
+class TestSizeSpread:
+    def test_uniform_squares_bounded_spread(self):
+        ra = uniform_squares(10_000, 1.0, seed=2)
+        # Areas are U(0, 2a); excluding exact zeros the spread is large
+        # but the robust p99/p1 spread is ~100.
+        assert size_spread(ra, quantile=0.01) < 1_000
+
+    def test_points_have_unit_spread(self):
+        assert size_spread(uniform_points(100, seed=1)) == 1.0
+
+
+class TestThinness:
+    def test_squares_near_one(self):
+        ra = uniform_squares(5_000, 1.0, seed=3)
+        assert thinness(ra) > 0.9
+
+    def test_points_reported_as_one(self):
+        assert thinness(uniform_points(100, seed=1)) == 1.0
+
+
+class TestDesignClaims:
+    """The DESIGN.md §3 substitution arguments, as executable checks."""
+
+    def test_tiger_standin_mildly_skewed_and_thin(self):
+        card = dataset_card(long_beach_like(20_000, seed=0))
+        assert 1.0 < card["morisita"] < 8.0          # mild location skew
+        assert card["thinness"] < 0.25               # street segments
+        assert card["empty_quadrat_fraction"] < 0.2  # no vast deserts
+
+    def test_vlsi_standin_extreme_skew(self):
+        card = dataset_card(vlsi_like(50_000, seed=0))
+        assert card["morisita"] > 5.0                # heavy clustering
+        assert card["max_quadrat_share"] > 0.05      # hotspot regions
+        assert card["size_spread"] > 10_000          # the paper's 40,000x
+        # "some [regions] covered by no rectangles at all": visible on a
+        # finer grid than the default 16x16 (the 4% routing background
+        # thinly covers coarse cells).
+        fine = quadrat_counts(vlsi_like(50_000, seed=0), bins=48)
+        assert (fine == 0).mean() > 0.05
+
+    def test_cfd_standin_extreme_point_clustering(self):
+        card = dataset_card(airfoil_like(30_000, seed=0))
+        assert card["morisita"] > 20.0               # black-smudge density
+        assert card["empty_quadrat_fraction"] > 0.1  # sparse far field
+        assert card["max_quadrat_share"] > 0.1       # the dense window
+
+    def test_uniform_baseline(self):
+        card = dataset_card(uniform_points(20_000, seed=0))
+        assert 0.9 < card["morisita"] < 1.1
+        assert card["empty_quadrat_fraction"] == 0.0
+
+    def test_skew_ordering_across_families(self):
+        """CFD > VLSI > TIGER > uniform in location skew — the paper's
+        four data classes in Section 5, quantified."""
+        m_uniform = morisita_index(uniform_points(20_000, seed=1))
+        m_tiger = morisita_index(long_beach_like(20_000, seed=1))
+        m_vlsi = morisita_index(vlsi_like(20_000, seed=1))
+        m_cfd = morisita_index(airfoil_like(20_000, seed=1))
+        assert m_uniform < m_tiger < m_vlsi < m_cfd

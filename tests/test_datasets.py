@@ -1,0 +1,252 @@
+"""Unit tests for the dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import unit_square
+from repro.datasets import (
+    CFD_QUERY_WINDOW,
+    airfoil_like,
+    airfoil_points,
+    load_rects,
+    long_beach_like,
+    normalize_points,
+    normalize_rects,
+    save_rects,
+    uniform_points,
+    uniform_squares,
+    vlsi_like,
+)
+from repro.core.geometry import GeometryError, RectArray
+
+
+class TestSyntheticPoints:
+    def test_count_and_bounds(self):
+        ra = uniform_points(5000, seed=1)
+        assert len(ra) == 5000
+        assert unit_square().contains_rect(ra.mbr())
+
+    def test_degenerate(self):
+        ra = uniform_points(100, seed=1)
+        assert (ra.areas() == 0).all()
+
+    def test_deterministic(self):
+        assert uniform_points(100, seed=9) == uniform_points(100, seed=9)
+
+    def test_seed_changes_data(self):
+        assert uniform_points(100, seed=1) != uniform_points(100, seed=2)
+
+    def test_roughly_uniform(self):
+        ra = uniform_points(20_000, seed=3)
+        centers = ra.centers()
+        # Each quadrant holds about a quarter of the data.
+        counts = [
+            (((centers[:, 0] > 0.5) == qx)
+             & ((centers[:, 1] > 0.5) == qy)).sum()
+            for qx in (False, True) for qy in (False, True)
+        ]
+        assert max(counts) - min(counts) < 0.05 * 20_000
+
+    def test_3d(self):
+        assert uniform_points(50, seed=0, ndim=3).ndim == 3
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            uniform_points(0)
+
+
+class TestSyntheticSquares:
+    def test_density_zero_is_points(self):
+        assert uniform_squares(100, 0.0, seed=5) == uniform_points(
+            100, seed=5)
+
+    def test_total_area_tracks_density(self):
+        for density in (1.0, 2.5, 5.0):
+            ra = uniform_squares(50_000, density, seed=7)
+            # Clamping at the boundary loses a little area; allow 15%.
+            assert ra.total_area() == pytest.approx(density, rel=0.15)
+
+    def test_bounded_by_unit_square(self):
+        ra = uniform_squares(10_000, 5.0, seed=8)
+        assert unit_square().contains_rect(ra.mbr())
+
+    def test_shapes_are_squares_away_from_boundary(self):
+        ra = uniform_squares(10_000, 1.0, seed=9)
+        extents = ra.extents()
+        interior = (ra.his < 1.0).all(axis=1)
+        assert np.allclose(extents[interior, 0], extents[interior, 1])
+
+    def test_area_spread_is_uniform_0_to_2avg(self):
+        count, density = 50_000, 2.0
+        ra = uniform_squares(count, density, seed=10)
+        interior = (ra.his < 1.0).all(axis=1)
+        areas = ra.areas()[interior]
+        assert areas.max() <= 2 * density / count * 1.0000001
+        assert areas.mean() == pytest.approx(density / count, rel=0.1)
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_squares(10, -1.0)
+
+
+class TestLongBeachLike:
+    def test_exact_count(self):
+        ra = long_beach_like(20_000, seed=4)
+        assert len(ra) == 20_000
+
+    def test_default_count_matches_paper(self):
+        ra = long_beach_like(seed=0)
+        assert len(ra) == 53_145
+
+    def test_normalized_to_unit_square(self):
+        ra = long_beach_like(10_000, seed=4)
+        mbr = ra.mbr()
+        assert unit_square().contains_rect(mbr)
+        # Normalisation is tight: the data spans the whole square.
+        assert mbr.area() == pytest.approx(1.0, abs=1e-6)
+
+    def test_segments_are_thin(self):
+        """TIGER records are street segments: at least one side tiny."""
+        ra = long_beach_like(10_000, seed=4)
+        min_side = ra.extents().min(axis=1)
+        assert np.median(min_side) < 0.01
+
+    def test_segments_are_short(self):
+        ra = long_beach_like(10_000, seed=4)
+        assert np.median(ra.extents().max(axis=1)) < 0.05
+
+    def test_mildly_skewed_not_extreme(self):
+        """A quarter of the space should hold 25-65% of the data — skewed,
+        but nothing like the VLSI hotspots."""
+        ra = long_beach_like(20_000, seed=4)
+        centers = ra.centers()
+        denom = len(ra)
+        frac = ((centers < 0.5).all(axis=1)).sum() / denom
+        assert 0.15 < frac < 0.65
+
+    def test_deterministic(self):
+        assert long_beach_like(5_000, seed=3) == long_beach_like(
+            5_000, seed=3)
+
+
+class TestVlsiLike:
+    def test_count(self):
+        assert len(vlsi_like(30_000, seed=2)) == 30_000
+
+    def test_bounded(self):
+        ra = vlsi_like(30_000, seed=2)
+        assert unit_square().contains_rect(ra.mbr())
+
+    def test_size_skew_matches_paper(self):
+        """Largest rectangle ~40,000x the smallest (paper Section 3)."""
+        ra = vlsi_like(100_000, seed=2)
+        areas = ra.areas()
+        positive = areas[areas > 0]
+        ratio = positive.max() / positive.min()
+        assert ratio > 1_000
+
+    def test_location_skew_hotspots_and_deserts(self):
+        ra = vlsi_like(50_000, seed=2)
+        centers = ra.centers()
+        grid, _, _ = np.histogram2d(
+            centers[:, 0], centers[:, 1], bins=20,
+            range=[[0, 1], [0, 1]],
+        )
+        # Some cells hold thousands, some essentially nothing.
+        assert grid.max() > 20 * grid.mean()
+        assert (grid < grid.mean() / 10).sum() > 40
+
+    def test_deterministic(self):
+        assert vlsi_like(5_000, seed=6) == vlsi_like(5_000, seed=6)
+
+    def test_invalid_size_range(self):
+        with pytest.raises(ValueError):
+            vlsi_like(100, size_range=0.5)
+
+
+class TestAirfoilLike:
+    def test_count(self):
+        assert len(airfoil_like(10_000, seed=1)) == 10_000
+
+    def test_point_data(self):
+        ra = airfoil_like(5_000, seed=1)
+        assert (ra.areas() == 0).all()
+
+    def test_bounded(self):
+        ra = airfoil_like(20_000, seed=1)
+        assert unit_square().contains_rect(ra.mbr())
+
+    def test_majority_in_query_window(self):
+        """The paper: the black region in the middle holds the majority."""
+        pts = airfoil_points(30_000, seed=1)
+        w = CFD_QUERY_WINDOW
+        inside = (
+            (pts >= np.asarray(w.lo)) & (pts <= np.asarray(w.hi))
+        ).all(axis=1).mean()
+        assert inside > 0.5
+
+    def test_wing_interiors_empty(self):
+        from repro.datasets.cfd import _inside_any_element
+        pts = airfoil_points(30_000, seed=1)
+        assert not _inside_any_element(pts).any()
+
+    def test_density_decays_from_surface(self):
+        pts = airfoil_points(30_000, seed=1)
+        d = np.linalg.norm(pts - np.array([0.53, 0.5]), axis=1)
+        near = ((d > 0.01) & (d < 0.05)).sum()
+        far = ((d > 0.30) & (d < 0.34)).sum()
+        assert near > 5 * max(far, 1)
+
+    def test_deterministic(self):
+        a = airfoil_points(2_000, seed=3)
+        b = airfoil_points(2_000, seed=3)
+        assert np.array_equal(a, b)
+
+
+class TestNormalize:
+    def test_points_span_unit_cube(self, rng):
+        pts = rng.random((100, 2)) * 50 + 10
+        norm = normalize_points(pts)
+        assert norm.min(axis=0) == pytest.approx([0, 0])
+        assert norm.max(axis=0) == pytest.approx([1, 1])
+
+    def test_degenerate_axis(self):
+        pts = np.array([[1.0, 5.0], [2.0, 5.0]])
+        norm = normalize_points(pts)
+        assert (norm[:, 1] == 0).all()
+
+    def test_rects_preserve_relative_geometry(self, small_rects):
+        scaled = RectArray(small_rects.los * 7 + 3, small_rects.his * 7 + 3)
+        norm = normalize_rects(scaled)
+        ratio = norm.areas() / small_rects.areas()
+        assert np.allclose(ratio, ratio[0])
+
+    def test_rects_mbr_is_unit(self, small_rects):
+        norm = normalize_rects(small_rects)
+        assert norm.mbr().area() == pytest.approx(1.0, abs=1e-9)
+
+
+class TestIo:
+    def test_npz_roundtrip(self, tmp_path, small_rects):
+        path = tmp_path / "d.npz"
+        save_rects(path, small_rects)
+        assert load_rects(path) == small_rects
+
+    def test_txt_roundtrip(self, tmp_path, small_rects):
+        path = tmp_path / "d.txt"
+        save_rects(path, small_rects)
+        loaded = load_rects(path)
+        assert np.allclose(loaded.los, small_rects.los)
+        assert np.allclose(loaded.his, small_rects.his)
+
+    def test_unknown_extension(self, tmp_path, small_rects):
+        with pytest.raises(GeometryError):
+            save_rects(tmp_path / "d.parquet", small_rects)
+        with pytest.raises(GeometryError):
+            load_rects(tmp_path / "d.parquet")
+
+    def test_txt_odd_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        np.savetxt(path, np.zeros((3, 3)))
+        with pytest.raises(GeometryError):
+            load_rects(path)

@@ -1,0 +1,157 @@
+"""Edge cases and regression tests across modules."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    HilbertSort,
+    NearestX,
+    Rect,
+    RectArray,
+    RStarTree,
+    SortTileRecursive,
+    bulk_load,
+    validate_paged,
+)
+from repro.rtree.validate import validate_dynamic
+
+
+class TestRStarDetachedNodeRegression:
+    """Regression: R* forced re-insertion used to let a nested split
+    detach a node that the suspended upward walk then re-split as a fake
+    root, silently discarding most of the tree (first seen at insert #25,
+    capacity 5, seed 0)."""
+
+    def test_exact_historical_sequence(self):
+        rng = np.random.default_rng(0)
+        pts = rng.random((60, 2))
+        tree = RStarTree(capacity=5)
+        for i, p in enumerate(pts):
+            tree.insert(Rect.from_point(tuple(p)), i)
+            validate_dynamic(tree, range(i + 1))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_small_capacity_fuzz(self, seed):
+        rng = np.random.default_rng(seed)
+        pts = rng.random((150, 2))
+        tree = RStarTree(capacity=4)
+        for i, p in enumerate(pts):
+            tree.insert(Rect.from_point(tuple(p)), i)
+        validate_dynamic(tree, range(150))
+
+
+class TestOneDimensional:
+    """k = 1: 'already handled well by regular B-trees' (Section 2.2), but
+    the library must still behave."""
+
+    def test_str_1d_end_to_end(self, rng):
+        pts = rng.random((500, 1))
+        tree, _ = bulk_load(RectArray.from_points(pts),
+                            SortTileRecursive(), capacity=10)
+        validate_paged(tree, range(500))
+        q = Rect((0.25,), (0.5,))
+        got = tree.searcher(4).search(q)
+        want = ((pts[:, 0] >= 0.25) & (pts[:, 0] <= 0.5)).sum()
+        assert got.size == want
+
+    def test_1d_leaves_are_intervals_in_order(self, rng):
+        pts = rng.random((200, 1))
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, 20)
+        assert (np.diff(pts[perm, 0]) >= 0).all()
+
+    def test_hilbert_1d(self, rng):
+        pts = rng.random((100, 1))
+        tree, _ = bulk_load(RectArray.from_points(pts), HilbertSort(),
+                            capacity=10)
+        validate_paged(tree, range(100))
+
+
+class TestDeepTrees:
+    def test_capacity_two_tree(self, rng):
+        """Minimum capacity gives the deepest tree; all paths must work."""
+        pts = rng.random((300, 2))
+        tree, _ = bulk_load(RectArray.from_points(pts),
+                            SortTileRecursive(), capacity=2)
+        assert tree.height >= 8
+        validate_paged(tree, range(300))
+        got = tree.searcher(4).search(Rect((0, 0), (1, 1)))
+        assert got.size == 300
+
+    def test_level_summaries_deep(self, rng):
+        pts = rng.random((256, 2))
+        tree, _ = bulk_load(RectArray.from_points(pts),
+                            SortTileRecursive(), capacity=4)
+        summaries = tree.level_summaries()
+        assert [s.level for s in summaries] == list(
+            range(tree.height - 1, -1, -1))
+        assert summaries[-1].entry_count == 256
+        assert summaries[0].node_count == 1
+
+
+class TestSearcherPolicies:
+    """Replacement policy changes the miss count, never the results."""
+
+    @pytest.mark.parametrize("policy", ["lru", "fifo", "clock"])
+    def test_results_identical_across_policies(self, rng, policy):
+        pts = rng.random((2_000, 2))
+        tree, _ = bulk_load(RectArray.from_points(pts),
+                            SortTileRecursive(), capacity=50)
+        baseline = tree.searcher(8, policy="lru")
+        other = tree.searcher(8, policy=policy)
+        for lo in rng.random((50, 2)) * 0.8:
+            q = Rect(tuple(lo), tuple(lo + 0.2))
+            assert set(other.search(q).tolist()) == set(
+                baseline.search(q).tolist())
+
+
+class TestDataIdVarieties:
+    def test_negative_and_duplicate_ids(self, rng):
+        pts = rng.random((100, 2))
+        ids = np.array([-5] * 50 + list(range(50)), dtype=np.int64)
+        tree, _ = bulk_load(RectArray.from_points(pts), NearestX(),
+                            data_ids=ids, capacity=10)
+        validate_paged(tree, ids)
+        got = tree.searcher(4).search(Rect((0, 0), (1, 1)))
+        assert sorted(got.tolist()) == sorted(ids.tolist())
+
+    def test_huge_ids_survive_codec(self, rng):
+        pts = rng.random((20, 2))
+        ids = np.arange(20, dtype=np.int64) + 2 ** 60
+        tree, _ = bulk_load(RectArray.from_points(pts),
+                            SortTileRecursive(), data_ids=ids, capacity=5)
+        got = tree.searcher(4).search(Rect((0, 0), (1, 1)))
+        assert sorted(got.tolist()) == ids.tolist()
+
+
+class TestDegenerateGeometry:
+    def test_all_points_identical(self, rng):
+        pts = np.full((500, 2), 0.5)
+        for algo in (SortTileRecursive(), HilbertSort(), NearestX()):
+            tree, _ = bulk_load(RectArray.from_points(pts), algo,
+                                capacity=10)
+            validate_paged(tree, range(500))
+            assert tree.searcher(4).point_query((0.5, 0.5)).size == 500
+
+    def test_collinear_points(self, rng):
+        xs = rng.random(300)
+        pts = np.column_stack([xs, np.full(300, 0.5)])
+        for algo in (SortTileRecursive(), HilbertSort()):
+            tree, _ = bulk_load(RectArray.from_points(pts), algo,
+                                capacity=10)
+            validate_paged(tree, range(300))
+
+    def test_full_space_rectangles(self):
+        ra = RectArray(np.zeros((50, 2)), np.ones((50, 2)))
+        tree, _ = bulk_load(ra, SortTileRecursive(), capacity=10)
+        validate_paged(tree, range(50))
+        assert tree.searcher(4).point_query((0.7, 0.7)).size == 50
+
+    def test_tiny_coordinate_scale(self, rng):
+        """Everything must survive data far from the unit square."""
+        pts = rng.random((200, 2)) * 1e-9 + 1e6
+        tree, _ = bulk_load(RectArray.from_points(pts), HilbertSort(),
+                            capacity=10)
+        validate_paged(tree, range(200))
+        got = tree.searcher(4).search(tree.mbr())
+        assert got.size == 200

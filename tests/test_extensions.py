@@ -1,0 +1,70 @@
+"""Unit tests for the extension experiment runners."""
+
+import numpy as np
+import pytest
+
+from repro import SortTileRecursive, bulk_load
+from repro.datasets import uniform_points
+from repro.experiments import extensions
+from repro.queries import point_queries
+
+
+@pytest.fixture(scope="module")
+def points():
+    return uniform_points(10_000, seed=1)
+
+
+class TestWarmupCurve:
+    def test_shape(self, points):
+        tree, _ = bulk_load(points, SortTileRecursive(), capacity=100)
+        series = extensions.warmup_curve(
+            tree, point_queries(500, seed=2), buffer_pages=50, bucket=50
+        )
+        assert len(series.xs) == 10
+        assert series.xs == [50 * (i + 1) for i in range(10)]
+        assert all(y >= 0 for y in series.ys)
+
+    def test_cold_start_above_steady_state(self, points):
+        tree, _ = bulk_load(points, SortTileRecursive(), capacity=100)
+        series = extensions.warmup_curve(
+            tree, point_queries(1_000, seed=2), buffer_pages=80, bucket=100
+        )
+        assert series.ys[0] > series.ys[-1]
+
+
+class TestParallelSpeedup:
+    def test_table_shape_and_monotonicity(self, points):
+        table = extensions.parallel_speedup_table(
+            points, disk_counts=(1, 2, 4), query_count=100
+        )
+        assert table.column("disks") == [1, 2, 4]
+        speedups = table.column("speedup")
+        assert speedups[0] == pytest.approx(1.0)
+        assert speedups == sorted(speedups)
+
+    def test_total_reads_independent_of_disks(self, points):
+        table = extensions.parallel_speedup_table(
+            points, disk_counts=(1, 4), query_count=100
+        )
+        totals = table.column("total reads")
+        assert totals[0] == totals[1]
+
+
+class TestPackedVsDynamic:
+    def test_claims_hold(self):
+        pts = uniform_points(2_000, seed=3).centers()
+        table = extensions.packed_vs_dynamic_table(
+            pts, capacity=20, query_count=100
+        )
+        rows = {r[0]: r for r in table.data_rows()}
+        assert set(rows) == {"STR packed", "Guttman", "R*"}
+        assert rows["STR packed"][1] < rows["Guttman"][1]
+        assert rows["STR packed"][2] > rows["Guttman"][2]
+        assert rows["STR packed"][3] < rows["Guttman"][3]
+
+
+class TestCostModelTable:
+    def test_ratio_near_one_on_uniform(self, points):
+        table = extensions.cost_model_table(points, query_count=150)
+        for ratio in table.column("pred/meas"):
+            assert 0.75 < ratio < 1.3

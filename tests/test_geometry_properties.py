@@ -1,0 +1,145 @@
+"""Property-based tests (hypothesis) for the rectangle algebra.
+
+These pin down the lattice-like structure the R-tree logic relies on:
+union is an upper bound and is monotone, intersection is a lower bound,
+enlargement is non-negative, and the vectorized RectArray operations agree
+with the scalar Rect operations on every input.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect, RectArray
+
+_coord = st.floats(min_value=-1e6, max_value=1e6,
+                   allow_nan=False, allow_infinity=False, width=64)
+
+
+@st.composite
+def rects(draw, ndim=2):
+    a = [draw(_coord) for _ in range(ndim)]
+    b = [draw(_coord) for _ in range(ndim)]
+    return Rect.from_corners(a, b)
+
+
+@st.composite
+def rect_pairs(draw):
+    return draw(rects()), draw(rects())
+
+
+@given(rect_pairs())
+def test_union_commutes(pair):
+    a, b = pair
+    assert a.union(b) == b.union(a)
+
+
+@given(rect_pairs())
+def test_union_is_upper_bound(pair):
+    a, b = pair
+    u = a.union(b)
+    assert u.contains_rect(a) and u.contains_rect(b)
+
+
+@given(rects())
+def test_union_idempotent(r):
+    assert r.union(r) == r
+
+
+@given(rect_pairs(), rects())
+def test_union_associative(pair, c):
+    a, b = pair
+    assert a.union(b).union(c) == a.union(b.union(c))
+
+
+@given(rect_pairs())
+def test_intersection_symmetric(pair):
+    a, b = pair
+    assert a.intersection(b) == b.intersection(a)
+
+
+@given(rect_pairs())
+def test_intersection_is_lower_bound(pair):
+    a, b = pair
+    inter = a.intersection(b)
+    if inter is not None:
+        assert a.contains_rect(inter) and b.contains_rect(inter)
+
+
+@given(rect_pairs())
+def test_intersection_consistent_with_intersects(pair):
+    a, b = pair
+    assert (a.intersection(b) is not None) == a.intersects(b)
+
+
+@given(rect_pairs())
+def test_enlargement_non_negative(pair):
+    a, b = pair
+    assert a.enlargement(b) >= -1e-6 * max(1.0, a.area(), b.area())
+
+
+@given(rect_pairs())
+def test_contained_implies_zero_enlargement(pair):
+    a, b = pair
+    if a.contains_rect(b):
+        assert a.enlargement(b) == 0.0
+
+
+@given(rect_pairs())
+def test_union_area_at_least_each(pair):
+    a, b = pair
+    u = a.union(b).area()
+    assert u >= a.area() * (1 - 1e-12)
+    assert u >= b.area() * (1 - 1e-12)
+
+
+@given(rects())
+def test_center_inside(r):
+    assert r.contains_point(r.center)
+
+
+@given(rects())
+def test_perimeter_margin_relation(r):
+    assert r.perimeter() == 2.0 * r.margin()
+
+
+@given(st.lists(rects(), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_rectarray_matches_scalar_ops(rect_list):
+    ra = RectArray.from_rects(rect_list)
+    query = rect_list[0]
+    mask = ra.intersects_rect(query)
+    areas = ra.areas()
+    margins = ra.margins()
+    for i, r in enumerate(rect_list):
+        assert mask[i] == r.intersects(query)
+        assert np.isclose(areas[i], r.area(), rtol=1e-12, atol=1e-300)
+        assert np.isclose(margins[i], r.margin())
+
+
+@given(st.lists(rects(), min_size=1, max_size=30))
+@settings(max_examples=50)
+def test_rectarray_mbr_matches_fold(rect_list):
+    ra = RectArray.from_rects(rect_list)
+    folded = rect_list[0]
+    for r in rect_list[1:]:
+        folded = folded.union(r)
+    assert ra.mbr() == folded
+
+
+@given(st.lists(rects(), min_size=2, max_size=40), st.integers(1, 10))
+@settings(max_examples=50)
+def test_group_mbrs_cover_members(rect_list, group):
+    ra = RectArray.from_rects(rect_list)
+    sizes = []
+    remaining = len(ra)
+    while remaining > 0:
+        take = min(group, remaining)
+        sizes.append(take)
+        remaining -= take
+    mbrs = ra.group_mbrs(sizes)
+    offset = 0
+    for mbr, size in zip(mbrs, sizes):
+        for i in range(offset, offset + size):
+            assert mbr.contains_rect(ra[i])
+        offset += size

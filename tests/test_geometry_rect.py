@@ -1,0 +1,238 @@
+"""Unit tests for repro.core.geometry.Rect."""
+
+import math
+
+import pytest
+
+from repro.core.geometry import GeometryError, Rect, enclosing_mbr, unit_square
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect((0.0, 1.0), (2.0, 3.0))
+        assert r.lo == (0.0, 1.0)
+        assert r.hi == (2.0, 3.0)
+
+    def test_coerces_ints_to_floats(self):
+        r = Rect((0, 1), (2, 3))
+        assert r.lo == (0.0, 1.0)
+        assert isinstance(r.lo[0], float)
+
+    def test_degenerate_allowed(self):
+        r = Rect((0.5, 0.5), (0.5, 0.5))
+        assert r.is_degenerate()
+        assert r.area() == 0.0
+
+    def test_lo_above_hi_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((1.0, 0.0), (0.0, 1.0))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((0.0,), (1.0, 1.0))
+
+    def test_empty_coords_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((), ())
+
+    def test_nan_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((float("nan"), 0.0), (1.0, 1.0))
+
+    def test_inf_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect((0.0, 0.0), (float("inf"), 1.0))
+
+    def test_from_point(self):
+        r = Rect.from_point((0.3, 0.7))
+        assert r.lo == r.hi == (0.3, 0.7)
+
+    def test_from_center(self):
+        r = Rect.from_center((0.5, 0.5), (0.2, 0.4))
+        assert r.lo == pytest.approx((0.4, 0.3))
+        assert r.hi == pytest.approx((0.6, 0.7))
+
+    def test_from_center_negative_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.from_center((0.5, 0.5), (-0.1, 0.1))
+
+    def test_from_center_dim_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Rect.from_center((0.5,), (0.1, 0.1))
+
+    def test_from_corners_order_insensitive(self):
+        a = Rect.from_corners((1.0, 0.0), (0.0, 1.0))
+        b = Rect.from_corners((0.0, 1.0), (1.0, 0.0))
+        assert a == b == Rect((0.0, 0.0), (1.0, 1.0))
+
+    def test_hashable(self):
+        assert len({Rect((0, 0), (1, 1)), Rect((0, 0), (1, 1))}) == 1
+
+    def test_three_dimensional(self):
+        r = Rect((0, 0, 0), (1, 2, 3))
+        assert r.ndim == 3
+        assert r.area() == 6.0
+
+
+class TestMeasures:
+    def test_area(self, sample_rect):
+        assert sample_rect.area() == pytest.approx(0.4 * 0.5)
+
+    def test_extents(self, sample_rect):
+        assert sample_rect.extents == pytest.approx((0.4, 0.5))
+
+    def test_center(self, sample_rect):
+        assert sample_rect.center == pytest.approx((0.4, 0.55))
+
+    def test_margin_is_sum_of_extents(self, sample_rect):
+        assert sample_rect.margin() == pytest.approx(0.9)
+
+    def test_perimeter_is_twice_margin_2d(self, sample_rect):
+        assert sample_rect.perimeter() == pytest.approx(1.8)
+
+    def test_unit_square_measures(self):
+        u = unit_square()
+        assert u.area() == 1.0
+        assert u.perimeter() == 4.0
+        assert u.center == (0.5, 0.5)
+
+    def test_unit_cube(self):
+        u = unit_square(3)
+        assert u.ndim == 3
+        assert u.area() == 1.0
+
+    def test_unit_square_bad_ndim(self):
+        with pytest.raises(GeometryError):
+            unit_square(0)
+
+
+class TestPredicates:
+    def test_intersects_overlapping(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 1), (3, 3))
+        assert a.intersects(b) and b.intersects(a)
+
+    def test_intersects_shared_edge(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1, 0), (2, 1))
+        assert a.intersects(b)  # closed boundaries
+
+    def test_intersects_shared_corner(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1, 1), (2, 2))
+        assert a.intersects(b)
+
+    def test_disjoint(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1.5, 1.5), (2, 2))
+        assert not a.intersects(b)
+
+    def test_disjoint_one_axis_only(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 0), (3, 1))  # overlaps in y, not x
+        assert not a.intersects(b)
+
+    def test_intersects_dim_mismatch(self):
+        with pytest.raises(GeometryError):
+            Rect((0, 0), (1, 1)).intersects(Rect((0,), (1,)))
+
+    def test_contains_point_interior(self, sample_rect):
+        assert sample_rect.contains_point((0.4, 0.5))
+
+    def test_contains_point_boundary(self, sample_rect):
+        assert sample_rect.contains_point((0.2, 0.3))
+        assert sample_rect.contains_point((0.6, 0.8))
+
+    def test_contains_point_outside(self, sample_rect):
+        assert not sample_rect.contains_point((0.0, 0.0))
+
+    def test_contains_point_dim_mismatch(self, sample_rect):
+        with pytest.raises(GeometryError):
+            sample_rect.contains_point((0.5,))
+
+    def test_contains_rect(self):
+        outer = Rect((0, 0), (1, 1))
+        inner = Rect((0.2, 0.2), (0.8, 0.8))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_contains_rect_self(self, sample_rect):
+        assert sample_rect.contains_rect(sample_rect)
+
+
+class TestCombining:
+    def test_union(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert a.union(b) == Rect((0, 0), (3, 3))
+
+    def test_union_contains_both(self, sample_rect):
+        other = Rect((0.5, 0.1), (0.9, 0.4))
+        u = sample_rect.union(other)
+        assert u.contains_rect(sample_rect)
+        assert u.contains_rect(other)
+
+    def test_intersection_overlap(self):
+        a = Rect((0, 0), (2, 2))
+        b = Rect((1, 1), (3, 3))
+        assert a.intersection(b) == Rect((1, 1), (2, 2))
+
+    def test_intersection_disjoint_is_none(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert a.intersection(b) is None
+
+    def test_intersection_edge_is_degenerate(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((1, 0), (2, 1))
+        got = a.intersection(b)
+        assert got == Rect((1, 0), (1, 1))
+        assert got.is_degenerate()
+
+    def test_enlargement_zero_for_contained(self):
+        outer = Rect((0, 0), (1, 1))
+        inner = Rect((0.2, 0.2), (0.4, 0.4))
+        assert outer.enlargement(inner) == 0.0
+
+    def test_enlargement_positive_for_external(self):
+        a = Rect((0, 0), (1, 1))
+        b = Rect((2, 2), (3, 3))
+        assert a.enlargement(b) == pytest.approx(9.0 - 1.0)
+
+    def test_clamped(self):
+        r = Rect((-1, -1), (0.5, 0.5))
+        assert r.clamped(unit_square()) == Rect((0, 0), (0.5, 0.5))
+
+    def test_clamped_disjoint_raises(self):
+        r = Rect((2, 2), (3, 3))
+        with pytest.raises(GeometryError):
+            r.clamped(unit_square())
+
+
+class TestConversion:
+    def test_as_array(self, sample_rect):
+        arr = sample_rect.as_array()
+        assert arr.shape == (2, 2)
+        assert arr[0].tolist() == [0.2, 0.3]
+
+    def test_iter_unpacks(self, sample_rect):
+        lo, hi = sample_rect
+        assert lo == (0.2, 0.3) and hi == (0.6, 0.8)
+
+
+class TestEnclosingMbr:
+    def test_multiple(self):
+        rects = [Rect((0, 0), (1, 1)), Rect((2, -1), (3, 0.5))]
+        assert enclosing_mbr(rects) == Rect((0, -1), (3, 1))
+
+    def test_single(self, sample_rect):
+        assert enclosing_mbr([sample_rect]) == sample_rect
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            enclosing_mbr([])
+
+    def test_area_never_below_max_input(self, small_rects):
+        rects = list(small_rects)[:20]
+        mbr = enclosing_mbr(rects)
+        assert mbr.area() >= max(r.area() for r in rects) - 1e-15

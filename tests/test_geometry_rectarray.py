@@ -1,0 +1,184 @@
+"""Unit tests for repro.core.geometry.RectArray."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, Rect, RectArray
+
+
+class TestConstruction:
+    def test_from_arrays(self):
+        ra = RectArray(np.zeros((5, 2)), np.ones((5, 2)))
+        assert len(ra) == 5
+        assert ra.ndim == 2
+
+    def test_from_points_degenerate(self, rng):
+        pts = rng.random((10, 3))
+        ra = RectArray.from_points(pts)
+        assert (ra.areas() == 0.0).all()
+        assert ra.ndim == 3
+
+    def test_from_rects(self):
+        ra = RectArray.from_rects([Rect((0, 0), (1, 1)), Rect((2, 2), (3, 4))])
+        assert len(ra) == 2
+        assert ra[1] == Rect((2, 2), (3, 4))
+
+    def test_from_rects_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            RectArray.from_rects([])
+
+    def test_from_rects_mixed_dims_rejected(self):
+        with pytest.raises(GeometryError):
+            RectArray.from_rects([Rect((0,), (1,)), Rect((0, 0), (1, 1))])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            RectArray(np.zeros((5, 2)), np.ones((4, 2)))
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(GeometryError):
+            RectArray(np.zeros(5), np.ones(5))
+
+    def test_lo_above_hi_rejected(self):
+        los = np.zeros((3, 2))
+        his = np.ones((3, 2))
+        his[1, 0] = -1.0
+        with pytest.raises(GeometryError):
+            RectArray(los, his)
+
+    def test_nan_rejected(self):
+        los = np.zeros((3, 2))
+        los[0, 0] = np.nan
+        with pytest.raises(GeometryError):
+            RectArray(los, np.ones((3, 2)))
+
+    def test_arrays_are_frozen(self, unit_points):
+        with pytest.raises(ValueError):
+            unit_points.los[0, 0] = 5.0
+
+    def test_copy_isolates_caller_array(self):
+        los = np.zeros((3, 2))
+        his = np.ones((3, 2))
+        ra = RectArray(los, his)
+        los[0, 0] = 0.5  # caller's array stays writable
+        assert ra.los[0, 0] == 0.0
+
+
+class TestContainerProtocol:
+    def test_getitem_int_returns_rect(self, small_rects):
+        r = small_rects[3]
+        assert isinstance(r, Rect)
+
+    def test_getitem_slice_returns_rectarray(self, small_rects):
+        sub = small_rects[10:20]
+        assert isinstance(sub, RectArray)
+        assert len(sub) == 10
+
+    def test_getitem_mask(self, small_rects):
+        mask = small_rects.areas() > np.median(small_rects.areas())
+        sub = small_rects[mask]
+        assert len(sub) == int(mask.sum())
+
+    def test_iter_yields_rects(self, small_rects):
+        rects = list(small_rects)
+        assert len(rects) == len(small_rects)
+        assert rects[0] == small_rects[0]
+
+    def test_equality(self, small_rects):
+        clone = RectArray(small_rects.los, small_rects.his)
+        assert small_rects == clone
+        assert small_rects != clone[0:10]
+
+    def test_repr(self, small_rects):
+        assert "n=200" in repr(small_rects)
+
+
+class TestMeasures:
+    def test_centers(self):
+        ra = RectArray(np.zeros((1, 2)), np.full((1, 2), 2.0))
+        assert ra.centers().tolist() == [[1.0, 1.0]]
+
+    def test_areas_match_scalar(self, small_rects):
+        areas = small_rects.areas()
+        for i in (0, 50, 199):
+            assert areas[i] == pytest.approx(small_rects[i].area())
+
+    def test_margins_match_scalar(self, small_rects):
+        margins = small_rects.margins()
+        for i in (0, 100):
+            assert margins[i] == pytest.approx(small_rects[i].margin())
+
+    def test_perimeters_are_double_margins(self, small_rects):
+        assert np.allclose(small_rects.perimeters(),
+                           2 * small_rects.margins())
+
+    def test_totals(self, small_rects):
+        assert small_rects.total_area() == pytest.approx(
+            small_rects.areas().sum())
+        assert small_rects.total_perimeter() == pytest.approx(
+            small_rects.perimeters().sum())
+
+
+class TestPredicates:
+    def test_intersects_rect_matches_scalar(self, small_rects):
+        q = Rect((0.3, 0.3), (0.7, 0.7))
+        mask = small_rects.intersects_rect(q)
+        for i in range(len(small_rects)):
+            assert mask[i] == small_rects[i].intersects(q)
+
+    def test_intersects_rect_dim_mismatch(self, small_rects):
+        with pytest.raises(GeometryError):
+            small_rects.intersects_rect(Rect((0,), (1,)))
+
+    def test_contains_point_matches_scalar(self, small_rects):
+        p = (0.5, 0.5)
+        mask = small_rects.contains_point(p)
+        for i in range(len(small_rects)):
+            assert mask[i] == small_rects[i].contains_point(p)
+
+    def test_contained_in(self, small_rects):
+        window = Rect((0.0, 0.0), (0.5, 0.5))
+        mask = small_rects.contained_in(window)
+        for i in range(len(small_rects)):
+            assert mask[i] == window.contains_rect(small_rects[i])
+
+
+class TestAggregation:
+    def test_mbr_encloses_all(self, small_rects):
+        mbr = small_rects.mbr()
+        assert small_rects.contained_in(mbr).all()
+
+    def test_mbr_is_tight(self, small_rects):
+        mbr = small_rects.mbr()
+        assert mbr.lo[0] == small_rects.los[:, 0].min()
+        assert mbr.hi[1] == small_rects.his[:, 1].max()
+
+    def test_group_mbrs_single_group(self, small_rects):
+        grouped = small_rects.group_mbrs([len(small_rects)])
+        assert len(grouped) == 1
+        assert grouped[0] == small_rects.mbr()
+
+    def test_group_mbrs_runs(self, small_rects):
+        sizes = [50, 50, 100]
+        grouped = small_rects.group_mbrs(sizes)
+        assert len(grouped) == 3
+        assert grouped[0] == small_rects[0:50].mbr()
+        assert grouped[2] == small_rects[100:200].mbr()
+
+    def test_group_mbrs_wrong_total_rejected(self, small_rects):
+        with pytest.raises(GeometryError):
+            small_rects.group_mbrs([100, 50])
+
+    def test_group_mbrs_zero_size_rejected(self, small_rects):
+        with pytest.raises(GeometryError):
+            small_rects.group_mbrs([0, 200])
+
+    def test_group_mbrs_empty_rejected(self, small_rects):
+        with pytest.raises(GeometryError):
+            small_rects.group_mbrs([])
+
+    def test_take_reorders(self, small_rects):
+        perm = np.arange(len(small_rects))[::-1]
+        taken = small_rects.take(perm)
+        assert taken[0] == small_rects[len(small_rects) - 1]
+        assert taken[len(taken) - 1] == small_rects[0]

@@ -1,0 +1,99 @@
+"""Property-based tests for the Hilbert curve."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hilbert.curve import hilbert_index, hilbert_point
+from repro.hilbert.float_key import float_hilbert_keys, snap_to_grid
+from repro.core.geometry import Rect, unit_square
+
+
+@given(
+    st.integers(1, 12),
+    st.lists(st.tuples(st.integers(0, 2 ** 12 - 1),
+                       st.integers(0, 2 ** 12 - 1)),
+             min_size=1, max_size=50),
+)
+@settings(max_examples=60)
+def test_roundtrip_2d(order, pairs):
+    limit = 1 << order
+    coords = np.array(
+        [(x % limit, y % limit) for x, y in pairs], dtype=np.int64
+    )
+    idx = hilbert_index(coords, order=order)
+    back = hilbert_point(idx, order=order, ndim=2)
+    assert np.array_equal(back.astype(np.int64), coords)
+
+
+@given(st.integers(1, 6), st.integers(2, 4))
+@settings(max_examples=20, deadline=None)
+def test_bijectivity_small_grids(order, ndim):
+    if order * ndim > 14:  # keep the exhaustive check small
+        order = 14 // ndim
+    side = 1 << order
+    grids = np.stack(
+        np.meshgrid(*[np.arange(side)] * ndim, indexing="ij"), axis=-1
+    ).reshape(-1, ndim)
+    idx = hilbert_index(grids, order=order)
+    assert len(set(idx.tolist())) == side ** ndim
+
+
+@given(st.integers(2, 10))
+def test_consecutive_indices_are_grid_neighbours(order):
+    count = min(1 << (2 * order), 2048)
+    pts = hilbert_point(
+        np.arange(count, dtype=np.uint64), order=order, ndim=2
+    ).astype(np.int64)
+    steps = np.abs(np.diff(pts, axis=0)).sum(axis=1)
+    assert (steps == 1).all()
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 1, allow_nan=False, width=32),
+                  st.floats(0, 1, allow_nan=False, width=32)),
+        min_size=1, max_size=40,
+    )
+)
+@settings(max_examples=60)
+def test_snap_to_grid_in_range(points):
+    pts = np.array(points, dtype=np.float64)
+    grid = snap_to_grid(pts, unit_square(), order=10)
+    assert (grid >= 0).all()
+    assert (grid < 1 << 10).all()
+
+
+@given(st.integers(0, 2 ** 31))
+@settings(max_examples=30)
+def test_float_keys_deterministic(seed):
+    rng = np.random.default_rng(seed)
+    pts = rng.random((50, 2))
+    k1 = float_hilbert_keys(pts, unit_square())
+    k2 = float_hilbert_keys(pts, unit_square())
+    assert np.array_equal(k1, k2)
+
+
+@given(st.integers(0, 2 ** 31))
+@settings(max_examples=20)
+def test_float_key_order_stable_across_resolutions(seed):
+    """Raising the grid order must not reorder well-separated points: the
+    paper's bit-refinement comparison is prefix-stable, and our truncation
+    at ``order`` bits only merges points closer than one cell."""
+    rng = np.random.default_rng(seed)
+    # Points at least ~2^-10 apart so both resolutions discriminate them.
+    pts = (rng.integers(0, 1 << 9, size=(40, 2)) + 0.5) / float(1 << 9)
+    lo = float_hilbert_keys(pts, unit_square(), order=12)
+    hi = float_hilbert_keys(pts, unit_square(), order=20)
+    assert np.array_equal(np.argsort(lo, kind="stable"),
+                          np.argsort(hi, kind="stable"))
+
+
+@given(st.floats(0.001, 0.999), st.floats(0.001, 0.999))
+def test_float_keys_clamp_outside_bounds(x, y):
+    bounds = Rect((0.25, 0.25), (0.75, 0.75))
+    inside = np.array([[0.5, 0.5]])
+    outside = np.array([[x * 0.2, y * 0.2]])  # below bounds
+    k_in = float_hilbert_keys(inside, bounds)
+    k_out = float_hilbert_keys(outside, bounds)
+    assert k_in.dtype == np.uint64 and k_out.dtype == np.uint64

@@ -1,0 +1,87 @@
+"""Unit tests for k-nearest-neighbour search."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, RectArray
+from repro.core.packing import SortTileRecursive
+from repro.rtree.bulk import bulk_load
+from repro.rtree.knn import knn
+
+
+def brute_knn(rects: RectArray, point, k):
+    """Oracle: point-to-rectangle distances by full scan."""
+    p = np.asarray(point)
+    below = np.maximum(rects.los - p, 0.0)
+    above = np.maximum(p - rects.his, 0.0)
+    delta = np.maximum(below, above)
+    d = np.sqrt((delta ** 2).sum(axis=1))
+    order = np.argsort(d, kind="stable")[:k]
+    return d[order]
+
+
+@pytest.fixture
+def searcher(small_rects):
+    tree, _ = bulk_load(small_rects, SortTileRecursive(), capacity=10)
+    return tree.searcher(buffer_pages=8)
+
+
+class TestKnn:
+    def test_distances_match_brute_force(self, searcher, small_rects, rng):
+        for _ in range(20):
+            p = rng.random(2)
+            got = knn(searcher, p, 5)
+            want = brute_knn(small_rects, p, 5)
+            assert len(got) == 5
+            assert np.allclose([d for _, d in got], want)
+
+    def test_results_sorted_by_distance(self, searcher, rng):
+        got = knn(searcher, rng.random(2), 10)
+        dists = [d for _, d in got]
+        assert dists == sorted(dists)
+
+    def test_k1_is_nearest(self, searcher, small_rects):
+        p = (0.5, 0.5)
+        (data_id, dist), = knn(searcher, p, 1)
+        assert dist == pytest.approx(brute_knn(small_rects, p, 1)[0])
+
+    def test_k_larger_than_data_returns_all(self, searcher, small_rects):
+        got = knn(searcher, (0.5, 0.5), len(small_rects) + 50)
+        assert len(got) == len(small_rects)
+
+    def test_point_inside_rect_distance_zero(self, searcher, small_rects):
+        center = small_rects[0].center
+        got = knn(searcher, center, 1)
+        assert got[0][1] == 0.0
+
+    def test_k_zero_rejected(self, searcher):
+        with pytest.raises(GeometryError):
+            knn(searcher, (0.5, 0.5), 0)
+
+    def test_dim_mismatch_rejected(self, searcher):
+        with pytest.raises(GeometryError):
+            knn(searcher, (0.5,), 3)
+
+    def test_charges_page_accesses(self, searcher):
+        before = searcher.disk_accesses
+        knn(searcher, (0.5, 0.5), 3)
+        assert searcher.disk_accesses > before
+
+    def test_point_data(self, rng):
+        pts = rng.random((500, 2))
+        tree, _ = bulk_load(RectArray.from_points(pts),
+                            SortTileRecursive(), capacity=20)
+        s = tree.searcher(buffer_pages=8)
+        q = rng.random(2)
+        got = knn(s, q, 3)
+        want = np.sort(np.linalg.norm(pts - q, axis=1))[:3]
+        assert np.allclose(sorted(d for _, d in got), want)
+
+    def test_ids_refer_to_real_rects(self, searcher, small_rects, rng):
+        p = rng.random(2)
+        for data_id, dist in knn(searcher, p, 5):
+            r = small_rects[int(data_id)]
+            below = np.maximum(np.asarray(r.lo) - p, 0.0)
+            above = np.maximum(p - np.asarray(r.hi), 0.0)
+            d = float(np.sqrt((np.maximum(below, above) ** 2).sum()))
+            assert d == pytest.approx(dist)

@@ -1,0 +1,82 @@
+"""Unit tests for the SVG line-chart renderer."""
+
+import pytest
+
+from repro.experiments.report import Series
+from repro.viz.linechart import _nice_ticks, line_chart_svg
+
+
+def make_series():
+    a = Series(label="STR")
+    b = Series(label="HS")
+    for x, ya, yb in ((10, 1.0, 1.5), (25, 0.8, 1.2), (50, 0.6, 0.9)):
+        a.add(x, ya)
+        b.add(x, yb)
+    return [a, b]
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 97.0)
+        assert ticks[0] <= 0.0
+        assert ticks[-1] >= 90.0
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0, 10)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+        assert steps.pop() in (1, 2, 2.5, 5)
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 2
+
+    def test_reasonable_count(self):
+        for hi in (1, 7, 33, 1000):
+            assert 3 <= len(_nice_ticks(0, hi)) <= 12
+
+
+class TestLineChart:
+    def test_well_formed(self):
+        svg = line_chart_svg(make_series(), title="Figure 10")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "Figure 10" in svg
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart_svg(make_series())
+        assert svg.count("<polyline") == 2
+
+    def test_markers_for_every_point(self):
+        svg = line_chart_svg(make_series())
+        assert svg.count("<circle") == 6
+
+    def test_legend_labels_present(self):
+        svg = line_chart_svg(make_series())
+        assert ">STR</text>" in svg
+        assert ">HS</text>" in svg
+
+    def test_axis_labels(self):
+        svg = line_chart_svg(make_series(), x_label="Buffer Size",
+                             y_label="Disk Accesses")
+        assert "Buffer Size" in svg
+        assert "Disk Accesses" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart_svg([Series(label="empty")])
+
+    def test_single_point_series(self):
+        s = Series(label="one")
+        s.add(5, 2.0)
+        svg = line_chart_svg([s])
+        assert svg.count("<circle") == 1
+
+    def test_coordinates_within_canvas(self):
+        svg = line_chart_svg(make_series())
+        for line in svg.splitlines():
+            if "<circle" in line:
+                cx = float(line.split('cx="')[1].split('"')[0])
+                cy = float(line.split('cy="')[1].split('"')[0])
+                assert 0 <= cx <= 760
+                assert 0 <= cy <= 520

@@ -1,0 +1,108 @@
+"""Unit tests for the packing framework helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.packing.base import (
+    PackingError,
+    ceil_pow_frac,
+    ceil_root,
+    leaf_group_sizes,
+    validate_permutation,
+)
+
+
+class TestLeafGroupSizes:
+    def test_exact_multiple(self):
+        assert leaf_group_sizes(300, 100) == [100, 100, 100]
+
+    def test_remainder_goes_last(self):
+        assert leaf_group_sizes(250, 100) == [100, 100, 50]
+
+    def test_fewer_than_capacity(self):
+        assert leaf_group_sizes(7, 100) == [7]
+
+    def test_single(self):
+        assert leaf_group_sizes(1, 1) == [1]
+
+    def test_group_count_is_ceil(self):
+        for count in (1, 99, 100, 101, 1234):
+            sizes = leaf_group_sizes(count, 100)
+            assert len(sizes) == math.ceil(count / 100)
+            assert sum(sizes) == count
+
+    def test_all_but_last_full(self):
+        sizes = leaf_group_sizes(1234, 100)
+        assert all(s == 100 for s in sizes[:-1])
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PackingError):
+            leaf_group_sizes(0, 100)
+        with pytest.raises(PackingError):
+            leaf_group_sizes(100, 0)
+
+
+class TestCeilRoot:
+    @pytest.mark.parametrize("value,k", [
+        (1, 1), (4, 2), (9, 2), (10, 2), (27, 3), (28, 3), (1000, 3),
+        (10 ** 12, 4), (2, 10), (7, 1),
+    ])
+    def test_matches_definition(self, value, k):
+        got = ceil_root(value, k)
+        assert got ** k >= value
+        assert (got - 1) ** k < value or got == 1
+
+    def test_perfect_powers_exact(self):
+        # The float-pow pitfall: 27**(1/3) rounds to 3.0000000000000004.
+        assert ceil_root(27, 3) == 3
+        assert ceil_root(64, 3) == 4
+        assert ceil_root(10 ** 9, 3) == 1000
+
+    def test_invalid(self):
+        with pytest.raises(PackingError):
+            ceil_root(0, 2)
+        with pytest.raises(PackingError):
+            ceil_root(4, 0)
+
+
+class TestCeilPowFrac:
+    @pytest.mark.parametrize("value,num,den", [
+        (10, 1, 2), (10, 2, 3), (27, 2, 3), (100, 3, 4), (5, 0, 3),
+        (1, 5, 7), (12345, 2, 3),
+    ])
+    def test_matches_definition(self, value, num, den):
+        got = ceil_pow_frac(value, num, den)
+        assert got ** den >= value ** num
+        assert got == 1 or (got - 1) ** den < value ** num
+
+    def test_matches_float_where_safe(self):
+        assert ceil_pow_frac(10, 1, 2) == math.ceil(10 ** 0.5)
+        assert ceil_pow_frac(10, 2, 3) == math.ceil(10 ** (2 / 3))
+
+    def test_perfect_power_exact(self):
+        assert ceil_pow_frac(27, 2, 3) == 9
+
+    def test_invalid(self):
+        with pytest.raises(PackingError):
+            ceil_pow_frac(0, 1, 2)
+        with pytest.raises(PackingError):
+            ceil_pow_frac(4, 1, 0)
+
+
+class TestValidatePermutation:
+    def test_accepts_identity(self):
+        out = validate_permutation(np.arange(5), 5)
+        assert out.dtype == np.int64
+
+    def test_accepts_shuffle(self, rng):
+        validate_permutation(rng.permutation(100), 100)
+
+    def test_rejects_wrong_length(self):
+        with pytest.raises(PackingError):
+            validate_permutation(np.arange(4), 5)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(PackingError):
+            validate_permutation(np.array([0, 0, 2]), 3)

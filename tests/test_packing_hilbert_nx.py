@@ -1,0 +1,130 @@
+"""Unit tests for Hilbert Sort and Nearest-X packing, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import RectArray
+from repro.core.packing import (
+    ALGORITHMS,
+    HilbertSort,
+    NearestX,
+    PackingError,
+    SortTileRecursive,
+    algorithm_names,
+    make_algorithm,
+)
+from repro.hilbert.float_key import float_hilbert_keys
+from repro.core.geometry import unit_square
+
+
+class TestNearestX:
+    def test_orders_by_center_x(self, rng):
+        lo = rng.random((300, 2))
+        ra = RectArray(lo, lo + rng.random((300, 2)) * 0.05)
+        perm = NearestX().order(ra, 50)
+        cx = ra.centers()[:, 0]
+        assert (np.diff(cx[perm]) >= 0).all()
+
+    def test_ignores_y_entirely(self, rng):
+        pts = rng.random((200, 2))
+        flipped = np.column_stack([pts[:, 0], 1.0 - pts[:, 1]])
+        a = NearestX().order(RectArray.from_points(pts), 20)
+        b = NearestX().order(RectArray.from_points(flipped), 20)
+        assert np.array_equal(a, b)
+
+    def test_alternative_dimension(self, rng):
+        pts = rng.random((200, 2))
+        perm = NearestX(dimension=1).order(RectArray.from_points(pts), 20)
+        assert (np.diff(pts[perm, 1]) >= 0).all()
+
+    def test_dimension_out_of_range(self, unit_points):
+        with pytest.raises(ValueError):
+            NearestX(dimension=5).order(unit_points, 10)
+
+    def test_negative_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            NearestX(dimension=-1)
+
+    def test_stable_for_ties(self):
+        pts = np.zeros((10, 2))
+        pts[:, 1] = np.arange(10)
+        perm = NearestX().order(RectArray.from_points(pts), 5)
+        assert perm.tolist() == list(range(10))  # stable sort keeps input order
+
+    def test_name_and_repr(self):
+        assert NearestX.name == "NX"
+        assert "dimension=0" in repr(NearestX())
+
+
+class TestHilbertSort:
+    def test_orders_by_hilbert_keys(self, unit_points):
+        algo = HilbertSort()
+        perm = algo.order(unit_points, 100)
+        keys = algo.order_keys(unit_points)
+        assert (np.diff(keys[perm].astype(np.int64)) >= 0).all()
+
+    def test_matches_manual_keys(self, unit_points):
+        algo = HilbertSort(curve_order=12)
+        keys = float_hilbert_keys(unit_points.centers(), unit_points.mbr(),
+                                  order=12)
+        assert np.array_equal(algo.order_keys(unit_points), keys)
+
+    def test_locality_neighbours_in_same_node(self, rng):
+        """Points in a tiny cluster should land in few distinct nodes."""
+        cluster = 0.5 + rng.random((50, 2)) * 0.001
+        background = rng.random((950, 2))
+        pts = np.concatenate([cluster, background])
+        ra = RectArray.from_points(pts)
+        perm = HilbertSort().order(ra, 100)
+        position = np.empty(len(pts), dtype=int)
+        position[perm] = np.arange(len(pts))
+        nodes = set(position[:50] // 100)
+        assert len(nodes) <= 3
+
+    def test_3d_supported(self, rng):
+        ra = RectArray.from_points(rng.random((500, 3)))
+        perm = HilbertSort().order(ra, 20)
+        assert sorted(perm.tolist()) == list(range(500))
+
+    def test_order_capped_for_high_dims(self, rng):
+        # 7-D at the default 16 bits would overflow uint64; must auto-cap.
+        ra = RectArray.from_points(rng.random((100, 7)))
+        perm = HilbertSort(curve_order=16).order(ra, 10)
+        assert sorted(perm.tolist()) == list(range(100))
+
+    def test_invalid_curve_order(self):
+        with pytest.raises(PackingError):
+            HilbertSort(curve_order=0)
+
+    def test_deterministic(self, unit_points):
+        assert np.array_equal(HilbertSort().order(unit_points, 64),
+                              HilbertSort().order(unit_points, 64))
+
+    def test_name_and_repr(self):
+        assert HilbertSort.name == "HS"
+        assert "curve_order=16" in repr(HilbertSort())
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("alias,cls", [
+        ("str", SortTileRecursive), ("STR", SortTileRecursive),
+        ("sort-tile-recursive", SortTileRecursive),
+        ("hs", HilbertSort), ("hilbert", HilbertSort),
+        ("nx", NearestX), ("Nearest-X", NearestX),
+    ])
+    def test_aliases(self, alias, cls):
+        assert isinstance(make_algorithm(alias), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(PackingError):
+            make_algorithm("rstar")
+
+    def test_fresh_instances(self):
+        assert make_algorithm("str") is not make_algorithm("str")
+
+    def test_paper_order(self):
+        assert algorithm_names() == ("STR", "HS", "NX")
+
+    def test_registry_complete(self):
+        built = {type(make_algorithm(k)) for k in ALGORITHMS}
+        assert built == {SortTileRecursive, HilbertSort, NearestX}

@@ -1,0 +1,154 @@
+"""Unit tests for Sort-Tile-Recursive packing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import RectArray
+from repro.core.packing.base import PackingError
+from repro.core.packing.str_ import SortTileRecursive, str_slab_sizes
+
+
+class TestSlabSizes:
+    def test_2d_matches_paper_formula(self):
+        # r=10,000, n=100 -> P=100 pages, S=ceil(sqrt(100))=10 slices of
+        # S*n = 1000 rectangles each.
+        sizes = str_slab_sizes(10_000, 100, dims_left=2)
+        assert sizes == [1000] * 10
+
+    def test_2d_ragged_last_slice(self):
+        # r=950, n=100 -> P=10, S=4, slab=400: slices 400,400,150.
+        sizes = str_slab_sizes(950, 100, dims_left=2)
+        assert sizes == [400, 400, 150]
+        assert sum(sizes) == 950
+
+    def test_last_dim_is_single_run(self):
+        assert str_slab_sizes(12345, 100, dims_left=1) == [12345]
+
+    def test_3d_uses_fractional_power(self):
+        # P = ceil(1000/10) = 100; slab = n*ceil(100^(2/3)) = 10*22 = 220.
+        sizes = str_slab_sizes(1000, 10, dims_left=3)
+        assert sizes[0] == 10 * math.ceil(100 ** (2 / 3))
+        assert sum(sizes) == 1000
+
+    def test_small_input_one_slab(self):
+        assert str_slab_sizes(5, 100, dims_left=2) == [5]
+
+    def test_invalid(self):
+        with pytest.raises(PackingError):
+            str_slab_sizes(0, 100, 2)
+        with pytest.raises(PackingError):
+            str_slab_sizes(100, 0, 2)
+        with pytest.raises(PackingError):
+            str_slab_sizes(100, 100, 0)
+
+
+class TestOrdering:
+    def test_returns_permutation(self, unit_points):
+        perm = SortTileRecursive().order(unit_points, 100)
+        assert sorted(perm.tolist()) == list(range(len(unit_points)))
+
+    def test_deterministic(self, unit_points):
+        a = SortTileRecursive().order(unit_points, 100)
+        b = SortTileRecursive().order(unit_points, 100)
+        assert np.array_equal(a, b)
+
+    def test_1d_is_plain_sort(self, rng):
+        pts = rng.random((500, 1))
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, 10)
+        assert np.array_equal(perm, np.argsort(pts[:, 0], kind="stable"))
+
+    def test_slices_are_x_contiguous(self, rng):
+        """Every vertical slice spans an x-range disjoint from later ones."""
+        pts = rng.random((10_000, 2))
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, 100)
+        xs = pts[perm, 0]
+        slab = 1000  # S*n for this input (see TestSlabSizes)
+        for s in range(9):
+            left = xs[s * slab:(s + 1) * slab]
+            right = xs[(s + 1) * slab:]
+            assert left.max() <= right.min() + 1e-12
+
+    def test_within_slice_sorted_by_y(self, rng):
+        pts = rng.random((10_000, 2))
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, 100)
+        ys = pts[perm, 1]
+        for s in range(10):
+            sl = ys[s * 1000:(s + 1) * 1000]
+            assert (np.diff(sl) >= 0).all()
+
+    def test_grid_input_produces_perfect_tiles(self):
+        """A 16x16 grid with n=16 gives P=16 pages, S=4 slices: the leaves
+        must tile the grid into sixteen 4x4 squares — the canonical STR
+        picture."""
+        g = 16
+        xs, ys = np.meshgrid(np.arange(g), np.arange(g), indexing="ij")
+        pts = np.column_stack([xs.ravel(), ys.ravel()]).astype(float)
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, g)
+        ordered = ra.take(perm)
+        mbrs = ordered.group_mbrs([g] * g)
+        expected_tiles = {
+            (float(sx * 4), float(sy * 4), float(sx * 4 + 3), float(sy * 4 + 3))
+            for sx in range(4) for sy in range(4)
+        }
+        got_tiles = {
+            (m.lo[0], m.lo[1], m.hi[0], m.hi[1]) for m in mbrs
+        }
+        assert got_tiles == expected_tiles
+
+    def test_leaf_mbrs_disjoint_on_grid(self):
+        """On point data STR leaf tiles never overlap (slices are disjoint
+        in x; within a slice, runs are disjoint in y)."""
+        rng = np.random.default_rng(5)
+        pts = rng.random((2500, 2))
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, 25)
+        ordered = ra.take(perm)
+        mbrs = ordered.group_mbrs([25] * 100)
+        # Sum of pairwise overlap areas must be ~zero.
+        overlap = 0.0
+        for i in range(len(mbrs)):
+            inter_lo = np.maximum(mbrs.los[i], mbrs.los[i + 1:])
+            inter_hi = np.minimum(mbrs.his[i], mbrs.his[i + 1:])
+            sides = np.clip(inter_hi - inter_lo, 0.0, None)
+            overlap += float(np.prod(sides, axis=1).sum())
+        assert overlap < 1e-9
+
+    def test_3d_order_valid(self, rng):
+        pts = rng.random((3000, 3))
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, 10)
+        assert sorted(perm.tolist()) == list(range(3000))
+
+    def test_4d_order_valid(self, rng):
+        pts = rng.random((2000, 4))
+        ra = RectArray.from_points(pts)
+        perm = SortTileRecursive().order(ra, 8)
+        assert sorted(perm.tolist()) == list(range(2000))
+
+    def test_rectangles_use_centers(self):
+        """Ordering must depend on centers, not corners: translating a rect
+        symmetrically around its center must not change the order."""
+        rng = np.random.default_rng(9)
+        centers = rng.random((500, 2))
+        small = RectArray(centers - 0.001, centers + 0.001)
+        large = RectArray(centers - 0.01, centers + 0.01)
+        algo = SortTileRecursive()
+        assert np.array_equal(algo.order(small, 20), algo.order(large, 20))
+
+    def test_empty_rejected(self):
+        empty = RectArray(np.empty((0, 2)), np.empty((0, 2)))
+        with pytest.raises(PackingError):
+            SortTileRecursive().order(empty, 10)
+
+    def test_bad_capacity_rejected(self, unit_points):
+        with pytest.raises(PackingError):
+            SortTileRecursive().order(unit_points, 0)
+
+    def test_name(self):
+        assert SortTileRecursive.name == "STR"

@@ -1,0 +1,138 @@
+"""Unit tests for the binary node-page codec."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import RectArray
+from repro.storage.page import (
+    NodePage,
+    PageFormatError,
+    decode_node,
+    encode_node,
+    entry_size,
+    required_page_size,
+)
+
+
+def make_node(count=10, ndim=2, level=0, rng_seed=0):
+    rng = np.random.default_rng(rng_seed)
+    lo = rng.random((count, ndim))
+    hi = lo + rng.random((count, ndim))
+    children = rng.integers(0, 2 ** 62, size=count, dtype=np.int64)
+    return NodePage(level=level, children=children, rects=RectArray(lo, hi))
+
+
+class TestSizing:
+    def test_entry_size_2d(self):
+        assert entry_size(2) == 8 + 32
+
+    def test_entry_size_scales_with_ndim(self):
+        assert entry_size(3) - entry_size(2) == 16
+
+    def test_entry_size_bad_ndim(self):
+        with pytest.raises(PageFormatError):
+            entry_size(0)
+
+    def test_paper_parameters_give_4k_pages(self):
+        # capacity 100, 2-D: the paper's node = one standard 4 KiB page.
+        assert required_page_size(100, 2) == 4096
+
+    def test_alignment(self):
+        assert required_page_size(3, 2, align=512) == 512
+
+    def test_no_alignment(self):
+        assert required_page_size(3, 2, align=0) == 16 + 3 * 40
+
+    def test_bad_capacity(self):
+        with pytest.raises(PageFormatError):
+            required_page_size(0, 2)
+
+
+class TestNodePage:
+    def test_basic_properties(self):
+        node = make_node(count=7, level=2)
+        assert node.count == 7
+        assert node.level == 2
+        assert not node.is_leaf
+        assert node.ndim == 2
+
+    def test_leaf_flag(self):
+        assert make_node(level=0).is_leaf
+
+    def test_negative_level_rejected(self):
+        with pytest.raises(PageFormatError):
+            make_node(level=-1)
+
+    def test_count_mismatch_rejected(self):
+        rng = np.random.default_rng(0)
+        rects = RectArray.from_points(rng.random((5, 2)))
+        with pytest.raises(PageFormatError):
+            NodePage(level=0, children=np.arange(4), rects=rects)
+
+    def test_empty_node_rejected(self):
+        empty = RectArray(np.empty((0, 2)), np.empty((0, 2)))
+        with pytest.raises(PageFormatError):
+            NodePage(level=0, children=np.empty(0, dtype=np.int64),
+                     rects=empty)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("count", [1, 2, 50, 100])
+    @pytest.mark.parametrize("ndim", [1, 2, 3, 4])
+    def test_roundtrip(self, count, ndim):
+        node = make_node(count=count, ndim=ndim, level=3)
+        size = required_page_size(100, ndim)
+        back = decode_node(encode_node(node, size))
+        assert back.level == node.level
+        assert np.array_equal(back.children, node.children)
+        assert back.rects == node.rects
+
+    def test_roundtrip_preserves_exact_floats(self):
+        lo = np.array([[0.1 + 1e-17, -3.7e-300]])
+        hi = np.array([[0.1 + 2e-17, 4.2e300]])
+        node = NodePage(level=0, children=np.array([9]),
+                        rects=RectArray(lo, hi))
+        back = decode_node(encode_node(node, 4096))
+        assert np.array_equal(back.rects.los, lo)
+        assert np.array_equal(back.rects.his, hi)
+
+    def test_roundtrip_preserves_large_ids(self):
+        node = NodePage(
+            level=1,
+            children=np.array([2 ** 62, 0, 1], dtype=np.int64),
+            rects=RectArray(np.zeros((3, 2)), np.ones((3, 2))),
+        )
+        back = decode_node(encode_node(node, 4096))
+        assert back.children.tolist() == [2 ** 62, 0, 1]
+
+    def test_encoded_size_is_exactly_page_size(self):
+        node = make_node(count=5)
+        data = encode_node(node, 4096)
+        assert len(data) == 4096
+
+    def test_overflow_rejected(self):
+        node = make_node(count=100)
+        with pytest.raises(PageFormatError):
+            encode_node(node, 512)
+
+
+class TestDecodeErrors:
+    def test_truncated_page(self):
+        with pytest.raises(PageFormatError):
+            decode_node(b"\x00" * 8)
+
+    def test_bad_magic(self):
+        data = bytearray(encode_node(make_node(), 4096))
+        data[0] ^= 0xFF
+        with pytest.raises(PageFormatError):
+            decode_node(bytes(data))
+
+    def test_zeroed_page(self):
+        with pytest.raises(PageFormatError):
+            decode_node(b"\x00" * 4096)
+
+    def test_corrupt_count(self):
+        data = bytearray(encode_node(make_node(count=2), 4096))
+        data[8:12] = (10_000).to_bytes(4, "little")  # count beyond payload
+        with pytest.raises(PageFormatError):
+            decode_node(bytes(data))

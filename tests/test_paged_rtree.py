@@ -1,0 +1,295 @@
+"""Unit tests for bulk loading and the paged R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, Rect, RectArray
+from repro.core.packing import HilbertSort, NearestX, SortTileRecursive
+from repro.rtree.bulk import bulk_load, paged_from_dynamic
+from repro.rtree.node import RTreeError
+from repro.rtree.tree import RTree
+from repro.rtree.validate import ValidationError, validate_paged
+from repro.storage.store import FilePageStore, MemoryPageStore
+from repro.storage.page import required_page_size
+
+from tests.conftest import brute_force_search
+
+ALGOS = [SortTileRecursive, HilbertSort, NearestX]
+
+
+@pytest.fixture(params=ALGOS, ids=lambda c: c.name)
+def algo(request):
+    return request.param()
+
+
+class TestBulkLoad:
+    def test_small_tree_structure(self, unit_points, algo):
+        tree, report = bulk_load(unit_points, algo, capacity=50)
+        assert len(tree) == 1000
+        assert tree.height == 2  # 20 leaves + root
+        assert report.leaf_pages == 20
+        assert report.pages_written == tree.page_count == 21
+        validate_paged(tree, range(1000))
+
+    def test_three_levels(self, rng, algo):
+        ra = RectArray.from_points(rng.random((1000, 2)))
+        tree, _ = bulk_load(ra, algo, capacity=10)
+        assert tree.height == 3  # 100 leaves, 10 internal, root
+        validate_paged(tree, range(1000))
+
+    def test_single_rect(self, algo):
+        ra = RectArray.from_points(np.array([[0.5, 0.5]]))
+        tree, report = bulk_load(ra, algo, capacity=10)
+        assert tree.height == 1
+        assert report.pages_written == 1
+        validate_paged(tree, [0])
+
+    def test_exactly_capacity(self, rng, algo):
+        ra = RectArray.from_points(rng.random((10, 2)))
+        tree, _ = bulk_load(ra, algo, capacity=10)
+        assert tree.height == 1  # a single full root leaf
+        validate_paged(tree, range(10))
+
+    def test_capacity_plus_one(self, rng, algo):
+        ra = RectArray.from_points(rng.random((11, 2)))
+        tree, _ = bulk_load(ra, algo, capacity=10)
+        assert tree.height == 2
+        validate_paged(tree, range(11))
+
+    def test_custom_data_ids(self, rng, algo):
+        ra = RectArray.from_points(rng.random((30, 2)))
+        ids = np.arange(30) * 7 + 1000
+        tree, _ = bulk_load(ra, algo, capacity=10, data_ids=ids)
+        validate_paged(tree, ids)
+
+    def test_bad_data_ids_shape(self, unit_points, algo):
+        with pytest.raises(RTreeError):
+            bulk_load(unit_points, algo, data_ids=np.arange(5))
+
+    def test_empty_rejected(self, algo):
+        empty = RectArray(np.empty((0, 2)), np.empty((0, 2)))
+        with pytest.raises(GeometryError):
+            bulk_load(empty, algo)
+
+    def test_capacity_one_rejected(self, unit_points, algo):
+        with pytest.raises(RTreeError):
+            bulk_load(unit_points, algo, capacity=1)
+
+    def test_near_full_utilization(self, rng, algo):
+        """Packing's claim (b): all leaves full except possibly the last."""
+        ra = RectArray.from_points(rng.random((1234, 2)))
+        tree, _ = bulk_load(ra, algo, capacity=100)
+        counts = sorted(
+            node.count for _, node in tree.iter_level(0)
+        )
+        assert counts[-1] == 100
+        assert sum(counts) == 1234
+        assert sum(c == 100 for c in counts) >= 12
+
+    def test_undersized_store_rejected(self, unit_points, algo):
+        store = MemoryPageStore(512)
+        with pytest.raises(RTreeError):
+            bulk_load(unit_points, algo, capacity=100, store=store)
+
+    def test_file_store_backend(self, tmp_path, rng, algo):
+        ra = RectArray.from_points(rng.random((500, 2)))
+        page_size = required_page_size(20, 2)
+        with FilePageStore(tmp_path / "tree.pages", page_size) as store:
+            tree, _ = bulk_load(ra, algo, capacity=20, store=store)
+            validate_paged(tree, range(500))
+            searcher = tree.searcher(buffer_pages=5)
+            got = set(searcher.search(Rect((0.2, 0.2), (0.4, 0.4))).tolist())
+            assert got == brute_force_search(ra, Rect((0.2, 0.2), (0.4, 0.4)))
+
+    def test_reorder_internal_false_still_valid(self, rng, algo):
+        ra = RectArray.from_points(rng.random((3000, 2)))
+        tree, _ = bulk_load(ra, algo, capacity=10, reorder_internal=False)
+        validate_paged(tree, range(3000))
+
+    def test_3d_bulk_load(self, rng, algo):
+        ra = RectArray.from_points(rng.random((800, 3)))
+        tree, _ = bulk_load(ra, algo, capacity=16)
+        validate_paged(tree, range(800))
+
+
+class TestPagedSearch:
+    @pytest.fixture
+    def loaded(self, small_rects):
+        tree, _ = bulk_load(small_rects, SortTileRecursive(), capacity=10)
+        return small_rects, tree
+
+    def test_matches_brute_force_many_queries(self, loaded):
+        rects, tree = loaded
+        searcher = tree.searcher(buffer_pages=4)
+        rng = np.random.default_rng(11)
+        for _ in range(50):
+            lo = rng.random(2) * 0.8
+            q = Rect(tuple(lo), tuple(lo + rng.random(2) * 0.3))
+            got = set(searcher.search(q).tolist())
+            assert got == brute_force_search(rects, q)
+
+    def test_point_query_matches(self, loaded):
+        rects, tree = loaded
+        searcher = tree.searcher(buffer_pages=4)
+        got = set(searcher.point_query((0.5, 0.5)).tolist())
+        assert got == {
+            i for i in range(len(rects))
+            if rects[i].contains_point((0.5, 0.5))
+        }
+
+    def test_no_match_returns_empty_int64(self, loaded):
+        _, tree = loaded
+        searcher = tree.searcher(buffer_pages=4)
+        out = searcher.search(Rect((5, 5), (6, 6)))
+        assert out.size == 0
+        assert out.dtype == np.int64
+
+    def test_count(self, loaded):
+        rects, tree = loaded
+        searcher = tree.searcher(buffer_pages=4)
+        q = Rect((0.1, 0.1), (0.6, 0.6))
+        assert searcher.count(q) == len(brute_force_search(rects, q))
+
+    def test_query_dim_mismatch(self, loaded):
+        _, tree = loaded
+        with pytest.raises(GeometryError):
+            tree.searcher(4).search(Rect((0,), (1,)))
+
+    def test_disk_accesses_counted(self, loaded):
+        _, tree = loaded
+        searcher = tree.searcher(buffer_pages=1)
+        searcher.search(Rect((0, 0), (1, 1)))
+        # Everything intersects: at least every leaf + root is fetched.
+        assert searcher.disk_accesses >= tree.page_count - 1
+
+    def test_bigger_buffer_never_more_accesses(self, loaded):
+        _, tree = loaded
+        rng = np.random.default_rng(4)
+        queries = [
+            Rect(tuple(lo), tuple(lo + 0.2))
+            for lo in rng.random((100, 2)) * 0.8
+        ]
+        small = tree.searcher(buffer_pages=2)
+        big = tree.searcher(buffer_pages=tree.page_count)
+        for q in queries:
+            small.search(q)
+            big.search(q)
+        assert big.disk_accesses <= small.disk_accesses
+
+    def test_full_buffer_reads_each_page_at_most_once(self, loaded):
+        _, tree = loaded
+        searcher = tree.searcher(buffer_pages=tree.page_count)
+        rng = np.random.default_rng(4)
+        for lo in rng.random((200, 2)) * 0.7:
+            searcher.search(Rect(tuple(lo), tuple(lo + 0.3)))
+        assert searcher.disk_accesses <= tree.page_count
+
+    def test_reset_stats(self, loaded):
+        _, tree = loaded
+        searcher = tree.searcher(buffer_pages=4)
+        searcher.search(Rect((0, 0), (1, 1)))
+        searcher.reset_stats()
+        assert searcher.disk_accesses == 0
+
+    def test_warm(self, loaded):
+        _, tree = loaded
+        searcher = tree.searcher(buffer_pages=tree.page_count)
+        searcher.warm([Rect((0, 0), (1, 1))])
+        searcher.reset_stats()
+        searcher.search(Rect((0, 0), (1, 1)))
+        assert searcher.disk_accesses == 0  # fully warmed
+
+    def test_pin_levels(self, loaded):
+        _, tree = loaded
+        searcher = tree.searcher(buffer_pages=tree.page_count)
+        searcher.pin_levels(range(1, tree.height))
+        assert len(searcher.buffer.pinned_keys) >= 1
+
+    def test_independent_searchers_have_independent_stats(self, loaded):
+        _, tree = loaded
+        s1 = tree.searcher(buffer_pages=4)
+        s2 = tree.searcher(buffer_pages=4)
+        s1.search(Rect((0, 0), (1, 1)))
+        assert s2.disk_accesses == 0
+
+
+class TestTreeInspection:
+    def test_iter_nodes_covers_all_pages(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        seen = {pid for pid, _ in tree.iter_nodes()}
+        assert seen == set(range(tree.page_count))
+
+    def test_level_summaries(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        summaries = tree.level_summaries()
+        assert [s.level for s in summaries] == [1, 0]
+        leaf = summaries[-1]
+        assert leaf.node_count == 20
+        assert leaf.entry_count == 1000
+
+    def test_mbr(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        assert tree.mbr() == unit_points.mbr()
+
+    def test_inspection_does_not_touch_counters(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        before = tree.store.stats.disk_reads
+        list(tree.iter_nodes())
+        tree.level_summaries()
+        assert tree.store.stats.disk_reads == before
+
+
+class TestPagedFromDynamic:
+    def test_roundtrip_preserves_search_results(self, rng):
+        pts = rng.random((300, 2))
+        dyn = RTree(capacity=10)
+        for i, p in enumerate(pts):
+            dyn.insert(Rect.from_point(tuple(p)), i)
+        paged = paged_from_dynamic(dyn)
+        validate_paged(paged, range(300))
+        searcher = paged.searcher(buffer_pages=8)
+        q = Rect((0.2, 0.2), (0.7, 0.7))
+        assert set(searcher.search(q).tolist()) == set(dyn.search(q))
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(RTreeError):
+            paged_from_dynamic(RTree())
+
+    def test_heights_match(self, rng):
+        dyn = RTree(capacity=5)
+        for i, p in enumerate(rng.random((100, 2))):
+            dyn.insert(Rect.from_point(tuple(p)), i)
+        paged = paged_from_dynamic(dyn)
+        assert paged.height == dyn.height
+
+
+class TestValidatorCatchesCorruption:
+    def _corrupt_tree(self, rng):
+        ra = RectArray.from_points(rng.random((100, 2)))
+        return bulk_load(ra, SortTileRecursive(), capacity=10)[0]
+
+    def test_detects_wrong_size(self, rng):
+        tree = self._corrupt_tree(rng)
+        tree._size = 99
+        with pytest.raises(ValidationError):
+            validate_paged(tree)
+
+    def test_detects_wrong_ids(self, rng):
+        tree = self._corrupt_tree(rng)
+        with pytest.raises(ValidationError):
+            validate_paged(tree, range(1, 101))
+
+    def test_detects_stale_parent_mbr(self, rng):
+        from repro.storage.page import NodePage, decode_node, encode_node
+        tree = self._corrupt_tree(rng)
+        root = tree.root_node()
+        # Shrink the first child's stored rect in the root.
+        los = root.rects.los.copy()
+        his = root.rects.his.copy()
+        his[0] = los[0]  # collapse
+        bad = NodePage(level=root.level, children=root.children,
+                       rects=RectArray(los, his))
+        tree.store.write_page(tree.root_page,
+                              encode_node(bad, tree.store.page_size))
+        with pytest.raises(ValidationError):
+            validate_paged(tree)

@@ -1,0 +1,126 @@
+"""Unit tests for query workload generation (paper Section 3 / 4.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect, unit_square
+from repro.datasets.cfd import CFD_QUERY_WINDOW
+from repro.queries import (
+    PAPER_QUERY_COUNT,
+    QueryWorkload,
+    point_queries,
+    region_queries,
+    workload_for,
+)
+
+
+class TestPointQueries:
+    def test_default_count_is_papers(self):
+        assert len(point_queries()) == PAPER_QUERY_COUNT == 2000
+
+    def test_queries_are_points(self):
+        w = point_queries(100, seed=1)
+        assert (w.rects.areas() == 0).all()
+
+    def test_uniform_in_unit_square(self):
+        w = point_queries(5000, seed=1)
+        centers = w.rects.centers()
+        assert centers.min() >= 0 and centers.max() <= 1
+        assert abs(centers.mean() - 0.5) < 0.02
+
+    def test_restricted_window(self):
+        w = point_queries(500, seed=1, window=CFD_QUERY_WINDOW)
+        for q in w:
+            assert CFD_QUERY_WINDOW.contains_rect(q)
+
+    def test_deterministic(self):
+        assert point_queries(50, seed=3).rects == point_queries(
+            50, seed=3).rects
+
+    def test_kind_label(self):
+        assert point_queries(10).kind == "point"
+
+    def test_bad_count(self):
+        with pytest.raises(ValueError):
+            point_queries(0)
+
+
+class TestRegionQueries:
+    def test_side_exact_away_from_boundary(self):
+        w = region_queries(0.1, 5000, seed=2)
+        extents = w.rects.extents()
+        interior = (w.rects.his < 1.0).all(axis=1)
+        assert np.allclose(extents[interior], 0.1)
+
+    def test_clamped_at_boundary(self):
+        """Paper: 'If the x- or y-coordinate is larger than 1.0 we set the
+        coordinate to 1.0' — so some boundary queries are smaller."""
+        w = region_queries(0.3, 5000, seed=2)
+        assert (w.rects.his <= 1.0).all()
+        clamped = (w.rects.extents() < 0.3 - 1e-12).any(axis=1)
+        # With side 0.3, ~30% of corners start within 0.3 of an edge.
+        assert 0.2 < clamped.mean() < 0.8
+
+    def test_lower_corner_uniform(self):
+        w = region_queries(0.1, 5000, seed=2)
+        lows = w.rects.los
+        assert abs(lows.mean() - 0.5) < 0.02
+
+    def test_mean_area_below_nominal(self):
+        w = region_queries(0.3, 5000, seed=2)
+        assert w.window_area < 0.09
+
+    def test_cfd_window_truncation(self):
+        w = region_queries(0.03, 2000, seed=2, window=CFD_QUERY_WINDOW)
+        assert (w.rects.his <= 0.6 + 1e-12).all()
+        assert (w.rects.los >= 0.48 - 1e-12).all()
+
+    def test_custom_kind(self):
+        w = region_queries(0.01, 10, kind="region area=0.0001")
+        assert w.kind == "region area=0.0001"
+
+    def test_invalid_side(self):
+        with pytest.raises(ValueError):
+            region_queries(0.0, 10)
+
+
+class TestWorkloadFor:
+    def test_point(self):
+        assert workload_for("point", count=10).kind == "point"
+
+    def test_region1_side(self):
+        w = workload_for("region1", count=1000, seed=1)
+        interior = (w.rects.his < 1.0).all(axis=1)
+        assert np.allclose(w.rects.extents()[interior], 0.1)
+        assert w.kind == "region 1%"
+
+    def test_region9_side(self):
+        w = workload_for("region9", count=1000, seed=1)
+        interior = (w.rects.his < 1.0).all(axis=1)
+        assert np.allclose(w.rects.extents()[interior], 0.3)
+
+    def test_window_scaling(self):
+        small = Rect((0.0, 0.0), (0.5, 0.5))
+        w = workload_for("region1", count=1000, seed=1, window=small)
+        interior = (w.rects.his < 0.5).all(axis=1)
+        assert np.allclose(w.rects.extents()[interior], 0.05)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            workload_for("nearest")
+
+
+class TestQueryWorkload:
+    def test_iter_yields_rects(self):
+        w = point_queries(5, seed=1)
+        rects = list(w)
+        assert len(rects) == 5
+        assert all(isinstance(r, Rect) for r in rects)
+
+    def test_len(self):
+        assert len(point_queries(17, seed=1)) == 17
+
+    def test_frozen(self):
+        w = point_queries(5, seed=1)
+        with pytest.raises(AttributeError):
+            w.kind = "other"

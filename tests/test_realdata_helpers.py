@@ -1,0 +1,87 @@
+"""Unit tests for the shared real-data table machinery and CLI --svg."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import RectArray
+from repro.experiments.realdata import buffer_sweep_table, quality_table
+from repro.experiments.runner import TreeCache
+from repro.queries import point_queries
+
+
+@pytest.fixture
+def cache(rng):
+    c = TreeCache(capacity=20)
+    c.add_dataset("d", RectArray.from_points(rng.random((2_000, 2))))
+    return c
+
+
+class TestBufferSweepTable:
+    def test_structure(self, cache):
+        sections = (
+            ("Point Queries", lambda: point_queries(100, seed=1)),
+        )
+        t = buffer_sweep_table(cache, "d", (5, 10), sections, title="T")
+        assert t.columns == ("Buffer Size", "STR", "HS", "NX",
+                             "HS/STR", "NX/STR")
+        assert t.column("Buffer Size") == [5, 10]
+        assert len(t.rows) == 3  # section + two rows
+
+    def test_ratios_consistent(self, cache):
+        sections = (
+            ("Point Queries", lambda: point_queries(100, seed=1)),
+        )
+        t = buffer_sweep_table(cache, "d", (5,), sections, title="T")
+        row = t.data_rows()[0]
+        assert row[4] == pytest.approx(row[2] / row[1])
+        assert row[5] == pytest.approx(row[3] / row[1])
+
+    def test_workload_factory_called_once_per_section(self, cache):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return point_queries(50, seed=1)
+
+        buffer_sweep_table(cache, "d", (5, 10, 20),
+                           (("S", factory),), title="T")
+        assert len(calls) == 1
+
+    def test_accesses_fall_with_buffer(self, cache):
+        sections = (
+            ("Point Queries", lambda: point_queries(300, seed=1)),
+        )
+        t = buffer_sweep_table(cache, "d", (2, 50), sections, title="T")
+        str_col = t.column("STR")
+        assert str_col[0] > str_col[1]
+
+
+class TestQualityTable:
+    def test_structure_and_positivity(self, cache):
+        t = quality_table(cache, "d", title="Q")
+        assert [r[0] for r in t.data_rows()] == [
+            "leaf area", "total area", "leaf perimeter", "total perimeter"
+        ]
+        for row in t.data_rows():
+            assert all(v > 0 for v in row[1:])
+
+    def test_matches_measure_paged(self, cache):
+        from repro.rtree.stats import measure_paged
+
+        t = quality_table(cache, "d", title="Q")
+        direct = measure_paged(cache.tree("d", "STR"))
+        rows = {r[0]: r[1] for r in t.data_rows()}  # STR column
+        assert rows["leaf area"] == pytest.approx(direct.leaf_area)
+        assert rows["total perimeter"] == pytest.approx(
+            direct.total_perimeter)
+
+
+class TestCliSvg:
+    def test_svg_flag_writes_chart(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["fig10", "--quick", "--queries", "40",
+                     "--svg", "--out-dir", str(tmp_path)])
+        assert code == 0
+        svg = (tmp_path / "fig10.svg").read_text()
+        assert svg.count("<polyline") == 2

@@ -1,0 +1,128 @@
+"""Unit tests for the R*-tree extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.rtree.node import Entry
+from repro.rtree.rstar import REINSERT_FRACTION, RStarSplit, RStarTree
+from repro.rtree.stats import measure_dynamic
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_dynamic
+
+from tests.conftest import brute_force_search
+
+
+def build(points, capacity=8, **kw):
+    tree = RStarTree(capacity=capacity, **kw)
+    for i, p in enumerate(points):
+        tree.insert(Rect.from_point(tuple(p)), i)
+    return tree
+
+
+class TestRStarSplit:
+    def test_partition_complete_disjoint(self, rng):
+        entries = [Entry(rect=Rect.from_point(p), data_id=i)
+                   for i, p in enumerate(rng.random((15, 2)))]
+        a, b = RStarSplit().split(entries, min_fill=4)
+        ids = sorted(e.data_id for e in a) + sorted(e.data_id for e in b)
+        assert sorted(ids) == list(range(15))
+        assert len(a) >= 4 and len(b) >= 4
+
+    def test_zero_overlap_when_separable(self, rng):
+        left = rng.random((6, 2)) * np.array([0.3, 1.0])
+        right = rng.random((6, 2)) * np.array([0.3, 1.0]) + np.array([0.7, 0])
+        entries = [Entry(rect=Rect.from_point(p), data_id=i)
+                   for i, p in enumerate(np.vstack([left, right]))]
+        a, b = RStarSplit().split(entries, min_fill=3)
+
+        def mbr(group):
+            m = group[0].rect
+            for e in group[1:]:
+                m = m.union(e.rect)
+            return m
+
+        assert mbr(a).intersection(mbr(b)) is None
+
+    def test_degenerate_identical_points(self):
+        entries = [Entry(rect=Rect.from_point((0.5, 0.5)), data_id=i)
+                   for i in range(10)]
+        a, b = RStarSplit().split(entries, min_fill=3)
+        assert len(a) + len(b) == 10
+
+
+class TestRStarTree:
+    def test_insert_search_delete_roundtrip(self, rng):
+        pts = rng.random((300, 2))
+        tree = build(pts, capacity=8)
+        validate_dynamic(tree, range(300))
+        q = Rect((0.1, 0.1), (0.6, 0.6))
+        got = set(tree.search(q))
+        mask = ((pts >= (0.1, 0.1)) & (pts <= (0.6, 0.6))).all(axis=1)
+        assert got == set(np.flatnonzero(mask).tolist())
+        for i in range(150):
+            assert tree.delete(Rect.from_point(tuple(pts[i])), i)
+        validate_dynamic(tree, range(150, 300))
+
+    def test_matches_brute_force_on_rects(self, small_rects):
+        tree = RStarTree(capacity=8)
+        for i, r in enumerate(small_rects):
+            tree.insert(r, i)
+        validate_dynamic(tree, range(len(small_rects)))
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            lo = rng.random(2) * 0.7
+            q = Rect(tuple(lo), tuple(lo + 0.3))
+            assert set(tree.search(q)) == brute_force_search(small_rects, q)
+
+    def test_quality_beats_guttman(self, rng):
+        """The reason R* exists: tighter leaves than Guttman insertion."""
+        pts = rng.random((1500, 2))
+        rstar = build(pts, capacity=16)
+        guttman = RTree(capacity=16)
+        for i, p in enumerate(pts):
+            guttman.insert(Rect.from_point(tuple(p)), i)
+        qr = measure_dynamic(rstar)
+        qg = measure_dynamic(guttman)
+        assert qr.leaf_area < qg.leaf_area
+        assert qr.leaf_perimeter < qg.leaf_perimeter
+
+    def test_reinsert_disabled(self, rng):
+        tree = RStarTree(capacity=8, reinsert_fraction=0.0)
+        for i, p in enumerate(rng.random((200, 2))):
+            tree.insert(Rect.from_point(tuple(p)), i)
+        validate_dynamic(tree, range(200))
+
+    def test_bad_reinsert_fraction(self):
+        with pytest.raises(ValueError):
+            RStarTree(reinsert_fraction=0.6)
+
+    def test_default_reinsert_count(self):
+        tree = RStarTree(capacity=100)
+        assert tree.reinsert_count == int(100 * REINSERT_FRACTION)
+
+    def test_clustered_insertion_order(self, rng):
+        """Sorted/clustered insertion orders are R*'s hard case; the tree
+        must stay valid and complete."""
+        pts = rng.random((400, 2))
+        order = np.lexsort((pts[:, 1], pts[:, 0]))
+        tree = RStarTree(capacity=6)
+        for i in order:
+            tree.insert(Rect.from_point(tuple(pts[i])), int(i))
+        validate_dynamic(tree, range(400))
+
+    def test_duplicate_points_heavy(self):
+        tree = RStarTree(capacity=5)
+        for i in range(80):
+            tree.insert(Rect.from_point((0.25, 0.75)), i)
+        validate_dynamic(tree, range(80))
+        assert sorted(tree.point_query((0.25, 0.75))) == list(range(80))
+
+    def test_paged_conversion(self, rng):
+        from repro.rtree.bulk import paged_from_dynamic
+        from repro.rtree.validate import validate_paged
+
+        pts = rng.random((250, 2))
+        tree = build(pts, capacity=10)
+        paged = paged_from_dynamic(tree)
+        validate_paged(paged, range(250))

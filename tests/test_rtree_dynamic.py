@@ -1,0 +1,247 @@
+"""Unit tests for the dynamic (Guttman) R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, Rect
+from repro.rtree.node import Entry, Node, RTreeError
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_dynamic
+
+from tests.conftest import brute_force_search
+
+
+def build_tree(points, capacity=8, split="quadratic"):
+    tree = RTree(ndim=2, capacity=capacity, split=split)
+    for i, p in enumerate(points):
+        tree.insert(Rect.from_point(p), i)
+    return tree
+
+
+class TestConstruction:
+    def test_empty(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.is_empty()
+        assert tree.height == 1
+
+    def test_bad_capacity(self):
+        with pytest.raises(RTreeError):
+            RTree(capacity=1)
+
+    def test_bad_min_fill(self):
+        with pytest.raises(RTreeError):
+            RTree(min_fill=0.9)
+
+    def test_bad_ndim(self):
+        with pytest.raises(GeometryError):
+            RTree(ndim=0)
+
+    def test_empty_tree_has_no_mbr(self):
+        with pytest.raises(RTreeError):
+            RTree().mbr()
+
+
+class TestInsert:
+    def test_single(self):
+        tree = RTree(capacity=4)
+        tree.insert(Rect((0, 0), (1, 1)), 7)
+        assert len(tree) == 1
+        assert tree.search(Rect((0, 0), (2, 2))) == [7]
+
+    def test_wrong_ndim_rejected(self):
+        tree = RTree(ndim=2)
+        with pytest.raises(GeometryError):
+            tree.insert(Rect((0,), (1,)), 0)
+
+    def test_grows_via_splits(self, rng):
+        tree = build_tree(rng.random((100, 2)), capacity=4)
+        assert tree.height >= 3
+        validate_dynamic(tree, range(100))
+
+    def test_all_data_searchable(self, rng):
+        pts = rng.random((200, 2))
+        tree = build_tree(pts, capacity=8)
+        found = tree.search(Rect((0, 0), (1, 1)))
+        assert sorted(found) == list(range(200))
+
+    def test_linear_split_variant(self, rng):
+        pts = rng.random((150, 2))
+        tree = build_tree(pts, capacity=6, split="linear")
+        validate_dynamic(tree, range(150))
+
+    def test_duplicate_ids_allowed(self):
+        tree = RTree(capacity=4)
+        tree.insert(Rect.from_point((0.1, 0.1)), 1)
+        tree.insert(Rect.from_point((0.2, 0.2)), 1)
+        assert len(tree) == 2
+
+    def test_extend(self, rng):
+        tree = RTree(capacity=8)
+        items = [(Rect.from_point(p), i)
+                 for i, p in enumerate(rng.random((50, 2)))]
+        tree.extend(items)
+        assert len(tree) == 50
+
+    def test_from_items(self, rng):
+        items = [(Rect.from_point(p), i)
+                 for i, p in enumerate(rng.random((60, 2)))]
+        tree = RTree.from_items(items, capacity=8)
+        validate_dynamic(tree, range(60))
+
+    def test_identical_points_mass_insert(self):
+        tree = RTree(capacity=4)
+        for i in range(50):
+            tree.insert(Rect.from_point((0.5, 0.5)), i)
+        validate_dynamic(tree, range(50))
+        assert sorted(tree.point_query((0.5, 0.5))) == list(range(50))
+
+
+class TestSearch:
+    def test_matches_brute_force(self, small_rects):
+        tree = RTree(capacity=8)
+        for i, r in enumerate(small_rects):
+            tree.insert(r, i)
+        rng = np.random.default_rng(3)
+        for _ in range(30):
+            lo = rng.random(2) * 0.8
+            query = Rect(tuple(lo), tuple(lo + rng.random(2) * 0.2))
+            assert set(tree.search(query)) == brute_force_search(
+                small_rects, query)
+
+    def test_point_query(self, rng):
+        pts = rng.random((100, 2))
+        tree = build_tree(pts)
+        target = tuple(pts[42])
+        assert 42 in tree.point_query(target)
+
+    def test_empty_region(self, rng):
+        tree = build_tree(rng.random((50, 2)) * 0.5)
+        assert tree.search(Rect((0.9, 0.9), (1.0, 1.0))) == []
+
+    def test_count(self, rng):
+        pts = rng.random((80, 2))
+        tree = build_tree(pts)
+        q = Rect((0.25, 0.25), (0.75, 0.75))
+        assert tree.count(q) == len(tree.search(q))
+
+    def test_search_counting_visits_at_least_root(self, rng):
+        tree = build_tree(rng.random((50, 2)))
+        _, visited = tree.search_counting(Rect((2, 2), (3, 3)))
+        assert visited == 1  # only the root is examined
+
+    def test_query_dim_mismatch(self):
+        tree = RTree(ndim=2)
+        with pytest.raises(GeometryError):
+            tree.search(Rect((0,), (1,)))
+
+
+class TestDelete:
+    def test_delete_existing(self, rng):
+        pts = rng.random((60, 2))
+        tree = build_tree(pts, capacity=6)
+        rect = Rect.from_point(tuple(pts[10]))
+        assert tree.delete(rect, 10)
+        assert len(tree) == 59
+        assert 10 not in tree.search(Rect((0, 0), (1, 1)))
+        validate_dynamic(tree)
+
+    def test_delete_absent_returns_false(self, rng):
+        tree = build_tree(rng.random((20, 2)))
+        assert not tree.delete(Rect.from_point((0.123456, 0.654321)), 999)
+        assert len(tree) == 20
+
+    def test_delete_wrong_id_same_rect(self, rng):
+        pts = rng.random((20, 2))
+        tree = build_tree(pts)
+        rect = Rect.from_point(tuple(pts[5]))
+        assert not tree.delete(rect, 999)
+
+    def test_delete_all(self, rng):
+        pts = rng.random((80, 2))
+        tree = build_tree(pts, capacity=6)
+        order = rng.permutation(80)
+        for i in order:
+            assert tree.delete(Rect.from_point(tuple(pts[i])), int(i))
+            validate_dynamic(tree)
+        assert tree.is_empty()
+        assert tree.height == 1
+
+    def test_delete_then_reinsert(self, rng):
+        pts = rng.random((50, 2))
+        tree = build_tree(pts, capacity=5)
+        for i in range(25):
+            tree.delete(Rect.from_point(tuple(pts[i])), i)
+        for i in range(25):
+            tree.insert(Rect.from_point(tuple(pts[i])), i)
+        validate_dynamic(tree, range(50))
+
+    def test_condense_triggers_reinsertion(self, rng):
+        """Deleting most of a cluster forces underfull-node re-insertion."""
+        cluster = rng.random((30, 2)) * 0.05
+        spread = rng.random((30, 2)) * 0.9 + 0.05
+        pts = np.concatenate([cluster, spread])
+        tree = build_tree(pts, capacity=5)
+        for i in range(28):
+            assert tree.delete(Rect.from_point(tuple(pts[i])), i)
+        validate_dynamic(tree)
+        remaining = set(tree.search(Rect((0, 0), (1, 1))))
+        assert remaining == set(range(28, 60))
+
+
+class TestStructure:
+    def test_node_count_and_leaf_count(self, rng):
+        tree = build_tree(rng.random((100, 2)), capacity=5)
+        leaves = tree.leaf_count()
+        assert leaves >= 100 / 5
+        assert tree.node_count() > leaves
+
+    def test_iter_level(self, rng):
+        tree = build_tree(rng.random((100, 2)), capacity=5)
+        level_sizes = [
+            sum(1 for _ in tree.iter_level(lv)) for lv in range(tree.height)
+        ]
+        assert sum(level_sizes) == tree.node_count()
+        assert level_sizes[-1] == 1  # root level
+
+    def test_space_utilization_between_bounds(self, rng):
+        tree = build_tree(rng.random((200, 2)), capacity=8)
+        util = tree.space_utilization()
+        assert 0.3 <= util <= 1.0
+
+    def test_space_utilization_empty(self):
+        assert RTree().space_utilization() == 0.0
+
+    def test_mbr_covers_data(self, rng):
+        pts = rng.random((50, 2))
+        tree = build_tree(pts)
+        mbr = tree.mbr()
+        for p in pts:
+            assert mbr.contains_point(tuple(p))
+
+
+class TestNodeInternals:
+    def test_entry_requires_exactly_one_target(self):
+        with pytest.raises(RTreeError):
+            Entry(rect=Rect((0, 0), (1, 1)))
+        with pytest.raises(RTreeError):
+            Entry(rect=Rect((0, 0), (1, 1)), child=Node(level=0), data_id=1)
+
+    def test_leaf_rejects_child_entry(self):
+        leaf = Node(level=0)
+        with pytest.raises(RTreeError):
+            leaf.add(Entry(rect=Rect((0, 0), (1, 1)), child=Node(level=0)))
+
+    def test_internal_level_mismatch_rejected(self):
+        parent = Node(level=2)
+        with pytest.raises(RTreeError):
+            parent.add(Entry(rect=Rect((0, 0), (1, 1)), child=Node(level=0)))
+
+    def test_remove_child_unknown_rejected(self):
+        parent = Node(level=1)
+        with pytest.raises(RTreeError):
+            parent.remove_child(Node(level=0))
+
+    def test_empty_node_has_no_mbr(self):
+        with pytest.raises(RTreeError):
+            Node(level=0).mbr()

@@ -1,0 +1,116 @@
+"""Property-based tests for both R-tree representations.
+
+Strategy: generate random rectangle sets and query boxes; the trees must
+always agree with a brute-force scan, and every mutation sequence on the
+dynamic tree must preserve the validator's invariants.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import Rect, RectArray
+from repro.core.packing import HilbertSort, NearestX, SortTileRecursive
+from repro.rtree.bulk import bulk_load
+from repro.rtree.tree import RTree
+from repro.rtree.validate import validate_dynamic, validate_paged
+
+_unit = st.floats(0, 1, allow_nan=False, width=32)
+
+
+@st.composite
+def rect_sets(draw, min_size=1, max_size=60):
+    n = draw(st.integers(min_size, max_size))
+    seed = draw(st.integers(0, 2 ** 31))
+    rng = np.random.default_rng(seed)
+    lo = rng.random((n, 2))
+    extent = rng.random((n, 2)) * 0.2
+    return RectArray(lo, np.minimum(lo + extent, 1.0))
+
+
+@st.composite
+def queries(draw):
+    a = (draw(_unit), draw(_unit))
+    b = (draw(_unit), draw(_unit))
+    return Rect.from_corners(a, b)
+
+
+def brute(rects, query):
+    return set(np.flatnonzero(rects.intersects_rect(query)).tolist())
+
+
+@given(rect_sets(), queries(), st.integers(2, 20),
+       st.sampled_from([SortTileRecursive, HilbertSort, NearestX]))
+@settings(max_examples=60, deadline=None)
+def test_packed_search_equals_brute_force(rects, query, capacity, algo_cls):
+    tree, _ = bulk_load(rects, algo_cls(), capacity=capacity)
+    searcher = tree.searcher(buffer_pages=4)
+    assert set(searcher.search(query).tolist()) == brute(rects, query)
+
+
+@given(rect_sets(), st.integers(2, 20),
+       st.sampled_from([SortTileRecursive, HilbertSort, NearestX]))
+@settings(max_examples=40, deadline=None)
+def test_packed_tree_always_valid(rects, capacity, algo_cls):
+    tree, _ = bulk_load(rects, algo_cls(), capacity=capacity)
+    validate_paged(tree, range(len(rects)))
+
+
+@given(rect_sets(max_size=40), queries(), st.integers(2, 8))
+@settings(max_examples=40, deadline=None)
+def test_dynamic_search_equals_brute_force(rects, query, capacity):
+    tree = RTree(capacity=capacity)
+    for i, r in enumerate(rects):
+        tree.insert(r, i)
+    assert set(tree.search(query)) == brute(rects, query)
+
+
+@given(rect_sets(max_size=30), st.integers(0, 2 ** 31), st.integers(2, 6))
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_dynamic_insert_delete_interleaved(rects, seed, capacity):
+    """Random interleavings of inserts and deletes keep the tree valid and
+    consistent with a set-model oracle."""
+    rng = np.random.default_rng(seed)
+    tree = RTree(capacity=capacity)
+    live: dict[int, Rect] = {}
+    pending = list(range(len(rects)))
+    rng.shuffle(pending)
+    for step in range(2 * len(rects)):
+        do_insert = pending and (not live or rng.random() < 0.6)
+        if do_insert:
+            i = pending.pop()
+            tree.insert(rects[i], i)
+            live[i] = rects[i]
+        else:
+            i = int(rng.choice(list(live)))
+            assert tree.delete(live[i], i)
+            del live[i]
+        assert len(tree) == len(live)
+    validate_dynamic(tree, live.keys())
+    everything = Rect((0, 0), (1, 1))
+    assert set(tree.search(everything)) == set(live)
+
+
+@given(rect_sets(), st.integers(2, 16))
+@settings(max_examples=30, deadline=None)
+def test_three_packings_return_identical_result_sets(rects, capacity):
+    """Different packings, same data: query answers must be identical."""
+    query = Rect((0.25, 0.25), (0.75, 0.75))
+    answers = []
+    for algo in (SortTileRecursive(), HilbertSort(), NearestX()):
+        tree, _ = bulk_load(rects, algo, capacity=capacity)
+        answers.append(
+            frozenset(tree.searcher(4).search(query).tolist())
+        )
+    assert answers[0] == answers[1] == answers[2]
+
+
+@given(rect_sets(min_size=5), st.integers(2, 10))
+@settings(max_examples=30, deadline=None)
+def test_str_never_loses_or_duplicates_data(rects, capacity):
+    tree, _ = bulk_load(rects, SortTileRecursive(), capacity=capacity)
+    ids = []
+    for _, node in tree.iter_level(0):
+        ids.extend(node.children.tolist())
+    assert sorted(ids) == list(range(len(rects)))

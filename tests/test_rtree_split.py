@@ -1,0 +1,99 @@
+"""Unit tests for Guttman's split algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect
+from repro.rtree.node import Entry, RTreeError
+from repro.rtree.split import LinearSplit, QuadraticSplit, make_split
+
+
+def entries_from_points(points):
+    return [
+        Entry(rect=Rect.from_point(p), data_id=i)
+        for i, p in enumerate(points)
+    ]
+
+
+@pytest.fixture(params=[QuadraticSplit, LinearSplit])
+def splitter(request):
+    return request.param()
+
+
+class TestCommonContract:
+    def test_partition_is_complete_and_disjoint(self, splitter, rng):
+        entries = entries_from_points(rng.random((20, 2)))
+        a, b = splitter.split(entries, min_fill=4)
+        ids_a = {e.data_id for e in a}
+        ids_b = {e.data_id for e in b}
+        assert ids_a | ids_b == set(range(20))
+        assert not (ids_a & ids_b)
+
+    def test_min_fill_respected(self, splitter, rng):
+        for seed in range(10):
+            local = np.random.default_rng(seed)
+            entries = entries_from_points(local.random((11, 2)))
+            a, b = splitter.split(entries, min_fill=4)
+            assert len(a) >= 4 and len(b) >= 4
+
+    def test_two_entries(self, splitter):
+        entries = entries_from_points([(0.0, 0.0), (1.0, 1.0)])
+        a, b = splitter.split(entries, min_fill=1)
+        assert len(a) == len(b) == 1
+
+    def test_single_entry_rejected(self, splitter):
+        with pytest.raises(RTreeError):
+            splitter.split(entries_from_points([(0.0, 0.0)]), 1)
+
+    def test_infeasible_min_fill_rejected(self, splitter):
+        entries = entries_from_points([(0, 0), (1, 1), (2, 2)])
+        with pytest.raises(RTreeError):
+            splitter.split(entries, min_fill=2)
+
+    def test_identical_points_handled(self, splitter):
+        entries = entries_from_points([(0.5, 0.5)] * 10)
+        a, b = splitter.split(entries, min_fill=3)
+        assert len(a) + len(b) == 10
+        assert min(len(a), len(b)) >= 3
+
+    def test_separates_two_obvious_clusters(self, splitter, rng):
+        left = rng.random((5, 2)) * 0.1
+        right = rng.random((5, 2)) * 0.1 + 0.9
+        entries = entries_from_points(np.concatenate([left, right]))
+        a, b = splitter.split(entries, min_fill=2)
+        centers_a = np.array([e.rect.center for e in a])
+        centers_b = np.array([e.rect.center for e in b])
+        # Each group must be pure: one cluster per side.
+        assert (centers_a[:, 0] < 0.5).all() or (centers_a[:, 0] > 0.5).all()
+        assert (centers_b[:, 0] < 0.5).all() or (centers_b[:, 0] > 0.5).all()
+
+
+class TestQuadraticSeeds:
+    def test_picks_most_wasteful_pair(self):
+        entries = entries_from_points(
+            [(0.0, 0.0), (0.1, 0.1), (1.0, 1.0)]
+        )
+        i, j = QuadraticSplit._pick_seeds(entries)
+        assert {entries[i].rect.center, entries[j].rect.center} == {
+            (0.0, 0.0), (1.0, 1.0)
+        }
+
+
+class TestLinearSeeds:
+    def test_picks_extreme_separation(self):
+        entries = entries_from_points(
+            [(0.0, 0.5), (1.0, 0.5), (0.5, 0.45), (0.5, 0.55)]
+        )
+        i, j = LinearSplit._pick_seeds(entries)
+        xs = {entries[i].rect.center[0], entries[j].rect.center[0]}
+        assert xs == {0.0, 1.0}
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_split("quadratic"), QuadraticSplit)
+        assert isinstance(make_split("LINEAR"), LinearSplit)
+
+    def test_unknown(self):
+        with pytest.raises(RTreeError):
+            make_split("angular")

@@ -1,0 +1,140 @@
+"""Unit tests for the experiment runner and table reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import RectArray
+from repro.datasets import uniform_points
+from repro.experiments.report import Series, Table, format_value
+from repro.experiments.runner import PAPER_CAPACITY, TreeCache, run_queries
+from repro.queries import point_queries, region_queries
+from repro.rtree.bulk import bulk_load
+from repro.core.packing import SortTileRecursive
+
+
+@pytest.fixture
+def cache(rng):
+    c = TreeCache(capacity=20)
+    c.add_dataset("pts", RectArray.from_points(rng.random((2000, 2))))
+    return c
+
+
+class TestTreeCache:
+    def test_paper_capacity_default(self):
+        assert TreeCache().capacity == PAPER_CAPACITY == 100
+
+    def test_builds_once_per_algorithm(self, cache):
+        t1 = cache.tree("pts", "str")
+        t2 = cache.tree("pts", "STR")
+        assert t1 is t2
+
+    def test_different_algorithms_different_trees(self, cache):
+        assert cache.tree("pts", "str") is not cache.tree("pts", "hs")
+
+    def test_unknown_dataset(self, cache):
+        with pytest.raises(KeyError):
+            cache.tree("nope", "str")
+
+    def test_report_available(self, cache):
+        report = cache.report("pts", "str")
+        assert report.leaf_pages == 100
+        assert report.height == cache.tree("pts", "str").height
+
+    def test_quality_available(self, cache):
+        q = cache.quality("pts", "str")
+        assert q.leaf_area > 0
+
+    def test_run_produces_result(self, cache):
+        w = point_queries(100, seed=1)
+        r = cache.run("pts", "str", w, buffer_pages=5)
+        assert r.algorithm == "STR"
+        assert r.workload == "point"
+        assert r.query_count == 100
+        assert r.mean_accesses > 0
+
+
+class TestRunQueries:
+    def test_cold_buffer_each_run(self, rng):
+        ra = RectArray.from_points(rng.random((2000, 2)))
+        tree, _ = bulk_load(ra, SortTileRecursive(), capacity=20)
+        w = region_queries(0.2, 50, seed=1)
+        a = run_queries(tree, w, buffer_pages=10)
+        b = run_queries(tree, w, buffer_pages=10)
+        assert a.total_accesses == b.total_accesses  # fresh cold buffer
+
+    def test_total_results_counted(self, rng):
+        pts = rng.random((1000, 2))
+        tree, _ = bulk_load(RectArray.from_points(pts),
+                            SortTileRecursive(), capacity=20)
+        w = region_queries(0.5, 20, seed=1)
+        r = run_queries(tree, w, buffer_pages=10)
+        assert r.total_results > 0
+        assert r.mean_results == r.total_results / 20
+
+    def test_larger_buffer_fewer_accesses(self, rng):
+        ra = RectArray.from_points(rng.random((5000, 2)))
+        tree, _ = bulk_load(ra, SortTileRecursive(), capacity=20)
+        w = region_queries(0.2, 200, seed=1)
+        small = run_queries(tree, w, buffer_pages=5)
+        big = run_queries(tree, w, buffer_pages=200)
+        assert big.total_accesses < small.total_accesses
+
+
+class TestTable:
+    def test_add_row_and_column(self):
+        t = Table(title="T", columns=("a", "b"))
+        t.add_row(1, 2.5)
+        t.add_row(3, 4.5)
+        assert t.column("b") == [2.5, 4.5]
+
+    def test_wrong_arity_rejected(self):
+        t = Table(title="T", columns=("a", "b"))
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_sections_excluded_from_columns(self):
+        t = Table(title="T", columns=("a", "b"))
+        t.add_section("Point Queries")
+        t.add_row(1, 2)
+        assert t.column("a") == [1]
+        assert len(t.data_rows()) == 1
+
+    def test_cell(self):
+        t = Table(title="T", columns=("a", "b"))
+        t.add_section("s")
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.cell(1, "b") == 4
+
+    def test_render_contains_everything(self):
+        t = Table(title="My Table", columns=("x", "y"))
+        t.add_section("Band")
+        t.add_row(10, 3.14159)
+        t.notes.append("a note")
+        text = t.render()
+        assert "My Table" in text
+        assert "Band" in text
+        assert "3.14" in text
+        assert "note: a note" in text
+
+    def test_csv(self):
+        t = Table(title="T", columns=("x", "y"))
+        t.add_row(1, 2.0)
+        csv = t.to_csv()
+        assert csv.splitlines()[0] == "x,y"
+        assert csv.splitlines()[1].startswith("1,2")
+
+    def test_format_value(self):
+        assert format_value(1.23456) == "1.23"
+        assert format_value(1.23456, 4) == "1.2346"
+        assert format_value(7) == "7"
+        assert format_value("x") == "x"
+
+
+class TestSeries:
+    def test_add_and_rows(self):
+        s = Series(label="STR")
+        s.add(10, 1.5)
+        s.add(25, 2.5)
+        assert list(s.as_table_rows()) == [("STR", 10.0, 1.5),
+                                           ("STR", 25.0, 2.5)]

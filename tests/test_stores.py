@@ -1,0 +1,136 @@
+"""Unit tests for MemoryPageStore and FilePageStore."""
+
+import os
+
+import pytest
+
+from repro.storage.counters import IOStats
+from repro.storage.store import FilePageStore, MemoryPageStore, StoreError
+
+PAGE = 512
+
+
+@pytest.fixture(params=["memory", "file"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        yield MemoryPageStore(PAGE)
+    else:
+        s = FilePageStore(tmp_path / "pages.bin", PAGE)
+        yield s
+        s.close()
+
+
+class TestCommonBehaviour:
+    def test_allocate_returns_dense_ids(self, store):
+        assert [store.allocate() for _ in range(3)] == [0, 1, 2]
+        assert store.page_count == 3
+
+    def test_write_read_roundtrip(self, store):
+        pid = store.allocate()
+        payload = bytes(range(256)) * 2
+        store.write_page(pid, payload)
+        assert store.read_page(pid) == payload
+
+    def test_overwrite(self, store):
+        pid = store.allocate()
+        store.write_page(pid, b"a" * PAGE)
+        store.write_page(pid, b"b" * PAGE)
+        assert store.read_page(pid) == b"b" * PAGE
+
+    def test_wrong_size_write_rejected(self, store):
+        pid = store.allocate()
+        with pytest.raises(StoreError):
+            store.write_page(pid, b"short")
+
+    def test_read_unallocated_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.read_page(0)
+
+    def test_negative_id_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.read_page(-1)
+
+    def test_counters(self, store):
+        pid = store.allocate()
+        store.write_page(pid, b"x" * PAGE)
+        store.read_page(pid)
+        store.read_page(pid)
+        assert store.stats.disk_writes == 1
+        assert store.stats.disk_reads == 2
+
+    def test_read_with_stats_override(self, store):
+        pid = store.allocate()
+        store.write_page(pid, b"x" * PAGE)
+        other = IOStats()
+        store.read_page(pid, other)
+        assert other.disk_reads == 1
+        assert store.stats.disk_reads == 0
+
+    def test_peek_does_not_count(self, store):
+        pid = store.allocate()
+        store.write_page(pid, b"x" * PAGE)
+        store.stats.reset()
+        assert store.peek_page(pid) == b"x" * PAGE
+        assert store.stats.disk_reads == 0
+
+    def test_page_ids_iterates_all(self, store):
+        for _ in range(4):
+            store.allocate()
+        assert list(store.page_ids()) == [0, 1, 2, 3]
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StoreError):
+            MemoryPageStore(8)
+
+
+class TestMemorySpecific:
+    def test_read_allocated_unwritten_rejected(self):
+        s = MemoryPageStore(PAGE)
+        pid = s.allocate()
+        with pytest.raises(StoreError):
+            s.read_page(pid)
+
+
+class TestFileSpecific:
+    def test_persists_across_reopen(self, tmp_path):
+        path = tmp_path / "p.bin"
+        with FilePageStore(path, PAGE) as s:
+            pid = s.allocate()
+            s.write_page(pid, b"z" * PAGE)
+        with FilePageStore(path, PAGE) as s2:
+            assert s2.page_count == 1
+            assert s2.read_page(pid) == b"z" * PAGE
+
+    def test_bytes_really_on_disk(self, tmp_path):
+        path = tmp_path / "p.bin"
+        with FilePageStore(path, PAGE) as s:
+            pid = s.allocate()
+            s.write_page(pid, b"q" * PAGE)
+            s.flush()
+            assert os.path.getsize(path) == PAGE
+            with open(path, "rb") as f:
+                assert f.read() == b"q" * PAGE
+
+    def test_misaligned_existing_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.bin"
+        path.write_bytes(b"x" * (PAGE + 1))
+        with pytest.raises(StoreError):
+            FilePageStore(path, PAGE)
+
+    def test_closed_store_rejects_io(self, tmp_path):
+        s = FilePageStore(tmp_path / "c.bin", PAGE)
+        pid = s.allocate()
+        s.write_page(pid, b"x" * PAGE)
+        s.close()
+        with pytest.raises(StoreError):
+            s.read_page(pid)
+
+    def test_double_close_is_safe(self, tmp_path):
+        s = FilePageStore(tmp_path / "d.bin", PAGE)
+        s.close()
+        s.close()
+
+    def test_path_property(self, tmp_path):
+        path = tmp_path / "e.bin"
+        with FilePageStore(path, PAGE) as s:
+            assert s.path == str(path)

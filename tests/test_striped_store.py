@@ -1,0 +1,144 @@
+"""Unit tests for the striped (multi-disk) page store."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect, RectArray
+from repro.core.packing import SortTileRecursive
+from repro.queries import region_queries
+from repro.rtree.bulk import bulk_load
+from repro.rtree.validate import validate_paged
+from repro.storage.page import required_page_size
+from repro.storage.store import FilePageStore, MemoryPageStore, StoreError
+from repro.storage.striped import StripedPageStore
+
+PAGE = 512
+
+
+def make_striped(n_disks=4, page=PAGE):
+    return StripedPageStore([MemoryPageStore(page) for _ in range(n_disks)])
+
+
+class TestPlacement:
+    def test_round_robin_allocation(self):
+        s = make_striped(3)
+        for expected in range(7):
+            assert s.allocate() == expected
+        assert s.page_count == 7
+        # Disk loads: 3, 2, 2.
+        assert [d.page_count for d in s._disks] == [3, 2, 2]
+
+    def test_read_write_roundtrip(self):
+        s = make_striped(3)
+        payloads = {}
+        for i in range(9):
+            pid = s.allocate()
+            payload = bytes([i]) * PAGE
+            s.write_page(pid, payload)
+            payloads[pid] = payload
+        for pid, want in payloads.items():
+            assert s.read_page(pid) == want
+
+    def test_neighbouring_pages_on_different_disks(self):
+        """The point of declustering: consecutive pages never share a disk
+        (for D > 1)."""
+        s = make_striped(4)
+        for _ in range(8):
+            s.allocate()
+        for pid in range(7):
+            assert pid % 4 != (pid + 1) % 4
+
+    def test_global_and_per_disk_stats(self):
+        s = make_striped(2)
+        for i in range(4):
+            pid = s.allocate()
+            s.write_page(pid, b"x" * PAGE)
+        s.stats.reset()
+        s.reset_disk_stats()
+        for pid in (0, 1, 2):
+            s.read_page(pid)
+        assert s.stats.disk_reads == 3          # global view
+        assert s.per_disk_reads() == [2, 1]     # pages 0,2 on disk0; 1 on disk1
+
+    def test_parallel_cost_and_speedup(self):
+        s = make_striped(2)
+        for i in range(4):
+            pid = s.allocate()
+            s.write_page(pid, b"x" * PAGE)
+        s.reset_disk_stats()
+        for pid in (0, 1, 2, 3):
+            s.read_page(pid)
+        assert s.parallel_cost() == 2
+        assert s.parallel_speedup() == pytest.approx(2.0)
+
+    def test_speedup_idle_is_one(self):
+        assert make_striped(3).parallel_speedup() == 1.0
+
+
+class TestValidation:
+    def test_no_disks_rejected(self):
+        with pytest.raises(StoreError):
+            StripedPageStore([])
+
+    def test_page_size_mismatch_rejected(self):
+        with pytest.raises(StoreError):
+            StripedPageStore([MemoryPageStore(512), MemoryPageStore(1024)])
+
+    def test_inconsistent_existing_stripes_rejected(self):
+        a = MemoryPageStore(PAGE)
+        b = MemoryPageStore(PAGE)
+        for _ in range(3):
+            a.allocate()
+        with pytest.raises(StoreError):
+            StripedPageStore([a, b])
+
+    def test_out_of_range_read(self):
+        s = make_striped(2)
+        with pytest.raises(StoreError):
+            s.read_page(0)
+
+
+class TestWithRTree:
+    def test_bulk_load_onto_stripes(self, rng):
+        rects = RectArray.from_points(rng.random((2_000, 2)))
+        page_size = required_page_size(20, 2)
+        store = StripedPageStore(
+            [MemoryPageStore(page_size) for _ in range(4)]
+        )
+        tree, _ = bulk_load(rects, SortTileRecursive(), capacity=20,
+                            store=store)
+        validate_paged(tree, range(2_000))
+        searcher = tree.searcher(buffer_pages=5)
+        got = searcher.search(Rect((0.2, 0.2), (0.5, 0.5)))
+        want = rects.intersects_rect(Rect((0.2, 0.2), (0.5, 0.5))).sum()
+        assert got.size == want
+
+    def test_query_io_declusters_across_disks(self, rng):
+        """Region queries touch consecutive STR leaves, so striping should
+        spread their fetches almost evenly: measurable parallel speedup."""
+        rects = RectArray.from_points(rng.random((20_000, 2)))
+        page_size = required_page_size(100, 2)
+        n_disks = 4
+        store = StripedPageStore(
+            [MemoryPageStore(page_size) for _ in range(n_disks)]
+        )
+        tree, _ = bulk_load(rects, SortTileRecursive(), capacity=100,
+                            store=store)
+        store.reset_disk_stats()
+        searcher = tree.searcher(buffer_pages=1)
+        for q in region_queries(0.3, 100, seed=2):
+            searcher.search(q)
+        speedup = store.parallel_speedup()
+        assert speedup > 0.6 * n_disks
+
+    def test_file_backed_stripes(self, tmp_path, rng):
+        rects = RectArray.from_points(rng.random((500, 2)))
+        page_size = required_page_size(20, 2)
+        disks = [
+            FilePageStore(tmp_path / f"disk{i}.bin", page_size)
+            for i in range(3)
+        ]
+        with StripedPageStore(disks) as store:
+            tree, _ = bulk_load(rects, SortTileRecursive(), capacity=20,
+                                store=store)
+            validate_paged(tree, range(500))

@@ -1,0 +1,131 @@
+"""Unit tests for the TIGER/Line RT1 parser/writer."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, RectArray
+from repro.datasets import long_beach_like
+from repro.datasets.tiger import (
+    RT1_RECORD_LENGTH,
+    TigerFormatError,
+    read_rt1,
+    write_rt1,
+)
+
+
+@pytest.fixture
+def segments(rng):
+    """Geographic-looking segments around Long Beach, CA."""
+    lo = np.column_stack([
+        rng.uniform(-118.25, -118.06, 200),
+        rng.uniform(33.75, 33.88, 200),
+    ])
+    hi = lo + rng.uniform(0.0001, 0.004, (200, 2))
+    return RectArray(lo, hi)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path, segments):
+        path = tmp_path / "TGR06037.RT1"
+        count = write_rt1(path, segments)
+        assert count == 200
+        back = read_rt1(path)
+        assert len(back) == 200
+        # Six implied decimals => 1e-6 degree resolution.
+        assert np.allclose(back.los, segments.los, atol=1.1e-6)
+        assert np.allclose(back.his, segments.his, atol=1.1e-6)
+
+    def test_record_length_exact(self, tmp_path, segments):
+        path = tmp_path / "t.rt1"
+        write_rt1(path, segments)
+        for line in path.read_text(encoding="latin-1").splitlines():
+            assert len(line) == RT1_RECORD_LENGTH
+            assert line[0] == "1"
+
+    def test_synthetic_long_beach_round_trips(self, tmp_path):
+        """The stand-in exports to real RT1 (scaled into degree ranges)."""
+        rects = long_beach_like(2_000, seed=1)
+        # Map x to Long Beach longitudes, y to its latitudes (the latitude
+        # field is only 9 characters, so |lat| must stay < 100).
+        shift = np.array([-118.3, 33.7])
+        geo = RectArray(rects.los * 0.2 + shift, rects.his * 0.2 + shift)
+        path = tmp_path / "synthetic.rt1"
+        write_rt1(path, geo)
+        back = read_rt1(path)
+        assert len(back) == 2_000
+
+    def test_negative_and_positive_coordinates(self, tmp_path):
+        ra = RectArray(np.array([[-118.5, 33.7], [0.0001, -0.0002]]),
+                       np.array([[-118.4, 33.8], [0.0002, -0.0001]]))
+        path = tmp_path / "n.rt1"
+        write_rt1(path, ra)
+        back = read_rt1(path)
+        assert np.allclose(back.los, ra.los, atol=1.1e-6)
+
+
+class TestReaderRobustness:
+    def test_skips_other_record_types(self, tmp_path, segments):
+        path = tmp_path / "mixed.rt1"
+        write_rt1(path, segments[0:5])
+        with open(path, "a", encoding="latin-1") as f:
+            f.write("2" + " " * (RT1_RECORD_LENGTH - 1) + "\n")
+        assert len(read_rt1(path)) == 5
+
+    def test_short_record_strict(self, tmp_path):
+        path = tmp_path / "short.rt1"
+        path.write_text("1 too short\n")
+        with pytest.raises(TigerFormatError):
+            read_rt1(path)
+
+    def test_short_record_lenient(self, tmp_path, segments):
+        path = tmp_path / "mixed2.rt1"
+        write_rt1(path, segments[0:3])
+        with open(path, "a", encoding="latin-1") as f:
+            f.write("1 truncated record\n")
+        assert len(read_rt1(path, strict=False)) == 3
+
+    def test_blank_coordinates_strict(self, tmp_path, segments):
+        path = tmp_path / "blank.rt1"
+        write_rt1(path, segments[0:1])
+        text = path.read_text(encoding="latin-1")
+        corrupted = text[:190] + " " * 10 + text[200:]
+        path.write_text(corrupted, encoding="latin-1")
+        with pytest.raises(TigerFormatError):
+            read_rt1(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.rt1"
+        path.write_text("")
+        with pytest.raises(TigerFormatError):
+            read_rt1(path)
+
+
+class TestWriterValidation:
+    def test_zero_segments_rejected(self, tmp_path):
+        empty = RectArray(np.empty((0, 2)), np.empty((0, 2)))
+        with pytest.raises(GeometryError):
+            write_rt1(tmp_path / "x.rt1", empty)
+
+    def test_3d_rejected(self, tmp_path, rng):
+        ra = RectArray.from_points(rng.random((3, 3)))
+        with pytest.raises(GeometryError):
+            write_rt1(tmp_path / "x.rt1", ra)
+
+    def test_out_of_range_coordinate_rejected(self, tmp_path):
+        ra = RectArray(np.array([[1e5, 0.0]]), np.array([[1e5, 1.0]]))
+        with pytest.raises(TigerFormatError):
+            write_rt1(tmp_path / "x.rt1", ra)
+
+
+class TestEndToEnd:
+    def test_rt1_through_the_paper_pipeline(self, tmp_path, segments):
+        """RT1 file -> normalise -> pack -> query, as a user would."""
+        from repro import SortTileRecursive, bulk_load, Rect
+        from repro.datasets import normalize_rects
+
+        path = tmp_path / "county.rt1"
+        write_rt1(path, segments)
+        rects = normalize_rects(read_rt1(path))
+        tree, _ = bulk_load(rects, SortTileRecursive(), capacity=20)
+        hits = tree.searcher(5).search(Rect((0.0, 0.0), (1.0, 1.0)))
+        assert hits.size == len(segments)

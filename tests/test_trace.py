@@ -1,0 +1,84 @@
+"""Unit tests for per-query tracing."""
+
+import numpy as np
+import pytest
+
+from repro import HilbertSort, SortTileRecursive, bulk_load
+from repro.datasets import uniform_points, airfoil_like
+from repro.experiments.trace import paired_comparison, trace_queries
+from repro.queries import point_queries, region_queries
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return bulk_load(uniform_points(10_000, seed=1),
+                     SortTileRecursive(), capacity=100)[0]
+
+
+class TestTraceQueries:
+    def test_totals_match_runner(self, tree):
+        from repro.experiments.runner import run_queries
+
+        workload = region_queries(0.1, 200, seed=2)
+        trace = trace_queries(tree, workload, 10)
+        run = run_queries(tree, workload, 10)
+        assert trace.accesses.sum() == run.total_accesses
+        assert trace.results.sum() == run.total_results
+
+    def test_per_query_shape(self, tree):
+        workload = point_queries(150, seed=3)
+        trace = trace_queries(tree, workload, 10, algorithm="STR")
+        assert trace.accesses.shape == (150,)
+        assert (trace.accesses >= 0).all()
+        assert trace.algorithm == "STR"
+
+    def test_summary_keys_and_order(self, tree):
+        trace = trace_queries(tree, point_queries(100, seed=3), 10)
+        s = trace.summary()
+        assert s["p50"] <= s["p90"] <= s["p99"] <= s["max"]
+        assert s["mean"] == pytest.approx(trace.mean)
+
+    def test_warmup_visible_in_trace(self, tree):
+        workload = point_queries(400, seed=4)
+        trace = trace_queries(tree, workload, 100)
+        cold = trace.accesses[:50].mean()
+        warm = trace.accesses[-50:].mean()
+        assert cold > warm
+
+
+class TestPairedComparison:
+    def test_fractions_sum_to_one(self, tree):
+        workload = point_queries(200, seed=5)
+        a = trace_queries(tree, workload, 10)
+        b = trace_queries(tree, workload, 25)
+        cmp = paired_comparison(a, b)
+        assert cmp["a_wins"] + cmp["b_wins"] + cmp["ties"] == pytest.approx(1.0)
+
+    def test_bigger_buffer_wins_paired(self, tree):
+        workload = region_queries(0.1, 300, seed=6)
+        small = trace_queries(tree, workload, 10)
+        big = trace_queries(tree, workload, 200)
+        cmp = paired_comparison(small, big)
+        assert cmp["mean_delta"] > 0          # small buffer costs more
+        assert cmp["b_wins"] > cmp["a_wins"]
+
+    def test_str_beats_hs_paired_on_cfd(self):
+        """The paired test sharpens the paper's CFD point-query verdict:
+        on the same query stream STR wins far more queries than HS."""
+        from repro.datasets.cfd import CFD_QUERY_WINDOW
+
+        mesh = airfoil_like(20_000, seed=2)
+        str_tree, _ = bulk_load(mesh, SortTileRecursive(), capacity=100)
+        hs_tree, _ = bulk_load(mesh, HilbertSort(), capacity=100)
+        workload = point_queries(500, seed=7, window=CFD_QUERY_WINDOW)
+        s = trace_queries(str_tree, workload, 10, algorithm="STR")
+        h = trace_queries(hs_tree, workload, 10, algorithm="HS")
+        cmp = paired_comparison(h, s)  # a=HS, b=STR
+        assert cmp["mean_delta"] > 0
+        assert cmp["b_wins"] > cmp["a_wins"]
+
+    def test_mismatched_lengths_rejected(self, tree):
+        a = trace_queries(tree, point_queries(10, seed=1), 10)
+        b = trace_queries(tree, point_queries(20, seed=1), 10)
+        with pytest.raises(ValueError):
+            paired_comparison(a, b)

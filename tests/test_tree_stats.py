@@ -1,0 +1,85 @@
+"""Unit tests for tree quality metrics (area/perimeter sums)."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import Rect, RectArray
+from repro.core.packing import NearestX, SortTileRecursive
+from repro.rtree.bulk import bulk_load, paged_from_dynamic
+from repro.rtree.stats import measure_dynamic, measure_paged
+from repro.rtree.tree import RTree
+
+
+class TestMeasurePaged:
+    def test_single_node_tree(self):
+        ra = RectArray.from_rects([Rect((0, 0), (1, 2)),
+                                   Rect((0.5, 0.5), (2, 1))])
+        tree, _ = bulk_load(ra, SortTileRecursive(), capacity=10)
+        q = measure_paged(tree)
+        # One root leaf whose MBR is (0,0)-(2,2).
+        assert q.node_count == 1
+        assert q.leaf_area == q.total_area == pytest.approx(4.0)
+        assert q.leaf_perimeter == q.total_perimeter == pytest.approx(8.0)
+
+    def test_leaf_subset_of_total(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        q = measure_paged(tree)
+        assert q.leaf_area <= q.total_area
+        assert q.leaf_perimeter <= q.total_perimeter
+        assert q.node_count == tree.page_count
+        assert q.height == tree.height
+
+    def test_point_data_leaf_area_below_node_count(self, rng):
+        """On uniform point data each STR leaf tile has area ~1/P, so the
+        leaf-area sum is around 1 (paper Table 4: 0.97)."""
+        ra = RectArray.from_points(rng.random((10_000, 2)))
+        tree, _ = bulk_load(ra, SortTileRecursive(), capacity=100)
+        q = measure_paged(tree)
+        assert 0.7 < q.leaf_area < 1.2
+
+    def test_nx_perimeter_blows_up(self, rng):
+        """The paper's core NX observation: order-of-magnitude larger
+        perimeter than STR on the same data."""
+        ra = RectArray.from_points(rng.random((10_000, 2)))
+        str_q = measure_paged(bulk_load(ra, SortTileRecursive(),
+                                        capacity=100)[0])
+        nx_q = measure_paged(bulk_load(ra, NearestX(), capacity=100)[0])
+        assert nx_q.leaf_perimeter > 3 * str_q.leaf_perimeter
+
+    def test_as_row_keys(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        row = measure_paged(tree).as_row()
+        assert set(row) == {"leaf area", "total area",
+                            "leaf perimeter", "total perimeter"}
+
+
+class TestMeasureDynamic:
+    def test_agrees_with_paged_measurement(self, rng):
+        pts = rng.random((300, 2))
+        dyn = RTree(capacity=10)
+        for i, p in enumerate(pts):
+            dyn.insert(Rect.from_point(tuple(p)), i)
+        d = measure_dynamic(dyn)
+        p = measure_paged(paged_from_dynamic(dyn))
+        assert d.leaf_area == pytest.approx(p.leaf_area)
+        assert d.total_perimeter == pytest.approx(p.total_perimeter)
+        assert d.node_count == p.node_count
+
+    def test_packed_beats_dynamic_on_quality(self, rng):
+        """Packing's claim (c): the packed tree has less leaf-level area
+        than the insertion-built tree on the same data."""
+        pts = rng.random((2000, 2))
+        ra = RectArray.from_points(pts)
+        packed = measure_paged(
+            bulk_load(ra, SortTileRecursive(), capacity=20)[0]
+        )
+        dyn = RTree(capacity=20)
+        for i, p in enumerate(pts):
+            dyn.insert(Rect.from_point(tuple(p)), i)
+        inserted = measure_dynamic(dyn)
+        assert packed.leaf_area < inserted.leaf_area
+
+    def test_empty_tree(self):
+        q = measure_dynamic(RTree())
+        assert q.node_count == 0
+        assert q.leaf_area == 0.0

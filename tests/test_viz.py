@@ -1,0 +1,63 @@
+"""Unit tests for SVG rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import RectArray
+from repro.core.packing import SortTileRecursive
+from repro.rtree.bulk import bulk_load
+from repro.viz import leaf_mbr_svg, rects_svg, scatter_svg
+
+
+class TestRectsSvg:
+    def test_well_formed(self, small_rects):
+        svg = rects_svg(small_rects, title="demo")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "<title>demo</title>" in svg
+
+    def test_one_element_per_rect(self, small_rects):
+        svg = rects_svg(small_rects)
+        # frame rect + background + one per data rect
+        assert svg.count("<rect") == len(small_rects) + 2
+
+    def test_3d_rejected(self, rng):
+        ra = RectArray.from_points(rng.random((5, 3)))
+        with pytest.raises(ValueError):
+            rects_svg(ra)
+
+    def test_custom_bounds(self, small_rects):
+        svg = rects_svg(small_rects, bounds=(0, 0, 2, 2))
+        assert "<svg" in svg
+
+
+class TestScatterSvg:
+    def test_one_circle_per_point(self, rng):
+        pts = rng.random((50, 2))
+        svg = scatter_svg(pts)
+        assert svg.count("<circle") == 50
+
+    def test_bad_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            scatter_svg(rng.random(10))
+
+    def test_coordinates_inside_canvas(self, rng):
+        pts = rng.random((100, 2))
+        svg = scatter_svg(pts)
+        for line in svg.splitlines():
+            if "<circle" in line:
+                cx = float(line.split('cx="')[1].split('"')[0])
+                assert 0 <= cx <= 800
+
+
+class TestLeafMbrSvg:
+    def test_draws_every_leaf(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        svg = leaf_mbr_svg(tree, title="leaves")
+        assert svg.count("<rect") == 20 + 2
+
+    def test_does_not_touch_io_counters(self, unit_points):
+        tree, _ = bulk_load(unit_points, SortTileRecursive(), capacity=50)
+        before = tree.store.stats.disk_reads
+        leaf_mbr_svg(tree)
+        assert tree.store.stats.disk_reads == before
