@@ -35,6 +35,7 @@ Quickstart
 True
 """
 
+from . import obs
 from .core.geometry import Rect, RectArray, unit_square
 from .core.packing.base import PackingAlgorithm
 from .core.packing.hilbert import HilbertSort
@@ -58,6 +59,7 @@ from .storage.striped import StripedPageStore
 __version__ = "1.0.0"
 
 __all__ = [
+    "obs",
     "Rect",
     "RectArray",
     "unit_square",

@@ -14,6 +14,15 @@ Emit the Figure 2-4 SVG plots into a directory::
 
     python -m repro fig234 --out-dir figures/
 
+Profile an experiment — phase timing breakdown, JSONL span trace and a
+run manifest under ``results/runs/``::
+
+    python -m repro profile table2 --quick
+
+Any experiment can also emit telemetry without the breakdown table::
+
+    python -m repro table5 --trace-out t5.trace.jsonl --metrics-out t5.json
+
 List everything available::
 
     python -m repro list
@@ -27,9 +36,10 @@ import sys
 import time
 from typing import Callable
 
+from . import obs
 from .experiments import cfd_tables, gis_tables, synthetic_tables, vlsi_tables
 from .experiments.config import DEFAULT_CONFIG, ExperimentConfig
-from .experiments.report import Series, Table
+from .experiments.report import Series, Table, timing_breakdown_table
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -139,8 +149,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      "Efficient Algorithm for R-Tree Packing' (ICDE 1997)"),
     )
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["list", "all"],
-                        help="which table/figure to regenerate")
+                        choices=sorted(EXPERIMENTS) + ["list", "all",
+                                                       "profile"],
+                        help="which table/figure to regenerate, or "
+                             "'profile <experiment>' for a telemetered run")
+    parser.add_argument("target", nargs="?", default=None,
+                        help="experiment to profile (only with 'profile')")
     parser.add_argument("--quick", action="store_true",
                         help="small fast profile (same shapes, smaller cells)")
     parser.add_argument("--queries", type=int, default=None,
@@ -154,6 +168,17 @@ def _build_parser() -> argparse.ArgumentParser:
                              "(figures only; requires --out-dir)")
     parser.add_argument("--out-dir", default=None,
                         help="write output files (SVGs, .txt tables) here")
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="write a JSONL span trace here "
+                             "(enables telemetry)")
+    parser.add_argument("--metrics-out", default=None, metavar="PATH",
+                        help="write a metrics-registry JSON snapshot here "
+                             "(enables telemetry)")
+    parser.add_argument("--run-dir", default=None, metavar="DIR",
+                        help="directory for run manifests/traces "
+                             f"(default: {obs.DEFAULT_RUN_DIR})")
+    parser.add_argument("--no-manifest", action="store_true",
+                        help="suppress the run-manifest JSON")
     return parser
 
 
@@ -200,22 +225,84 @@ def _emit(name: str, result, args: argparse.Namespace) -> None:
         print(text)
 
 
+def _emit_telemetry(name: str, tracer, registry, config, args,
+                    argv: list[str], duration_s: float,
+                    profile_mode: bool) -> None:
+    """Profile-mode breakdown table + trace/metrics/manifest files."""
+    if profile_mode:
+        print(timing_breakdown_table(
+            tracer, title=f"Phase timing breakdown: {name}"
+        ).render())
+
+    run_dir = args.run_dir if args.run_dir is not None else obs.DEFAULT_RUN_DIR
+    manifest = obs.RunManifest.collect(
+        name, config=config, argv=argv, duration_s=duration_s,
+        tracer=tracer, registry=registry,
+    )
+    # One collision-free stem for all of this run's files, so same-second
+    # runs never overwrite each other's trace.
+    stem = obs.unique_run_stem(manifest, run_dir)
+    trace_path = (args.trace_out if args.trace_out is not None
+                  else os.path.join(run_dir, f"{stem}.trace.jsonl"))
+    manifest.outputs["trace_jsonl"] = obs.write_trace_jsonl(
+        tracer, trace_path
+    )
+    print(f"wrote {trace_path}")
+    if args.metrics_out is not None:
+        manifest.outputs["metrics_json"] = obs.write_metrics_json(
+            registry, args.metrics_out
+        )
+        print(f"wrote {args.metrics_out}")
+    if not args.no_manifest:
+        manifest_path = obs.write_manifest(manifest, run_dir, stem=stem)
+        print(f"wrote {manifest_path}")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     if args.experiment == "list":
         for name in sorted(EXPERIMENTS):
             print(f"{name:10s} {EXPERIMENTS[name][1]}")
         return 0
 
+    profile_mode = args.experiment == "profile"
+    if profile_mode:
+        if args.target not in EXPERIMENTS:
+            parser.error(
+                f"profile needs an experiment to run, one of "
+                f"{', '.join(sorted(EXPERIMENTS))}"
+            )
+        names = [args.target]
+    elif args.target is not None:
+        parser.error("a second positional argument is only valid "
+                     "with 'profile'")
+    else:
+        names = (sorted(EXPERIMENTS) if args.experiment == "all"
+                 else [args.experiment])
+
+    if args.trace_out == "":
+        parser.error("--trace-out requires a file path")
+    if args.metrics_out == "":
+        parser.error("--metrics-out requires a file path")
+    telemetry_on = (profile_mode or args.trace_out is not None
+                    or args.metrics_out is not None)
     config = _config_from(args)
-    names = (sorted(EXPERIMENTS) if args.experiment == "all"
-             else [args.experiment])
     for name in names:
         runner, _ = EXPERIMENTS[name]
         start = time.time()
-        result = runner(config)
-        _emit(name, result, args)
+        if telemetry_on:
+            with obs.telemetry() as (tracer, registry):
+                result = runner(config)
+            duration = time.time() - start
+            _emit(name, result, args)
+            _emit_telemetry(name, tracer, registry, config, args,
+                            raw_argv, duration, profile_mode)
+        else:
+            result = runner(config)
+            _emit(name, result, args)
         print(f"[{name}: {time.time() - start:.1f}s]", file=sys.stderr)
     return 0
 

@@ -31,6 +31,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 from ...core.geometry import GeometryError, RectArray
+from ...obs import runtime as obs
 from .base import PackingError
 from .str_ import str_slab_sizes
 
@@ -109,11 +110,15 @@ class ExternalRectSorter:
     def _spill(self) -> None:
         if not self._buffer:
             return
-        self._buffer.sort()
-        path = os.path.join(self._tmp.name, f"run-{self._spills:06d}.bin")
-        with open(path, "wb") as f:
-            for record in self._buffer:
-                f.write(self._struct.pack(*record))
+        with obs.span("extsort.spill", run=self._spills,
+                      count=len(self._buffer)):
+            self._buffer.sort()
+            path = os.path.join(self._tmp.name,
+                                f"run-{self._spills:06d}.bin")
+            with open(path, "wb") as f:
+                for record in self._buffer:
+                    f.write(self._struct.pack(*record))
+        obs.inc("extsort.records_spilled", len(self._buffer))
         self._runs.append(path)
         self._spills += 1
         self._buffer = []
@@ -250,14 +255,18 @@ def external_bulk_load(
         leaf_mbrs_hi.append(mbr.hi)
         batch.clear()
 
-    total = 0
-    for record in ordered:
-        batch.append(record)
-        total += 1
-        if len(batch) == capacity:
+    # The leaf loop drives the whole external pipeline (sorts and spills
+    # happen lazily as `ordered` is consumed), so this span is the total
+    # external-load time; nested extsort.spill spans attribute the sorts.
+    with obs.span("bulk.external_load", capacity=capacity):
+        total = 0
+        for record in ordered:
+            batch.append(record)
+            total += 1
+            if len(batch) == capacity:
+                flush_leaf()
+        if batch:
             flush_leaf()
-    if batch:
-        flush_leaf()
     if total == 0:
         raise GeometryError("cannot bulk-load zero records")
 

@@ -18,6 +18,7 @@ import numpy as np
 
 from ...core.geometry import RectArray
 from ...hilbert.float_key import DEFAULT_ORDER, float_hilbert_keys
+from ...obs import runtime as obs
 from .base import PackingAlgorithm, PackingError, validate_permutation
 
 __all__ = ["HilbertSort"]
@@ -45,8 +46,11 @@ class HilbertSort(PackingAlgorithm):
 
     def order(self, rects: RectArray, capacity: int) -> np.ndarray:
         self._check(rects, capacity)
-        keys = self.order_keys(rects)
-        perm = np.argsort(keys, kind="stable")
+        with obs.span("hs.key", curve_order=self.curve_order,
+                      count=len(rects)):
+            keys = self.order_keys(rects)
+        with obs.span("hs.sort", count=len(rects)):
+            perm = np.argsort(keys, kind="stable")
         return validate_permutation(perm, len(rects))
 
     def __repr__(self) -> str:

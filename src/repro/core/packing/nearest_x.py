@@ -17,6 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...core.geometry import RectArray
+from ...obs import runtime as obs
 from .base import PackingAlgorithm, validate_permutation
 
 __all__ = ["NearestX"]
@@ -40,7 +41,8 @@ class NearestX(PackingAlgorithm):
                 f"{rects.ndim}-d data"
             )
         keys = rects.centers()[:, self.dimension]
-        perm = np.argsort(keys, kind="stable")
+        with obs.span("nx.sort", dim=self.dimension, count=len(rects)):
+            perm = np.argsort(keys, kind="stable")
         return validate_permutation(perm, len(rects))
 
     def __repr__(self) -> str:

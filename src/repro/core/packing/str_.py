@@ -28,6 +28,7 @@ import math
 import numpy as np
 
 from ...core.geometry import RectArray
+from ...obs import runtime as obs
 from .base import (
     PackingAlgorithm,
     PackingError,
@@ -85,11 +86,13 @@ class SortTileRecursive(PackingAlgorithm):
         ndim = centers.shape[1]
         dims_left = ndim - dim
         keys = centers[idx, dim]
-        local = np.argsort(keys, kind="stable")
+        with obs.span("str.sort", dim=dim, count=len(idx)):
+            local = np.argsort(keys, kind="stable")
         ordered = idx[local]
         if dims_left <= 1:
             return ordered
-        sizes = str_slab_sizes(len(ordered), capacity, dims_left)
+        with obs.span("str.tile", dim=dim, count=len(ordered)):
+            sizes = str_slab_sizes(len(ordered), capacity, dims_left)
         if len(sizes) == 1:
             # A single slab: just recurse into the remaining dimensions.
             return self._order_slab(centers, ordered, dim + 1, capacity)

@@ -13,7 +13,9 @@ import io
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-__all__ = ["Table", "Series", "format_value"]
+from ..obs.spans import PHASES, Tracer
+
+__all__ = ["Table", "Series", "format_value", "timing_breakdown_table"]
 
 
 def format_value(value: Any, decimals: int = 2) -> str:
@@ -111,6 +113,44 @@ class Table:
 
     def __str__(self) -> str:
         return self.render()
+
+
+def timing_breakdown_table(tracer: Tracer,
+                           title: str = "Phase timing breakdown") -> Table:
+    """Render a tracer's timings the way ``repro profile`` prints them.
+
+    Two bands: the coarse phases (sort/tile/pack/query, *self* time, so
+    the percentages sum to 100) and the per-span-name totals (inclusive
+    wall time — nested spans count their children, so these do not sum).
+    """
+    table = Table(
+        title=title,
+        columns=("phase / span", "count", "wall s", "cpu s", "% wall"),
+    )
+    phases = tracer.phase_summary()
+    total_wall = sum(p["wall_s"] for p in phases.values())
+    table.add_section("phases (self time)")
+    ordered = [p for p in PHASES if p in phases]
+    ordered += sorted(set(phases) - set(ordered))
+    for phase in ordered:
+        p = phases[phase]
+        pct = 100.0 * p["wall_s"] / total_wall if total_wall else 0.0
+        table.add_row(phase, int(p["count"]),
+                      round(p["wall_s"], 4), round(p["cpu_s"], 4),
+                      f"{pct:.1f}%")
+    table.add_section("spans (inclusive time)")
+    spans = tracer.summary()
+    for name in sorted(spans, key=lambda n: -spans[n]["wall_s"]):
+        s = spans[name]
+        pct = 100.0 * s["wall_s"] / total_wall if total_wall else 0.0
+        table.add_row(f"{name} [{s['phase']}]", int(s["count"]),
+                      round(s["wall_s"], 4), round(s["cpu_s"], 4),
+                      f"{pct:.1f}%")
+    table.notes.append(
+        f"traced wall time {total_wall:.3f}s over {len(tracer)} spans; "
+        "phase rows use self time (exclusive of children) and sum to 100%"
+    )
+    return table
 
 
 @dataclass

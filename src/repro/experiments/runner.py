@@ -15,11 +15,13 @@ table that sweeps buffer sizes does not rebuild trees per row.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from ..core.geometry import RectArray
 from ..core.packing.base import PackingAlgorithm
 from ..core.packing.registry import make_algorithm
+from ..obs import runtime as obs
 from ..queries.workloads import QueryWorkload
 from ..rtree.bulk import BulkLoadReport, bulk_load
 from ..rtree.paged import PagedRTree
@@ -55,11 +57,36 @@ class QueryRunResult:
 def run_queries(tree: PagedRTree, workload: QueryWorkload,
                 buffer_pages: int, *, policy: str = "lru",
                 algorithm: str = "?") -> QueryRunResult:
-    """Replay a workload through a cold buffer; mean accesses per query."""
+    """Replay a workload through a cold buffer; mean accesses per query.
+
+    With telemetry enabled (:mod:`repro.obs`), the batch is wrapped in a
+    ``query.batch`` span and per-query latency/access histograms are
+    observed.  Telemetry only *reads* the searcher's counters between
+    queries — the buffer pool and access counts are untouched, so the
+    reported ``mean_accesses`` is bit-identical either way.
+    """
     searcher = tree.searcher(buffer_pages, policy=policy)
     total_results = 0
-    for query in workload:
-        total_results += int(searcher.search(query).size)
+    telemetry = obs.enabled()
+    with obs.span("query.batch", algorithm=algorithm, workload=workload.kind,
+                  buffer_pages=buffer_pages, queries=len(workload)):
+        if telemetry:
+            previous = 0
+            for query in workload:
+                t0 = time.perf_counter()
+                total_results += int(searcher.search(query).size)
+                obs.observe("query.latency_s", time.perf_counter() - t0,
+                            algorithm=algorithm, workload=workload.kind)
+                accesses = searcher.disk_accesses
+                obs.observe("query.accesses", accesses - previous,
+                            algorithm=algorithm, workload=workload.kind)
+                previous = accesses
+        else:
+            for query in workload:
+                total_results += int(searcher.search(query).size)
+    if telemetry:
+        obs.record_iostats(searcher.stats, "query.io",
+                           algorithm=algorithm, workload=workload.kind)
     return QueryRunResult(
         algorithm=algorithm,
         workload=workload.kind,
@@ -106,7 +133,9 @@ class TreeCache:
         key = (dataset_label, algo.name)
         if key not in self._trees:
             rects = self.dataset(dataset_label)
-            tree, report = bulk_load(rects, algo, capacity=self.capacity)
+            with obs.span("bulk.build", dataset=dataset_label,
+                          algorithm=algo.name):
+                tree, report = bulk_load(rects, algo, capacity=self.capacity)
             self._trees[key] = tree
             self._reports[key] = report
         return self._trees[key]

@@ -34,20 +34,34 @@ class QueryTrace:
     accesses: np.ndarray  # (n_queries,) int64
     results: np.ndarray   # (n_queries,) int64
 
+    def _require_queries(self, what: str) -> None:
+        """Statistics over zero queries are undefined; fail loudly instead
+        of letting numpy raise an opaque error (or silently emit NaN)."""
+        if self.accesses.size == 0:
+            raise ValueError(
+                f"cannot compute {what}: trace for algorithm="
+                f"{self.algorithm!r}, workload={self.workload!r} covers "
+                "an empty workload (0 queries)"
+            )
+
     @property
     def mean(self) -> float:
+        self._require_queries("mean")
         return float(self.accesses.mean())
 
     @property
     def std(self) -> float:
+        self._require_queries("std")
         return float(self.accesses.std())
 
     def percentile(self, q: float) -> float:
         """q-th percentile of per-query accesses."""
+        self._require_queries(f"percentile({q})")
         return float(np.percentile(self.accesses, q))
 
     def summary(self) -> dict[str, float]:
         """Mean plus the dispersion numbers the paper does not report."""
+        self._require_queries("summary")
         return {
             "mean": self.mean,
             "std": self.std,
@@ -84,6 +98,9 @@ def paired_comparison(a: QueryTrace, b: QueryTrace) -> dict[str, float]:
     """
     if len(a.accesses) != len(b.accesses):
         raise ValueError("traces cover different query counts")
+    if len(a.accesses) == 0:
+        raise ValueError("cannot compare traces over empty workloads "
+                         "(0 queries)")
     delta = a.accesses - b.accesses
     n = len(delta)
     return {

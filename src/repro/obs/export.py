@@ -1,0 +1,84 @@
+"""File export helpers for telemetry artefacts.
+
+Span JSONL serialisation itself lives next to the span type
+(:func:`repro.obs.spans.write_spans_jsonl`); this module adds the
+registry/metrics writers and the path conventions the CLI uses so that
+``profile`` runs land in predictable places under ``results/runs/``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from .manifest import DEFAULT_RUN_DIR, RunManifest
+from .metrics import MetricsRegistry
+from .spans import Tracer
+
+__all__ = [
+    "write_metrics_json",
+    "write_trace_jsonl",
+    "default_trace_path",
+    "default_metrics_path",
+    "unique_run_stem",
+]
+
+#: Extensions a run may produce; a stem is free only if all are free.
+_RUN_EXTENSIONS = (".json", ".trace.jsonl", ".metrics.json")
+
+
+def unique_run_stem(manifest: RunManifest,
+                    out_dir: str | os.PathLike = DEFAULT_RUN_DIR) -> str:
+    """A file stem no existing run artefact in ``out_dir`` uses.
+
+    Two runs of the same experiment within one second share
+    :meth:`RunManifest.file_stem`; suffixing the *stem* (rather than each
+    file independently) keeps a run's manifest, trace and metrics files
+    together under one name.
+    """
+    out_dir = os.fspath(out_dir)
+    base = manifest.file_stem()
+    stem, n = base, 0
+    while any(os.path.exists(os.path.join(out_dir, stem + ext))
+              for ext in _RUN_EXTENSIONS):
+        n += 1
+        stem = f"{base}-{n}"
+    return stem
+
+
+def write_metrics_json(registry: MetricsRegistry,
+                       path: str | os.PathLike) -> str:
+    """Dump a registry snapshot as pretty-printed JSON; returns the path."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(registry.snapshot(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def write_trace_jsonl(tracer: Tracer, path: str | os.PathLike) -> str:
+    """Write the tracer's finished spans as JSONL; returns the path."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    tracer.to_jsonl(path)
+    return path
+
+
+def default_trace_path(manifest: RunManifest,
+                       out_dir: str | os.PathLike = DEFAULT_RUN_DIR) -> str:
+    """``<out_dir>/<experiment>-<stamp>.trace.jsonl`` for this run."""
+    return os.path.join(os.fspath(out_dir),
+                        f"{manifest.file_stem()}.trace.jsonl")
+
+
+def default_metrics_path(manifest: RunManifest,
+                         out_dir: str | os.PathLike = DEFAULT_RUN_DIR
+                         ) -> str:
+    """``<out_dir>/<experiment>-<stamp>.metrics.json`` for this run."""
+    return os.path.join(os.fspath(out_dir),
+                        f"{manifest.file_stem()}.metrics.json")

@@ -1,0 +1,176 @@
+"""Run manifests: one JSON record per experiment invocation.
+
+A manifest captures everything needed to interpret (and re-run) one
+experiment: the experiment name, the resolved configuration, the git
+revision of the code, wall-clock duration, the tracer's per-span and
+per-phase timing summaries, and a full metrics-registry snapshot.  The
+CLI drops them under ``results/runs/`` so a directory of manifests *is*
+the lab notebook — ``experiments/report.py`` renders them back into
+timing tables, and future dashboards can diff them across commits.
+
+Schema (``format`` = ``repro-run-manifest-v1``)::
+
+    {
+      "format":      "repro-run-manifest-v1",
+      "experiment":  "table2",
+      "created_utc": "2026-08-06T12:00:00+00:00",
+      "git_sha":     "abc123..."  | null,
+      "argv":        ["profile", "table2", "--quick"],
+      "config":      {...ExperimentConfig fields...},
+      "duration_s":  12.3,
+      "spans":       {name: {count, wall_s, cpu_s, phase}},
+      "phases":      {phase: {count, wall_s, cpu_s}},
+      "metrics":     {name: [{kind, labels, value}]},
+      "outputs":     {"trace_jsonl": "path" | null, ...},
+      "extra":       {...free-form...}
+    }
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "DEFAULT_RUN_DIR",
+    "RunManifest",
+    "git_sha",
+    "write_manifest",
+    "load_manifest",
+]
+
+MANIFEST_FORMAT = "repro-run-manifest-v1"
+
+#: Where the CLI writes manifests unless told otherwise.
+DEFAULT_RUN_DIR = os.path.join("results", "runs")
+
+
+def git_sha(cwd: str | os.PathLike | None = None) -> str | None:
+    """The current git commit SHA, or ``None`` outside a repo / no git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.fspath(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _config_dict(config) -> dict:
+    """An ExperimentConfig (or any dataclass/dict) as a JSON-able dict.
+
+    Normalised through a JSON round trip so the in-memory manifest equals
+    the manifest reloaded from disk (tuples become lists, etc.).
+    """
+    if config is None:
+        return {}
+    if isinstance(config, dict):
+        out = dict(config)
+    elif dataclasses.is_dataclass(config):
+        out = dataclasses.asdict(config)
+    else:
+        out = {"repr": repr(config)}
+    return json.loads(json.dumps(out))
+
+
+@dataclass
+class RunManifest:
+    """The machine-readable record of one experiment invocation."""
+
+    experiment: str
+    created_utc: str = ""
+    git_sha: str | None = None
+    argv: list[str] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
+    duration_s: float = 0.0
+    spans: dict = field(default_factory=dict)
+    phases: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    outputs: dict = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.created_utc:
+            self.created_utc = datetime.now(timezone.utc).isoformat()
+
+    @classmethod
+    def collect(cls, experiment: str, *, config=None,
+                argv: list[str] | None = None, duration_s: float = 0.0,
+                tracer=None, registry=None, outputs: dict | None = None,
+                extra: dict | None = None) -> "RunManifest":
+        """Assemble a manifest from live telemetry objects."""
+        return cls(
+            experiment=experiment,
+            git_sha=git_sha(),
+            argv=list(argv) if argv else [],
+            config=_config_dict(config),
+            duration_s=float(duration_s),
+            spans=tracer.summary() if tracer is not None else {},
+            phases=tracer.phase_summary() if tracer is not None else {},
+            metrics=registry.snapshot() if registry is not None else {},
+            outputs=dict(outputs) if outputs else {},
+            extra=dict(extra) if extra else {},
+        )
+
+    def as_dict(self) -> dict:
+        """The manifest as a JSON-able dict, ``format`` key included."""
+        out = {"format": MANIFEST_FORMAT}
+        out.update(dataclasses.asdict(self))
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        if data.get("format") != MANIFEST_FORMAT:
+            raise ValueError(
+                f"not a {MANIFEST_FORMAT} record "
+                f"(format={data.get('format')!r})"
+            )
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in fields})
+
+    def file_stem(self) -> str:
+        """``<experiment>-<UTC timestamp>`` (filesystem-safe)."""
+        stamp = (self.created_utc.replace(":", "").replace("-", "")
+                 .split(".")[0].split("+")[0])
+        return f"{self.experiment}-{stamp}"
+
+
+def write_manifest(manifest: RunManifest,
+                   out_dir: str | os.PathLike = DEFAULT_RUN_DIR, *,
+                   stem: str | None = None) -> str:
+    """Write ``<out_dir>/<experiment>-<stamp>.json``; returns the path.
+
+    The directory is created on demand; a name collision (two runs in
+    the same second) gets a numeric suffix rather than clobbering.
+    Callers that write sibling artefacts (trace, metrics) pass a
+    pre-reserved ``stem`` so every file of one run shares a name — see
+    :func:`repro.obs.export.unique_run_stem`.
+    """
+    out_dir = os.fspath(out_dir)
+    os.makedirs(out_dir, exist_ok=True)
+    stem = stem if stem is not None else manifest.file_stem()
+    path = os.path.join(out_dir, f"{stem}.json")
+    n = 1
+    while os.path.exists(path):
+        path = os.path.join(out_dir, f"{stem}-{n}.json")
+        n += 1
+    with open(path, "w") as f:
+        json.dump(manifest.as_dict(), f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def load_manifest(path: str | os.PathLike) -> RunManifest:
+    """Read a manifest JSON back into a :class:`RunManifest`."""
+    with open(os.fspath(path)) as f:
+        return RunManifest.from_dict(json.load(f))

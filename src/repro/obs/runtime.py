@@ -1,0 +1,159 @@
+"""Ambient telemetry context: one switch, one tracer, one registry.
+
+Instrumented code never imports a concrete tracer; it calls the
+module-level helpers here::
+
+    from ..obs import runtime as obs
+
+    with obs.span("str.sort", dim=0):
+        ...
+    obs.observe("query.accesses", delta, algorithm="STR")
+
+When telemetry is **disabled** (the default) every helper is a cheap
+no-op — ``span`` returns a shared null context manager and the metric
+helpers return immediately — so instrumentation can live on warm paths
+without perturbing the paper's measurements.  The regression test
+``tests/test_obs_integration.py`` pins that property: Table 2 numbers
+are bit-identical with telemetry on and off, because instrumentation
+only ever *reads* the experiment state.
+
+Enable telemetry for a region with :func:`telemetry`::
+
+    with obs.telemetry() as (tracer, registry):
+        table = synthetic_tables.table2(config)
+    tracer.summary()          # phase timings
+    registry.snapshot()       # metric dump
+
+or globally with :func:`enable`/:func:`disable` (the CLI's
+``--trace-out`` path).  Nested :func:`telemetry` blocks stack: the inner
+block's tracer/registry apply inside, the outer pair is restored on
+exit.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+from .spans import Tracer
+
+__all__ = [
+    "enable",
+    "disable",
+    "enabled",
+    "telemetry",
+    "tracer",
+    "registry",
+    "span",
+    "inc",
+    "observe",
+    "set_gauge",
+    "record_iostats",
+]
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+# The ambient stack: (tracer, registry) pairs; empty = disabled.
+_stack: list[tuple[Tracer, MetricsRegistry]] = []
+
+
+def enable(trace: Tracer | None = None,
+           metrics: MetricsRegistry | None = None
+           ) -> tuple[Tracer, MetricsRegistry]:
+    """Turn telemetry on; returns the active ``(tracer, registry)``."""
+    pair = (trace if trace is not None else Tracer(),
+            metrics if metrics is not None else MetricsRegistry())
+    _stack.append(pair)
+    return pair
+
+
+def disable() -> None:
+    """Pop the most recent :func:`enable`; no-op when already disabled."""
+    if _stack:
+        _stack.pop()
+
+
+def enabled() -> bool:
+    """Is any telemetry context active?"""
+    return bool(_stack)
+
+
+@contextmanager
+def telemetry(trace: Tracer | None = None,
+              metrics: MetricsRegistry | None = None
+              ) -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Enable telemetry for a ``with`` block, restoring state on exit."""
+    pair = enable(trace, metrics)
+    try:
+        yield pair
+    finally:
+        # Pop *this* pair even if the block enabled/disabled unevenly.
+        if pair in _stack:
+            while _stack and _stack[-1] is not pair:
+                _stack.pop()
+            _stack.pop()
+
+
+def tracer() -> Tracer | None:
+    """The active tracer, or ``None`` when disabled."""
+    return _stack[-1][0] if _stack else None
+
+
+def registry() -> MetricsRegistry | None:
+    """The active metrics registry, or ``None`` when disabled."""
+    return _stack[-1][1] if _stack else None
+
+
+def span(name: str, **labels):
+    """A timed region under the active tracer; no-op when disabled."""
+    if not _stack:
+        return _NULL_SPAN
+    return _stack[-1][0].span(name, **labels)
+
+
+def inc(name: str, amount: int = 1, **labels) -> None:
+    """Increment a counter in the active registry; no-op when disabled."""
+    if _stack:
+        _stack[-1][1].counter(name, **labels).inc(amount)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Observe into a histogram in the active registry; no-op when off."""
+    if _stack:
+        _stack[-1][1].histogram(name, **labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge in the active registry; no-op when disabled."""
+    if _stack:
+        _stack[-1][1].gauge(name, **labels).set(value)
+
+
+def record_iostats(stats, prefix: str, **labels) -> None:
+    """Fold an :class:`~repro.storage.counters.IOStats` total into the
+    active registry as ``<prefix>.<field>`` counters.
+
+    Components keep their own private ``IOStats`` on the hot path (so
+    per-searcher accounting stays isolated and the measured counts are
+    untouched); at batch boundaries the totals are added here.  No-op
+    when telemetry is disabled.
+    """
+    if not _stack:
+        return
+    reg = _stack[-1][1]
+    for field_name, value in stats.as_dict().items():
+        reg.counter(f"{prefix}.{field_name}", **labels).inc(value)

@@ -20,6 +20,7 @@ import numpy as np
 
 from ..core.geometry import GeometryError, RectArray
 from ..core.packing.base import PackingAlgorithm, leaf_group_sizes
+from ..obs import runtime as obs
 from ..storage.counters import IOStats
 from ..storage.page import NodePage, encode_node, required_page_size
 from ..storage.store import MemoryPageStore, PageStore
@@ -122,21 +123,28 @@ def bulk_load(
         )
     build_io = store.stats.snapshot()
 
-    level = 0
-    level_rects, level_ids = rects, ids
-    while True:
-        if level == 0 or reorder_internal:
-            perm = algorithm.order(level_rects, capacity)
-            level_rects = level_rects.take(perm)
-            level_ids = level_ids[perm]
-        mbrs, page_ids = _write_level(
-            level_rects, level_ids, level, store, store.page_size, capacity
-        )
-        if len(page_ids) == 1:
-            root_page = int(page_ids[0])
-            break
-        level_rects, level_ids = mbrs, page_ids
-        level += 1
+    with obs.span("bulk.load", algorithm=algorithm.name, size=len(rects),
+                  capacity=capacity):
+        level = 0
+        level_rects, level_ids = rects, ids
+        while True:
+            if level == 0 or reorder_internal:
+                with obs.span("pack.order", algorithm=algorithm.name,
+                              level=level, count=len(level_rects)):
+                    perm = algorithm.order(level_rects, capacity)
+                    level_rects = level_rects.take(perm)
+                    level_ids = level_ids[perm]
+            with obs.span("bulk.write_level", level=level,
+                          count=len(level_rects)):
+                mbrs, page_ids = _write_level(
+                    level_rects, level_ids, level, store, store.page_size,
+                    capacity
+                )
+            if len(page_ids) == 1:
+                root_page = int(page_ids[0])
+                break
+            level_rects, level_ids = mbrs, page_ids
+            level += 1
 
     io_delta = IOStats(
         disk_reads=store.stats.disk_reads - build_io.disk_reads,
@@ -156,6 +164,11 @@ def bulk_load(
         leaf_pages=int(np.ceil(len(rects) / capacity)),
         build_io=io_delta,
     )
+    if obs.enabled():
+        obs.record_iostats(io_delta, "build.io", algorithm=algorithm.name)
+        obs.set_gauge("tree.height", tree.height, algorithm=algorithm.name)
+        obs.set_gauge("tree.pages", report.pages_written,
+                      algorithm=algorithm.name)
     return tree, report
 
 

@@ -28,6 +28,7 @@ from typing import Iterator, Sequence
 import numpy as np
 
 from ..core.geometry import GeometryError, Rect
+from ..obs import runtime as obs
 from ..storage.buffer import BufferPool, ReplacementPolicy
 from ..storage.counters import IOStats
 from ..storage.page import NodePage, decode_node
@@ -217,21 +218,24 @@ class PagedSearcher:
         """Data ids of all rectangles intersecting ``query``."""
         if query.ndim != self.tree.ndim:
             raise GeometryError("query dimensionality mismatch")
-        hits: list[np.ndarray] = []
-        stack = [self.tree.root_page]
-        while stack:
-            node = self.buffer.get(stack.pop())
-            mask = node.rects.intersects_rect(query)
-            if not mask.any():
-                continue
-            matched = node.children[mask]
-            if node.is_leaf:
-                hits.append(matched)
-            else:
-                stack.extend(int(c) for c in matched)
-        if not hits:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(hits)
+        # The span only *times* the walk; all counting stays in the
+        # buffer/store IOStats, so telemetry cannot shift access counts.
+        with obs.span("query.search"):
+            hits: list[np.ndarray] = []
+            stack = [self.tree.root_page]
+            while stack:
+                node = self.buffer.get(stack.pop())
+                mask = node.rects.intersects_rect(query)
+                if not mask.any():
+                    continue
+                matched = node.children[mask]
+                if node.is_leaf:
+                    hits.append(matched)
+                else:
+                    stack.extend(int(c) for c in matched)
+            if not hits:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(hits)
 
     def point_query(self, point: Sequence[float]) -> np.ndarray:
         """Data ids of all rectangles containing ``point``."""

@@ -306,6 +306,7 @@ class BufferPool(Generic[K, V]):
             self._dirty.discard(victim)
         del self._pages[victim]
         self._policy.on_remove(victim)
+        self.stats.evictions += 1
 
     def _write_out(self, key: K) -> None:
         if self._writeback is None:

@@ -6,16 +6,24 @@ partition.  :class:`IOStats` is the single source of truth for that count:
 every component that touches a page (buffer pool, page store) increments the
 same counters, and experiment runners snapshot/reset them around each query
 batch.
+
+Since the observability layer landed, :class:`IOStats` is a thin façade
+over :class:`~repro.obs.metrics.MetricsRegistry` counters: each field
+(``disk_reads``, ``disk_writes``, ``buffer_hits``, ``buffer_misses``,
+``evictions``) is backed by an ``io.<field>`` counter in a registry.  By
+default every ``IOStats`` owns a private registry, so behaviour and
+isolation are exactly as before; passing a shared registry makes several
+components report into one place.  The attribute API (``stats.disk_reads
++= 1``) is unchanged — hot paths do not know the registry exists.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from ..obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["IOStats"]
 
 
-@dataclass
 class IOStats:
     """Mutable counter bundle for page-level I/O.
 
@@ -32,29 +40,57 @@ class IOStats:
         Page requests that had to go to the store.  Equal to ``disk_reads``
         for read-only workloads; kept separate so write-path accounting
         stays honest.
+    evictions:
+        Pages pushed out of the buffer pool to make room (clean or dirty).
     """
 
-    disk_reads: int = 0
-    disk_writes: int = 0
-    buffer_hits: int = 0
-    buffer_misses: int = 0
-    _history: list["IOStats"] = field(default_factory=list, repr=False)
+    FIELDS = (
+        "disk_reads",
+        "disk_writes",
+        "buffer_hits",
+        "buffer_misses",
+        "evictions",
+    )
+
+    __slots__ = ("registry", "prefix", "_counters", "_history")
+
+    def __init__(self, disk_reads: int = 0, disk_writes: int = 0,
+                 buffer_hits: int = 0, buffer_misses: int = 0,
+                 evictions: int = 0, *,
+                 registry: MetricsRegistry | None = None,
+                 prefix: str = "io"):
+        #: Backing registry; private per instance unless one is passed in.
+        #: Two IOStats sharing a registry *and* prefix alias the same
+        #: counters — that is the "one registry" aggregation mode.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters: dict[str, Counter] = {
+            name: self.registry.counter(f"{prefix}.{name}")
+            for name in self.FIELDS
+        }
+        self._history: list["IOStats"] = []
+        for name, value in zip(self.FIELDS, (disk_reads, disk_writes,
+                                             buffer_hits, buffer_misses,
+                                             evictions)):
+            if value:
+                self._counters[name].inc(value)
+
+    # Field accessors are generated below the class body: one property per
+    # FIELDS entry, reading/writing the backing counter's value.
 
     def reset(self) -> None:
         """Zero all counters (history is preserved)."""
-        self.disk_reads = 0
-        self.disk_writes = 0
-        self.buffer_hits = 0
-        self.buffer_misses = 0
+        for counter in self._counters.values():
+            counter.reset()
 
     def snapshot(self) -> "IOStats":
-        """An immutable-ish copy of the current counts."""
-        return IOStats(
-            disk_reads=self.disk_reads,
-            disk_writes=self.disk_writes,
-            buffer_hits=self.buffer_hits,
-            buffer_misses=self.buffer_misses,
-        )
+        """A history-free copy of the current counts.
+
+        The copy owns a fresh private registry and an empty history: it
+        shares *no* state with this instance, so it can be stored, added,
+        or mutated without ever affecting live accounting.
+        """
+        return IOStats(**self.as_dict())
 
     def checkpoint(self) -> None:
         """Append a snapshot to the history, then reset."""
@@ -78,12 +114,46 @@ class IOStats:
             return 0.0
         return self.buffer_hits / total
 
+    def as_dict(self) -> dict[str, int]:
+        """Plain ``{field: count}`` dict (the metrics-export form)."""
+        return {name: self._counters[name].value for name in self.FIELDS}
+
     def __add__(self, other: "IOStats") -> "IOStats":
         if not isinstance(other, IOStats):
             return NotImplemented
-        return IOStats(
-            disk_reads=self.disk_reads + other.disk_reads,
-            disk_writes=self.disk_writes + other.disk_writes,
-            buffer_hits=self.buffer_hits + other.buffer_hits,
-            buffer_misses=self.buffer_misses + other.buffer_misses,
-        )
+        mine, theirs = self.as_dict(), other.as_dict()
+        return IOStats(**{k: mine[k] + theirs[k] for k in self.FIELDS})
+
+    def __iadd__(self, other: "IOStats") -> "IOStats":
+        """Accumulate ``other`` in place (registry binding and history
+        are kept; only the counter values change)."""
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        for name, value in other.as_dict().items():
+            if value:
+                self._counters[name].inc(value)
+        return self
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IOStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"IOStats({body})"
+
+
+def _field_property(name: str) -> property:
+    def _get(self: IOStats) -> int:
+        return self._counters[name].value
+
+    def _set(self: IOStats, value: int) -> None:
+        self._counters[name].value = int(value)
+
+    return property(_get, _set, doc=f"Backed by the ``io.{name}`` counter.")
+
+
+for _name in IOStats.FIELDS:
+    setattr(IOStats, _name, _field_property(_name))
+del _name

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.geometry import GeometryError, Rect, RectArray
+from repro.core.geometry import GeometryError, RectArray
 from repro.core.packing import HilbertSort, NearestX, SortTileRecursive
 from repro.queries import region_queries
 from repro.rtree.bulk import bulk_load

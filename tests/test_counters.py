@@ -59,3 +59,62 @@ def test_addition_wrong_type():
         assert False, "expected TypeError"
     except TypeError:
         pass
+
+
+def test_inplace_addition():
+    a = IOStats(disk_reads=1, evictions=2)
+    a.checkpoint()          # give `a` some history
+    a.disk_reads = 1
+    b = IOStats(disk_reads=3, buffer_hits=4)
+    before = a
+    a += b
+    assert a is before      # updates in place, no new object
+    assert a.disk_reads == 4
+    assert a.buffer_hits == 4
+    assert len(a.history) == 1   # history survives +=
+    assert b.disk_reads == 3     # right-hand side untouched
+
+
+def test_inplace_addition_wrong_type():
+    a = IOStats()
+    try:
+        a += "nope"
+        assert False, "expected TypeError"
+    except TypeError:
+        pass
+
+
+def test_as_dict_has_all_fields():
+    s = IOStats(disk_reads=1, disk_writes=2, buffer_hits=3,
+                buffer_misses=4, evictions=5)
+    assert s.as_dict() == {
+        "disk_reads": 1,
+        "disk_writes": 2,
+        "buffer_hits": 3,
+        "buffer_misses": 4,
+        "evictions": 5,
+    }
+
+
+def test_snapshot_drops_history():
+    s = IOStats(disk_reads=7)
+    s.checkpoint()
+    s.disk_reads = 2
+    snap = s.snapshot()
+    assert snap.disk_reads == 2
+    assert not snap.history      # documented: counters only, no history
+
+
+def test_evictions_counted_by_buffer_pool():
+    from repro.storage.buffer import BufferPool
+
+    pool = BufferPool(2, fetch=lambda key: key)
+    for page_id in range(4):
+        pool.get(page_id)
+    assert pool.stats.evictions == 2
+    assert pool.stats.buffer_misses == 4
+
+
+def test_equality_compares_counters():
+    assert IOStats(disk_reads=1) == IOStats(disk_reads=1)
+    assert IOStats(disk_reads=1) != IOStats(disk_reads=2)

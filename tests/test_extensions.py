@@ -1,6 +1,5 @@
 """Unit tests for the extension experiment runners."""
 
-import numpy as np
 import pytest
 
 from repro import SortTileRecursive, bulk_load

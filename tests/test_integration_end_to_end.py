@@ -6,7 +6,6 @@ them together.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     FilePageStore,

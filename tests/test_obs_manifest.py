@@ -1,0 +1,150 @@
+"""Unit tests for run manifests and telemetry file export."""
+
+import json
+import os
+import re
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.obs import (
+    MANIFEST_FORMAT,
+    MetricsRegistry,
+    RunManifest,
+    Tracer,
+    default_metrics_path,
+    default_trace_path,
+    git_sha,
+    load_manifest,
+    write_manifest,
+    write_metrics_json,
+    write_trace_jsonl,
+)
+
+
+def _sample_manifest() -> RunManifest:
+    tracer = Tracer()
+    with tracer.span("str.sort", dim=0):
+        pass
+    registry = MetricsRegistry()
+    registry.counter("io.disk_reads", algo="STR").inc(12)
+    return RunManifest.collect(
+        "table2",
+        config=ExperimentConfig.quick(),
+        argv=["profile", "table2", "--quick"],
+        duration_s=1.25,
+        tracer=tracer,
+        registry=registry,
+        outputs={"trace_jsonl": "x.jsonl"},
+        extra={"note": "test"},
+    )
+
+
+class TestGitSha:
+    def test_inside_this_repo(self):
+        sha = git_sha(os.path.dirname(os.path.dirname(__file__)))
+        # The repo under test is a git checkout; elsewhere None is fine.
+        if sha is not None:
+            assert re.fullmatch(r"[0-9a-f]{40}", sha)
+
+    def test_outside_a_repo(self, tmp_path):
+        assert git_sha(tmp_path) is None
+
+
+class TestRunManifest:
+    def test_collect_schema(self):
+        m = _sample_manifest()
+        d = m.as_dict()
+        assert d["format"] == MANIFEST_FORMAT
+        assert d["experiment"] == "table2"
+        assert d["config"]["query_count"] == 300
+        assert d["duration_s"] == 1.25
+        assert "str.sort" in d["spans"]
+        assert "sort" in d["phases"]
+        assert d["metrics"]["io.disk_reads"][0]["value"] == 12
+        assert d["argv"] == ["profile", "table2", "--quick"]
+        assert d["created_utc"]  # auto-stamped
+        json.dumps(d)  # JSON-able end to end
+
+    def test_dict_round_trip(self):
+        m = _sample_manifest()
+        again = RunManifest.from_dict(m.as_dict())
+        assert again.as_dict() == m.as_dict()
+
+    def test_from_dict_rejects_other_formats(self):
+        with pytest.raises(ValueError):
+            RunManifest.from_dict({"format": "something-else"})
+
+    def test_file_stem_is_filesystem_safe(self):
+        m = _sample_manifest()
+        stem = m.file_stem()
+        assert stem.startswith("table2-")
+        assert "/" not in stem and ":" not in stem
+
+
+class TestWriteLoad:
+    def test_write_and_load(self, tmp_path):
+        m = _sample_manifest()
+        path = write_manifest(m, tmp_path)
+        assert os.path.exists(path)
+        loaded = load_manifest(path)
+        assert loaded.experiment == "table2"
+        assert loaded.as_dict() == m.as_dict()
+
+    def test_collision_gets_suffix(self, tmp_path):
+        m = _sample_manifest()
+        p1 = write_manifest(m, tmp_path)
+        p2 = write_manifest(m, tmp_path)
+        assert p1 != p2
+        assert os.path.exists(p1) and os.path.exists(p2)
+
+    def test_creates_directory(self, tmp_path):
+        target = tmp_path / "nested" / "runs"
+        path = write_manifest(_sample_manifest(), target)
+        assert os.path.exists(path)
+
+
+class TestExportHelpers:
+    def test_write_trace_jsonl(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        path = write_trace_jsonl(tracer, tmp_path / "t" / "x.trace.jsonl")
+        lines = open(path).read().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["name"] == "a"
+
+    def test_write_metrics_json(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        path = write_metrics_json(reg, tmp_path / "m.json")
+        data = json.load(open(path))
+        assert data["c"][0]["value"] == 2
+
+    def test_unique_run_stem_skips_any_existing_artefact(self, tmp_path):
+        from repro.obs import unique_run_stem
+
+        m = _sample_manifest()
+        base = m.file_stem()
+        assert unique_run_stem(m, tmp_path) == base
+        # A same-second trace file must push the WHOLE run to a new stem,
+        # or the second run would overwrite the first run's trace.
+        (tmp_path / f"{base}.trace.jsonl").write_text("")
+        assert unique_run_stem(m, tmp_path) == f"{base}-1"
+        (tmp_path / f"{base}-1.json").write_text("{}")
+        assert unique_run_stem(m, tmp_path) == f"{base}-2"
+
+    def test_write_manifest_honours_reserved_stem(self, tmp_path):
+        from repro.obs import write_manifest
+
+        path = write_manifest(_sample_manifest(), tmp_path, stem="custom")
+        assert os.path.basename(path) == "custom.json"
+
+    def test_default_paths_share_stem(self, tmp_path):
+        m = _sample_manifest()
+        t = default_trace_path(m, tmp_path)
+        x = default_metrics_path(m, tmp_path)
+        assert t.endswith(".trace.jsonl")
+        assert x.endswith(".metrics.json")
+        assert os.path.basename(t).split(".")[0] \
+            == os.path.basename(x).split(".")[0]

@@ -1,0 +1,177 @@
+"""Unit tests for the metrics registry."""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsError, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc(self):
+        r = MetricsRegistry()
+        c = r.counter("io.disk_reads")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("x")
+        with pytest.raises(MetricsError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.counter("a", algo="STR") is r.counter("a", algo="STR")
+
+    def test_labels_distinguish_series(self):
+        r = MetricsRegistry()
+        r.counter("a", algo="STR").inc(1)
+        r.counter("a", algo="HS").inc(2)
+        assert r.counter("a", algo="STR").value == 1
+        assert r.counter("a", algo="HS").value == 2
+
+    def test_label_order_irrelevant(self):
+        r = MetricsRegistry()
+        assert r.counter("a", x=1, y=2) is r.counter("a", y=2, x=1)
+
+
+class TestGauge:
+    def test_set(self):
+        g = MetricsRegistry().gauge("tree.height")
+        assert g.value is None
+        g.set(4)
+        assert g.value == 4
+
+
+class TestHistogram:
+    def test_observe_and_stats(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.mean == 2.5
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 4.0
+        assert h.percentile(50) == 2.5
+
+    def test_empty_percentile_is_nan(self):
+        h = MetricsRegistry().histogram("lat")
+        assert h.percentile(50) != h.percentile(50)  # NaN
+        assert h.snapshot_value() == {"count": 0}
+
+    def test_bad_percentile_rejected(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0)
+        with pytest.raises(MetricsError):
+            h.percentile(101)
+
+    def test_snapshot_summary(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = h.snapshot_value()
+        assert snap["count"] == 100
+        assert snap["min"] == 1.0
+        assert snap["max"] == 100.0
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p90"] <= snap["p99"] <= snap["max"]
+
+
+class TestRegistry:
+    def test_type_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(MetricsError):
+            r.gauge("x")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(MetricsError):
+            MetricsRegistry().counter("")
+
+    def test_names_sorted_distinct(self):
+        r = MetricsRegistry()
+        r.counter("b", k=1)
+        r.counter("b", k=2)
+        r.gauge("a")
+        assert r.names() == ["a", "b"]
+
+    def test_get_existing_or_none(self):
+        r = MetricsRegistry()
+        c = r.counter("x", a=1)
+        assert r.get("x", a=1) is c
+        assert r.get("x", a=2) is None
+        assert r.get("y") is None
+
+    def test_reset_zeroes_but_keeps_registration(self):
+        r = MetricsRegistry()
+        r.counter("c").inc(5)
+        r.gauge("g").set(2)
+        r.histogram("h").observe(1.0)
+        r.reset()
+        assert r.counter("c").value == 0
+        assert r.gauge("g").value is None
+        assert r.histogram("h").count == 0
+        assert len(r) == 3
+
+    def test_snapshot_is_jsonable_and_stable(self):
+        r = MetricsRegistry()
+        r.counter("io.reads", algo="STR").inc(3)
+        r.gauge("tree.height").set(2)
+        r.histogram("lat").observe(0.5)
+        snap = r.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["io.reads"][0]["value"] == 3
+        assert snap["io.reads"][0]["kind"] == "counter"
+        assert snap["io.reads"][0]["labels"] == {"algo": "STR"}
+        assert snap == r.as_dict()
+
+
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.merge(b)
+        assert a.counter("c").value == 3
+
+    def test_gauges_last_writer_wins_when_set(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1)
+        b.gauge("g")          # registered but never set
+        a.merge(b)
+        assert a.gauge("g").value == 1
+        b.gauge("g").set(9)
+        a.merge(b)
+        assert a.gauge("g").value == 9
+
+    def test_histograms_concatenate(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h").observe(1.0)
+        b.histogram("h").observe(2.0)
+        a.merge(b)
+        assert a.histogram("h").count == 2
+        assert a.histogram("h").total == 3.0
+
+    def test_merge_creates_missing_metrics(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("only.in.b", shard=1).inc(7)
+        a.merge(b)
+        assert a.counter("only.in.b", shard=1).value == 7
+
+    def test_merge_type_conflict_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("x")
+        b_g = b.gauge("x")
+        b_g.set(1)
+        with pytest.raises(MetricsError):
+            a.merge(b)
+
+    def test_merge_is_additive_not_aliasing(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("c").inc(1)
+        a.merge(b)
+        b.counter("c").inc(10)
+        assert a.counter("c").value == 1

@@ -14,7 +14,6 @@ from repro.core.packing import (
     make_algorithm,
 )
 from repro.hilbert.float_key import float_hilbert_keys
-from repro.core.geometry import unit_square
 
 
 class TestNearestX:

@@ -280,7 +280,7 @@ class TestValidatorCatchesCorruption:
             validate_paged(tree, range(1, 101))
 
     def test_detects_stale_parent_mbr(self, rng):
-        from repro.storage.page import NodePage, decode_node, encode_node
+        from repro.storage.page import NodePage, encode_node
         tree = self._corrupt_tree(rng)
         root = tree.root_node()
         # Shrink the first child's stored rect in the root.

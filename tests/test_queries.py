@@ -3,11 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.core.geometry import Rect, unit_square
+from repro.core.geometry import Rect
 from repro.datasets.cfd import CFD_QUERY_WINDOW
 from repro.queries import (
     PAPER_QUERY_COUNT,
-    QueryWorkload,
     point_queries,
     region_queries,
     workload_for,

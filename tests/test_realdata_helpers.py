@@ -1,6 +1,5 @@
 """Unit tests for the shared real-data table machinery and CLI --svg."""
 
-import numpy as np
 import pytest
 
 from repro.core.geometry import RectArray

@@ -1,10 +1,8 @@
 """Unit tests for the experiment runner and table reporting."""
 
-import numpy as np
 import pytest
 
 from repro.core.geometry import RectArray
-from repro.datasets import uniform_points
 from repro.experiments.report import Series, Table, format_value
 from repro.experiments.runner import PAPER_CAPACITY, TreeCache, run_queries
 from repro.queries import point_queries, region_queries

@@ -1,6 +1,5 @@
 """Unit tests for the striped (multi-disk) page store."""
 
-import numpy as np
 import pytest
 
 from repro.core.geometry import Rect, RectArray

@@ -1,6 +1,5 @@
 """Unit tests for per-query tracing."""
 
-import numpy as np
 import pytest
 
 from repro import HilbertSort, SortTileRecursive, bulk_load

@@ -1,6 +1,5 @@
 """Unit tests for tree quality metrics (area/perimeter sums)."""
 
-import numpy as np
 import pytest
 
 from repro.core.geometry import Rect, RectArray

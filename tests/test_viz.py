@@ -1,6 +1,5 @@
 """Unit tests for SVG rendering."""
 
-import numpy as np
 import pytest
 
 from repro.core.geometry import RectArray
