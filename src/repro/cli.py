@@ -150,11 +150,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["list", "all",
-                                                       "profile"],
-                        help="which table/figure to regenerate, or "
-                             "'profile <experiment>' for a telemetered run")
+                                                       "profile", "fsck"],
+                        help="which table/figure to regenerate, "
+                             "'profile <experiment>' for a telemetered run, "
+                             "or 'fsck <tree-file>' to check a page file")
     parser.add_argument("target", nargs="?", default=None,
-                        help="experiment to profile (only with 'profile')")
+                        help="experiment to profile (with 'profile') or "
+                             "tree file to check (with 'fsck')")
+    parser.add_argument("--meta", default=None, metavar="PATH",
+                        help="fsck: tree meta sidecar for plain page files")
+    parser.add_argument("--page-size", type=int, default=None,
+                        help="fsck: page size for plain page files "
+                             "without a sidecar")
     parser.add_argument("--quick", action="store_true",
                         help="small fast profile (same shapes, smaller cells)")
     parser.add_argument("--queries", type=int, default=None,
@@ -258,6 +265,27 @@ def _emit_telemetry(name: str, tracer, registry, config, args,
         print(f"wrote {manifest_path}")
 
 
+def _run_fsck(args: argparse.Namespace, argv: list[str]) -> int:
+    """``repro fsck <tree-file>``: check the file, print the report, and
+    record it as a run manifest (the lab-notebook trail CI archives)."""
+    from .fsck import fsck
+
+    start = time.time()
+    report = fsck(args.target, meta_path=args.meta,
+                  page_size=args.page_size)
+    print(report.render())
+    if not args.no_manifest:
+        run_dir = (args.run_dir if args.run_dir is not None
+                   else obs.DEFAULT_RUN_DIR)
+        manifest = obs.RunManifest.collect(
+            "fsck", argv=argv, duration_s=time.time() - start,
+            extra={"fsck": report.as_dict()},
+        )
+        path = obs.write_manifest(manifest, run_dir)
+        print(f"wrote {path}")
+    return 0 if report.clean else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -267,6 +295,10 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(EXPERIMENTS):
             print(f"{name:10s} {EXPERIMENTS[name][1]}")
         return 0
+    if args.experiment == "fsck":
+        if args.target is None:
+            parser.error("fsck needs a tree file to check")
+        return _run_fsck(args, raw_argv)
 
     profile_mode = args.experiment == "profile"
     if profile_mode:
@@ -278,7 +310,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.target]
     elif args.target is not None:
         parser.error("a second positional argument is only valid "
-                     "with 'profile'")
+                     "with 'profile' or 'fsck'")
     else:
         names = (sorted(EXPERIMENTS) if args.experiment == "all"
                  else [args.experiment])

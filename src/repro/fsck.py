@@ -1,0 +1,239 @@
+"""Offline consistency check for on-disk R-tree files: ``repro fsck``.
+
+``fsck`` answers one question about a tree file: *can every byte of it be
+trusted?*  It runs three phases, each strictly weaker failures short-cut:
+
+1. **Open & recover** — locate the superblock (durable stores are
+   self-describing), replay any intact write-journal records, and refuse
+   precisely when the file cannot be opened at all.
+2. **Page scan** — read every committed page raw, verify its CRC32C
+   trailer (durable stores), and decode it with the node codec.  Every
+   failure is collected, not just the first.
+3. **Structural walk** — when all pages are intact, reattach the tree and
+   check the R-tree invariants (MBR containment, level monotonicity,
+   reference counts, record counts) plus reachability: a committed page
+   no root-to-leaf path touches is reported as an orphan.
+
+The result is an :class:`FsckReport` — renderable for terminals,
+JSON-able for run manifests (the CLI embeds it under ``extra.fsck``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from .rtree.paged import PagedRTree
+from .rtree.validate import iter_paged_violations
+from .storage.integrity import (
+    ChecksumError,
+    IntegrityError,
+    verify_trailer,
+)
+from .storage.page import PageFormatError, decode_node
+from .storage.store import FilePageStore, StoreError
+
+__all__ = ["FsckReport", "fsck"]
+
+
+@dataclass
+class FsckReport:
+    """Everything ``fsck`` learned about one tree file."""
+
+    path: str
+    page_size: int = 0
+    checksums: bool = False
+    journal: bool = False
+    pages_checked: int = 0
+    journal_recovered: bool = False
+    recovered_pages: int = 0
+    checksum_errors: list[str] = field(default_factory=list)
+    decode_errors: list[str] = field(default_factory=list)
+    structural_errors: list[str] = field(default_factory=list)
+    #: Set when the file could not be checked at all (unopenable store,
+    #: no committed tree).  A fatal report is never clean.
+    fatal: str | None = None
+    #: The committed tree header, when one exists.
+    tree: dict | None = None
+
+    @property
+    def error_count(self) -> int:
+        return (len(self.checksum_errors) + len(self.decode_errors)
+                + len(self.structural_errors) + (1 if self.fatal else 0))
+
+    @property
+    def clean(self) -> bool:
+        """True when every phase ran and found nothing wrong."""
+        return self.error_count == 0
+
+    def as_dict(self) -> dict:
+        """JSON-able form (embedded in run manifests, CI artifacts)."""
+        return {
+            "path": self.path,
+            "page_size": self.page_size,
+            "checksums": self.checksums,
+            "journal": self.journal,
+            "pages_checked": self.pages_checked,
+            "journal_recovered": self.journal_recovered,
+            "recovered_pages": self.recovered_pages,
+            "checksum_errors": list(self.checksum_errors),
+            "decode_errors": list(self.decode_errors),
+            "structural_errors": list(self.structural_errors),
+            "fatal": self.fatal,
+            "tree": dict(self.tree) if self.tree is not None else None,
+            "clean": self.clean,
+        }
+
+    def render(self) -> str:
+        """Human-readable report."""
+        lines = [f"fsck {self.path}"]
+        if self.fatal is not None:
+            lines.append(f"  FATAL: {self.fatal}")
+            return "\n".join(lines)
+        flags = [name for name, on in (("checksums", self.checksums),
+                                       ("journal", self.journal)) if on]
+        lines.append(
+            f"  page size {self.page_size}, "
+            f"durability {'+'.join(flags) if flags else 'none'}, "
+            f"{self.pages_checked} pages scanned"
+        )
+        if self.journal_recovered:
+            lines.append(
+                f"  journal: replayed {self.recovered_pages} page(s)"
+            )
+        if self.tree is not None:
+            lines.append(
+                f"  tree: height {self.tree['height']}, "
+                f"root page {self.tree['root_page']}, "
+                f"{self.tree['size']} records"
+            )
+        for title, errors in (("checksum", self.checksum_errors),
+                              ("decode", self.decode_errors),
+                              ("structural", self.structural_errors)):
+            for message in errors:
+                lines.append(f"  {title}: {message}")
+        if (self.checksum_errors or self.decode_errors) \
+                and not self.structural_errors:
+            lines.append("  structural walk skipped (broken pages)")
+        lines.append("  clean" if self.clean
+                     else f"  {self.error_count} error(s)")
+        return "\n".join(lines)
+
+
+def _load_sidecar(meta_path: str) -> dict:
+    """Read a ``PagedRTree.save_meta`` sidecar (raises ValueError)."""
+    with open(meta_path) as f:
+        meta = json.load(f)
+    if meta.get("format") != "repro-rtree-meta-v1":
+        raise ValueError(f"{meta_path}: not a repro R-tree meta file")
+    return meta
+
+
+def fsck(path: str | os.PathLike, *, meta_path: str | os.PathLike | None = None,
+         page_size: int | None = None) -> FsckReport:
+    """Check the tree file at ``path``; never raises for file problems —
+    every failure lands in the returned :class:`FsckReport`.
+
+    Durable files (superblock present) need no other input: page size,
+    flags and the tree header come from the file, and an intact journal
+    is replayed first (the recovery is reported).  Plain page files need
+    a ``meta_path`` sidecar (or an explicit ``page_size``) since nothing
+    in the file describes it.
+    """
+    path = os.fspath(path)
+    report = FsckReport(path=path)
+    if not os.path.exists(path):
+        report.fatal = "file does not exist"
+        return report
+
+    sidecar: dict | None = None
+    if meta_path is not None:
+        try:
+            sidecar = _load_sidecar(os.fspath(meta_path))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            report.fatal = f"cannot read meta sidecar: {exc}"
+            return report
+
+    with open(path, "rb") as f:
+        durable = f.read(4)[:4] == b"RSUP"
+
+    store: FilePageStore | None = None
+    try:
+        if durable:
+            # Self-describing: superblock supplies the layout, and opening
+            # with the journal flag replays any crash-interrupted writes.
+            store = FilePageStore.open_existing(path)
+        else:
+            if page_size is None and sidecar is not None:
+                page_size = int(sidecar["page_size"])
+            if page_size is None:
+                report.fatal = ("no superblock and no page size — pass a "
+                                "meta sidecar (--meta) or --page-size")
+                return report
+            store = FilePageStore(path, page_size)
+    except (StoreError, IntegrityError, OSError) as exc:
+        report.fatal = f"cannot open store: {exc}"
+        return report
+
+    try:
+        report.page_size = store.page_size
+        report.checksums = store.checksums
+        report.journal = store.journal_enabled
+        report.journal_recovered = store.recoveries > 0
+        report.recovered_pages = store.recovered_pages
+
+        # -- phase 2 of 3: every committed page must verify and decode ----
+        for pid in range(store.page_count):
+            image = store.raw_read(pid)
+            payload = image
+            if store.checksums:
+                try:
+                    payload = verify_trailer(image, pid, source=path)
+                except ChecksumError as exc:
+                    report.checksum_errors.append(str(exc))
+                    continue
+            try:
+                decode_node(payload, page_id=pid, source=path)
+            except PageFormatError as exc:
+                report.decode_errors.append(str(exc))
+        report.pages_checked = store.page_count
+
+        # -- phase 3: the pages form a committed, well-shaped tree --------
+        meta = store.tree_meta if durable else sidecar
+        if meta is None:
+            report.fatal = (
+                "no tree metadata — the build never committed "
+                "(crash before completion?); the file is not a usable tree"
+            )
+            return report
+        report.tree = {k: int(meta[k]) for k in
+                       ("height", "root_page", "ndim", "capacity", "size")}
+        if report.checksum_errors or report.decode_errors:
+            return report  # structural walk would chase broken pages
+        if not 0 <= report.tree["root_page"] < store.page_count:
+            report.structural_errors.append(
+                f"root page {report.tree['root_page']} out of range "
+                f"[0, {store.page_count})"
+            )
+            return report
+        tree = PagedRTree(store, report.tree["root_page"],
+                          height=report.tree["height"],
+                          ndim=report.tree["ndim"],
+                          capacity=report.tree["capacity"],
+                          size=report.tree["size"])
+        report.structural_errors.extend(iter_paged_violations(tree))
+        reachable = {pid for pid, _ in tree.iter_nodes()}
+        for pid in range(store.page_count):
+            if pid not in reachable:
+                report.structural_errors.append(
+                    f"page {pid} is committed but unreachable from the root"
+                )
+    except (StoreError, IntegrityError, PageFormatError) as exc:
+        report.fatal = f"check aborted: {exc}"
+    finally:
+        try:
+            store.close()
+        except (StoreError, OSError):  # pragma: no cover
+            pass
+    return report

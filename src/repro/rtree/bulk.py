@@ -116,10 +116,12 @@ def bulk_load(
     page_size = required_page_size(capacity, rects.ndim)
     if store is None:
         store = MemoryPageStore(page_size)
-    elif store.page_size < page_size:
+    elif store.payload_size < page_size:
+        # payload_size < page_size when the store reserves trailer bytes
+        # for checksums; entries must never spill into that region.
         raise RTreeError(
-            f"store page size {store.page_size} cannot hold {capacity} "
-            f"{rects.ndim}-d entries (need {page_size})"
+            f"store payload size {store.payload_size} cannot hold "
+            f"{capacity} {rects.ndim}-d entries (need {page_size})"
         )
     build_io = store.stats.snapshot()
 
@@ -158,6 +160,9 @@ def bulk_load(
         capacity=capacity,
         size=len(rects),
     )
+    # Durable stores get the tree header committed into their superblock:
+    # the atomic point after which a reopened file is a complete tree.
+    tree.commit_meta()
     report = BulkLoadReport(
         pages_written=io_delta.disk_writes,
         height=tree.height,
@@ -185,6 +190,11 @@ def paged_from_dynamic(tree: RTree, store: PageStore | None = None
     page_size = required_page_size(tree.capacity, tree.ndim)
     if store is None:
         store = MemoryPageStore(page_size)
+    elif store.payload_size < page_size:
+        raise RTreeError(
+            f"store payload size {store.payload_size} cannot hold "
+            f"{tree.capacity} {tree.ndim}-d entries (need {page_size})"
+        )
 
     # Allocate pages in BFS order so sibling locality is preserved, then
     # write children before parents need their ids (two passes).
@@ -203,7 +213,7 @@ def paged_from_dynamic(tree: RTree, store: PageStore | None = None
         page = NodePage(level=node.level, children=children, rects=rects)
         store.write_page(page_of[id(node)], encode_node(page, store.page_size))
 
-    return PagedRTree(
+    paged = PagedRTree(
         store,
         page_of[id(tree.root)],
         height=tree.height,
@@ -211,3 +221,5 @@ def paged_from_dynamic(tree: RTree, store: PageStore | None = None
         capacity=tree.capacity,
         size=len(tree),
     )
+    paged.commit_meta()
+    return paged

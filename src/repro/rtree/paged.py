@@ -32,7 +32,7 @@ from ..obs import runtime as obs
 from ..storage.buffer import BufferPool, ReplacementPolicy
 from ..storage.counters import IOStats
 from ..storage.page import NodePage, decode_node
-from ..storage.store import PageStore
+from ..storage.store import PageStore, StoreError
 
 __all__ = ["PagedRTree", "PagedSearcher", "LevelSummary"]
 
@@ -83,7 +83,9 @@ class PagedRTree:
         The node pages themselves live in the page store; for a
         :class:`~repro.storage.store.FilePageStore` this sidecar is all
         that is needed to reopen the tree in another process — see
-        :meth:`open`.
+        :meth:`open`.  Durable stores additionally persist the same
+        metadata in their superblock (see :meth:`commit_meta` /
+        :meth:`from_store`), making the page file self-contained.
         """
         meta = {
             "format": "repro-rtree-meta-v1",
@@ -96,6 +98,25 @@ class PagedRTree:
         }
         with open(os.fspath(path), "w") as f:
             json.dump(meta, f, indent=2)
+
+    def commit_meta(self) -> bool:
+        """Persist the tree header into the store's superblock, when the
+        store has one (returns whether it did).
+
+        For a durable :class:`~repro.storage.store.FilePageStore` this is
+        the build's atomic commit point: pages are fsynced, the superblock
+        is shadow-written, and the write journal is checkpointed.
+        """
+        if not getattr(self.store, "supports_tree_meta", False):
+            return False
+        self.store.set_tree_meta({
+            "height": self.height,
+            "root_page": self.root_page,
+            "ndim": self.ndim,
+            "capacity": self.capacity,
+            "size": self._size,
+        })
+        return True
 
     @classmethod
     def open(cls, store: PageStore, meta_path: str | os.PathLike
@@ -121,6 +142,32 @@ class PagedRTree:
             size=int(meta["size"]),
         )
 
+    @classmethod
+    def from_store(cls, store: PageStore) -> "PagedRTree":
+        """Reattach a tree from a self-describing (durable) store alone.
+
+        The tree header lives in the store's superblock, committed by
+        :meth:`commit_meta` (which :func:`repro.rtree.bulk.bulk_load` calls
+        automatically).  A store whose build never committed refuses with
+        a precise error rather than serving a half-written tree.
+        """
+        meta = getattr(store, "tree_meta", None)
+        if meta is None:
+            path = getattr(store, "path", "store")
+            raise StoreError(
+                f"{path}: superblock holds no tree metadata — the build "
+                f"never committed (crash before completion?) or the store "
+                f"is not durable; pass a meta sidecar to PagedRTree.open"
+            )
+        return cls(
+            store,
+            int(meta["root_page"]),
+            height=int(meta["height"]),
+            ndim=int(meta["ndim"]),
+            capacity=int(meta["capacity"]),
+            size=int(meta["size"]),
+        )
+
     # -- uncounted access (stats, validation, visualisation) -----------------
 
     def read_node(self, page_id: int) -> NodePage:
@@ -130,7 +177,8 @@ class PagedRTree:
         must not pollute the experiment's access counts, so it uses
         :meth:`PageStore.peek_page`.
         """
-        return decode_node(self.store.peek_page(page_id))
+        return decode_node(self.store.peek_page(page_id), page_id=page_id,
+                           source=getattr(self.store, "path", None))
 
     def root_node(self) -> NodePage:
         """Decode the root page (uncounted)."""
@@ -206,7 +254,9 @@ class PagedSearcher:
         def fetch(page_id: int) -> NodePage:
             # Reads triggered by this searcher are charged to its own stats,
             # keeping per-experiment accounting separate from build I/O.
-            return decode_node(tree.store.read_page(page_id, self.stats))
+            return decode_node(tree.store.read_page(page_id, self.stats),
+                               page_id=page_id,
+                               source=getattr(tree.store, "path", None))
 
         self.buffer: BufferPool[int, NodePage] = BufferPool(
             buffer_pages, fetch, stats=self.stats, policy=policy

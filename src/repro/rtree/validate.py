@@ -21,71 +21,83 @@ Checked invariants
 from __future__ import annotations
 
 from collections import Counter
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .node import Node
 from .paged import PagedRTree
 from .tree import RTree
 
-__all__ = ["ValidationError", "validate_paged", "validate_dynamic"]
+__all__ = ["ValidationError", "iter_paged_violations", "validate_paged",
+           "validate_dynamic"]
 
 
 class ValidationError(AssertionError):
     """An R-tree invariant does not hold."""
 
 
-def validate_paged(tree: PagedRTree,
-                   expected_ids: Iterable[int] | None = None) -> None:
-    """Check all invariants of a paged tree; raises on the first violation."""
+def iter_paged_violations(tree: PagedRTree,
+                          expected_ids: Iterable[int] | None = None,
+                          ) -> Iterator[str]:
+    """Yield a message per violated invariant of a paged tree, in traversal
+    order — the engine behind both :func:`validate_paged` (which raises on
+    the first) and ``repro fsck`` (which reports them all).
+
+    Covers MBR containment (parent entries must *equal* child MBRs — packed
+    trees keep them tight), level monotonicity, capacity, reference counts
+    (every non-root page reachable exactly once), and the leaf id multiset.
+    """
     seen_pages: Counter[int] = Counter()
     data_ids: list[int] = []
     root = tree.root_node()
     if root.level != tree.height - 1:
-        raise ValidationError(
-            f"root level {root.level} does not match height {tree.height}"
-        )
+        yield (f"root level {root.level} does not match height "
+               f"{tree.height}")
 
     stack = [(tree.root_page, None)]  # (page, expected mbr or None for root)
     while stack:
         page_id, expected_mbr = stack.pop()
         node = tree.read_node(page_id)
         if node.count > tree.capacity:
-            raise ValidationError(
-                f"page {page_id} holds {node.count} > capacity {tree.capacity}"
-            )
+            yield (f"page {page_id} holds {node.count} > capacity "
+                   f"{tree.capacity}")
         mbr = node.rects.mbr()
         if expected_mbr is not None and mbr != expected_mbr:
-            raise ValidationError(
-                f"page {page_id}: parent entry {expected_mbr} != node MBR {mbr}"
-            )
+            yield (f"page {page_id}: parent entry {expected_mbr} != "
+                   f"node MBR {mbr}")
         if node.is_leaf:
             data_ids.extend(int(c) for c in node.children)
         else:
             for i in range(node.count):
                 child_page = int(node.children[i])
+                first_visit = child_page not in seen_pages
                 seen_pages[child_page] += 1
                 child = tree.read_node(child_page)
                 if child.level != node.level - 1:
-                    raise ValidationError(
-                        f"page {child_page} at level {child.level} under "
-                        f"level-{node.level} parent"
-                    )
-                stack.append((child_page, node.rects[i]))
+                    yield (f"page {child_page} at level {child.level} "
+                           f"under level-{node.level} parent")
+                if first_visit:
+                    stack.append((child_page, node.rects[i]))
 
-    for page_id, refs in seen_pages.items():
+    for page_id, refs in sorted(seen_pages.items()):
         if refs != 1:
-            raise ValidationError(f"page {page_id} referenced {refs} times")
+            yield f"page {page_id} referenced {refs} times"
     if tree.root_page in seen_pages:
-        raise ValidationError("root page referenced by an internal node")
+        yield "root page referenced by an internal node"
 
     if len(data_ids) != len(tree):
-        raise ValidationError(
-            f"tree claims {len(tree)} records, leaves hold {len(data_ids)}"
-        )
+        yield (f"tree claims {len(tree)} records, leaves hold "
+               f"{len(data_ids)}")
     if expected_ids is not None:
         expected = Counter(int(i) for i in expected_ids)
         if Counter(data_ids) != expected:
-            raise ValidationError("leaf data ids do not match expected ids")
+            yield "leaf data ids do not match expected ids"
+
+
+def validate_paged(tree: PagedRTree,
+                   expected_ids: Iterable[int] | None = None) -> None:
+    """Check all invariants of a paged tree; raises on the first violation."""
+    for message in iter_paged_violations(tree, expected_ids):
+        raise ValidationError(message)
 
 
 def validate_dynamic(tree: RTree,

@@ -1,9 +1,26 @@
-"""Storage substrate: pages, page stores, buffer pool, I/O accounting."""
+"""Storage substrate: pages, page stores, buffer pool, I/O accounting,
+and the opt-in durability layer (checksums, journal, fault injection)."""
 
 from .buffer import BufferPool, ClockPolicy, FIFOPolicy, LRUPolicy, make_policy
 from .counters import IOStats
+from .faults import (
+    CrashPlan,
+    FaultInjectingPageStore,
+    FaultPlan,
+    RetryPolicy,
+    TransientIOError,
+    flip_bit,
+)
+from .integrity import ChecksumError, IntegrityError, SuperblockError, crc32c
+from .journal import JournalError, WriteJournal, journal_path
 from .page import NodePage, decode_node, encode_node, required_page_size
-from .store import FilePageStore, MemoryPageStore, PageStore
+from .store import (
+    FilePageStore,
+    MemoryPageStore,
+    PageStore,
+    SimulatedCrash,
+    StoreError,
+)
 from .striped import StripedPageStore
 
 __all__ = [
@@ -21,4 +38,19 @@ __all__ = [
     "MemoryPageStore",
     "FilePageStore",
     "StripedPageStore",
+    "StoreError",
+    "SimulatedCrash",
+    "IntegrityError",
+    "ChecksumError",
+    "SuperblockError",
+    "crc32c",
+    "JournalError",
+    "WriteJournal",
+    "journal_path",
+    "CrashPlan",
+    "FaultPlan",
+    "FaultInjectingPageStore",
+    "RetryPolicy",
+    "TransientIOError",
+    "flip_bit",
 ]

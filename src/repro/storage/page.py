@@ -130,22 +130,39 @@ def encode_node(node: NodePage, page_size: int) -> bytes:
     return body + b"\x00" * (page_size - len(body))
 
 
-def decode_node(data: bytes) -> NodePage:
-    """Inverse of :func:`encode_node` (padding is ignored)."""
+def decode_node(data: bytes, *, page_id: int | None = None,
+                source: str | None = None) -> NodePage:
+    """Inverse of :func:`encode_node` (padding is ignored).
+
+    ``page_id`` and ``source`` (the store path) are threaded into any
+    :class:`PageFormatError` so a corrupt page can be located on disk; the
+    raw header bytes are included so the failure is diagnosable from the
+    message alone.
+    """
+    where = "page" if page_id is None else f"page {page_id}"
+    if source:
+        where += f" of {source}"
     if len(data) < _HEADER.size:
-        raise PageFormatError(f"page truncated at {len(data)} bytes")
+        raise PageFormatError(
+            f"{where}: truncated at {len(data)} bytes "
+            f"(header bytes: {data.hex()})"
+        )
     magic, level, count, ndim = _HEADER.unpack_from(data, 0)
     if magic != _MAGIC:
-        raise PageFormatError(f"bad magic 0x{magic:08x}")
+        raise PageFormatError(
+            f"{where}: bad magic 0x{magic:08x} (expected 0x{_MAGIC:08x}; "
+            f"header bytes: {bytes(data[:_HEADER.size]).hex()})"
+        )
     if level < 0 or count < 1 or ndim < 1:
         raise PageFormatError(
-            f"corrupt header: level={level} count={count} ndim={ndim}"
+            f"{where}: corrupt header: level={level} count={count} "
+            f"ndim={ndim} (header bytes: {bytes(data[:_HEADER.size]).hex()})"
         )
     stride = 1 + 2 * ndim
     need = _HEADER.size + count * entry_size(ndim)
     if len(data) < need:
         raise PageFormatError(
-            f"page holds {len(data)} bytes, header promises {need}"
+            f"{where}: holds {len(data)} bytes, header promises {need}"
         )
     raw = np.frombuffer(data, dtype=np.uint64, count=count * stride,
                         offset=_HEADER.size)

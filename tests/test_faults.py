@@ -1,0 +1,269 @@
+"""Fault injection: retry policy, deterministic plans, checksum detection.
+
+The acceptance properties live here: transient faults under a retry
+policy must complete a full bulk-load + query run with ``storage.retries``
+> 0 and *bit-identical* access counts, and an injected single-bit flip
+must always surface as a :class:`ChecksumError`, never a decoded node.
+"""
+
+import numpy as np
+import pytest
+
+from repro import RectArray, SortTileRecursive, bulk_load, obs
+from repro.queries import point_queries
+from repro.storage import (
+    ChecksumError,
+    FaultInjectingPageStore,
+    FaultPlan,
+    FilePageStore,
+    MemoryPageStore,
+    RetryPolicy,
+    SimulatedCrash,
+    TransientIOError,
+    flip_bit,
+)
+from repro.storage.faults import corrupt_pages
+from repro.storage.page import required_page_size
+from repro.storage.integrity import TRAILER_SIZE
+
+PAGE = 512
+
+
+def _no_sleep_retry(attempts=4):
+    return RetryPolicy(attempts=attempts, backoff_s=0.01,
+                       sleep=lambda s: None)
+
+
+class TestRetryPolicy:
+    def test_succeeds_after_transient_faults(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientIOError("glitch")
+            return "ok"
+
+        assert _no_sleep_retry().run(flaky) == "ok"
+        assert len(calls) == 3
+
+    def test_exhausted_attempts_reraise(self):
+        def always():
+            raise TransientIOError("down")
+
+        with pytest.raises(TransientIOError):
+            _no_sleep_retry(attempts=2).run(always)
+
+    def test_non_retryable_passes_through(self):
+        def boom():
+            raise ValueError("not transient")
+
+        calls = []
+        with pytest.raises(ValueError):
+            _no_sleep_retry().run(boom, on_retry=lambda: calls.append(1))
+        assert calls == []  # no retry was attempted
+
+    def test_on_retry_called_per_retry_not_per_attempt(self):
+        calls = []
+
+        def flaky():
+            if len(calls) < 2:
+                raise TransientIOError("glitch")
+            return 1
+
+        _no_sleep_retry().run(flaky, on_retry=lambda: calls.append(1))
+        assert len(calls) == 2
+
+    def test_backoff_capped(self):
+        delays = []
+        policy = RetryPolicy(attempts=6, backoff_s=0.01, multiplier=10.0,
+                             max_backoff_s=0.05, sleep=delays.append)
+
+        def always():
+            raise TransientIOError("x")
+
+        with pytest.raises(TransientIOError):
+            policy.run(always)
+        assert delays[0] == pytest.approx(0.01)
+        assert max(delays) <= 0.05
+
+
+class TestFaultPlanDeterminism:
+    def _run(self, seed):
+        plan = FaultPlan(seed=seed, p_transient_read=0.3)
+        outcomes = []
+        for i in range(50):
+            try:
+                plan.on_read(i)
+                outcomes.append(0)
+            except TransientIOError:
+                outcomes.append(1)
+        return outcomes
+
+    def test_same_seed_same_schedule(self):
+        assert self._run(7) == self._run(7)
+
+    def test_different_seed_different_schedule(self):
+        assert self._run(7) != self._run(8)
+
+    def test_consecutive_transients_bounded(self):
+        plan = FaultPlan(seed=1, p_transient_read=1.0,
+                         max_transient_per_op=2)
+        failures = 0
+        while True:
+            try:
+                plan.on_read(0)
+                break
+            except TransientIOError:
+                failures += 1
+        assert failures == 2  # a 3-attempt retry policy always gets through
+
+
+class TestFaultInjectingStore:
+    def test_shares_inner_counters(self):
+        inner = MemoryPageStore(PAGE)
+        store = FaultInjectingPageStore(inner, FaultPlan())
+        pid = store.allocate()
+        store.write_page(pid, b"x" * PAGE)
+        store.read_page(pid)
+        assert inner.stats.disk_writes == 1
+        assert inner.stats.disk_reads == 1
+
+    def test_transient_faults_retried_to_success(self):
+        inner = MemoryPageStore(PAGE)
+        store = FaultInjectingPageStore(
+            inner, FaultPlan(seed=3, p_transient_read=0.4,
+                             p_transient_write=0.4),
+            retry=_no_sleep_retry(),
+        )
+        for i in range(30):
+            pid = store.allocate()
+            store.write_page(pid, bytes([i]) * PAGE)
+        for i in range(30):
+            assert store.read_page(i) == bytes([i]) * PAGE
+        injected = (store.plan.injected["transient_read"]
+                    + store.plan.injected["transient_write"])
+        assert injected > 0
+        assert store.retry_count == injected
+
+    def test_unretried_transient_fault_escapes(self):
+        store = FaultInjectingPageStore(
+            MemoryPageStore(PAGE), FaultPlan(seed=0, p_transient_write=1.0)
+        )
+        pid = store.allocate()
+        with pytest.raises(TransientIOError):
+            store.write_page(pid, b"x" * PAGE)
+
+    def test_crash_at_write(self):
+        store = FaultInjectingPageStore(
+            MemoryPageStore(PAGE), FaultPlan(crash_at_write=1)
+        )
+        a, b = store.allocate(), store.allocate()
+        store.write_page(a, b"a" * PAGE)
+        with pytest.raises(SimulatedCrash):
+            store.write_page(b, b"b" * PAGE)
+
+    def test_retries_never_touch_access_counters(self):
+        """The paper's metric is sacred: a retried read counts once."""
+        inner = MemoryPageStore(PAGE)
+        store = FaultInjectingPageStore(
+            inner, FaultPlan(seed=5, p_transient_read=0.5),
+            retry=_no_sleep_retry(),
+        )
+        pid = store.allocate()
+        store.write_page(pid, b"x" * PAGE)
+        inner.stats.reset()
+        for _ in range(40):
+            store.read_page(pid)
+        assert inner.stats.disk_reads == 40
+        assert store.retry_count > 0
+
+
+def _tree_file_store(tmp_path, name="t.pages", **kw):
+    page_size = required_page_size(50, 2) + TRAILER_SIZE
+    return FilePageStore(tmp_path / name, page_size, **kw)
+
+
+class TestBitFlipDetection:
+    def test_flips_surface_as_checksum_errors_not_nodes(self, tmp_path, rng):
+        """Acceptance: corrupted pages are never decoded as valid nodes."""
+        rects = RectArray.from_points(rng.random((600, 2)))
+        store = _tree_file_store(tmp_path, checksums=True)
+        tree, _ = bulk_load(rects, SortTileRecursive(), capacity=50,
+                            store=store)
+        flip_rng = np.random.default_rng(99)
+        for pid in range(store.page_count):
+            bit = int(flip_rng.integers(store.page_size * 8))
+            corrupt_pages(store, [(pid, bit)])
+            with pytest.raises(ChecksumError):
+                store.read_page(pid)
+            corrupt_pages(store, [(pid, bit)])  # flip back
+            store.read_page(pid)  # and the page is whole again
+        assert store.checksum_failures == store.page_count
+        store.close()
+
+    def test_plan_driven_flips_detected(self, tmp_path, rng):
+        rects = RectArray.from_points(rng.random((400, 2)))
+        inner = _tree_file_store(tmp_path, checksums=True)
+        plan = FaultPlan(seed=11, bit_flip_writes=frozenset({2, 5}))
+        store = FaultInjectingPageStore(inner, plan)
+        bulk_load(rects, SortTileRecursive(), capacity=50, store=store)
+        assert plan.injected["bit_flip"] == 2
+        failures = 0
+        for pid in range(store.page_count):
+            try:
+                store.read_page(pid)
+            except ChecksumError:
+                failures += 1
+        assert failures == 2
+        store.close()
+
+
+class TestFaultsDoNotMoveTheMetric:
+    def test_bit_identical_accesses_under_transient_faults(self, rng):
+        """Acceptance: a faulty-but-retried run reports the same accesses."""
+        rects = RectArray.from_points(rng.random((2_000, 2)))
+        queries = point_queries(100, seed=4)
+
+        def run(store):
+            tree, _ = bulk_load(rects, SortTileRecursive(), capacity=50,
+                                store=store)
+            searcher = tree.searcher(10)
+            results = [np.sort(searcher.search(q)).tolist()
+                       for q in queries]
+            return searcher.disk_accesses, results
+
+        clean_accesses, clean_results = run(MemoryPageStore(PAGE * 4))
+        plan = FaultPlan(seed=21, p_transient_read=0.05,
+                         p_transient_write=0.05)
+        faulty = FaultInjectingPageStore(MemoryPageStore(PAGE * 4), plan,
+                                         retry=_no_sleep_retry())
+        faulty_accesses, faulty_results = run(faulty)
+
+        assert (plan.injected["transient_read"]
+                + plan.injected["transient_write"]) > 0
+        assert faulty.retry_count > 0
+        assert faulty_accesses == clean_accesses
+        assert faulty_results == clean_results
+
+    def test_retries_metric_surfaces_through_registry(self, rng):
+        rects = RectArray.from_points(rng.random((800, 2)))
+        with obs.telemetry() as (_, registry):
+            plan = FaultPlan(seed=2, p_transient_write=0.2)
+            store = FaultInjectingPageStore(MemoryPageStore(PAGE * 4), plan,
+                                            retry=_no_sleep_retry())
+            bulk_load(rects, SortTileRecursive(), capacity=50, store=store)
+        assert registry.counter("storage.retries").value == store.retry_count
+        assert store.retry_count > 0
+
+
+class TestFlipBit:
+    def test_involution(self):
+        data = bytes(range(64))
+        assert flip_bit(flip_bit(data, 100), 100) == data
+
+    def test_changes_exactly_one_bit(self):
+        data = b"\x00" * 8
+        out = flip_bit(data, 13)
+        assert out[1] == 1 << 5
+        assert sum(bin(b).count("1") for b in out) == 1

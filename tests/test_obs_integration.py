@@ -93,6 +93,63 @@ class TestNonPerturbation:
         assert on.mean_accesses == off.mean_accesses
 
 
+class TestDurabilityNonPerturbation:
+    """The durability layer is opt-in and must never move the paper's
+    metric: the same build + workload reports bit-identical access counts
+    on a memory store, a plain file store, and a fully durable
+    (checksums + journal + retry) file store."""
+
+    def _accesses(self, store):
+        rects = RectArray.from_points(
+            np.random.default_rng(42).random((3_000, 2))
+        )
+        tree, report = bulk_load(rects, SortTileRecursive(), capacity=50,
+                                 store=store)
+        searcher = tree.searcher(10)
+        per_query = []
+        for q in point_queries(80, seed=9):
+            before = searcher.disk_accesses
+            searcher.search(q)
+            per_query.append(searcher.disk_accesses - before)
+        return report.pages_written, per_query
+
+    def test_file_and_durable_stores_match_memory(self, tmp_path):
+        from repro.storage import FilePageStore, MemoryPageStore, RetryPolicy
+        from repro.storage.integrity import TRAILER_SIZE
+        from repro.storage.page import required_page_size
+
+        page = required_page_size(50, 2)
+        baseline = self._accesses(MemoryPageStore(page))
+        plain = FilePageStore(tmp_path / "plain.pages", page)
+        durable = FilePageStore(
+            tmp_path / "durable.pages", page + TRAILER_SIZE,
+            checksums=True, journal=True,
+            retry=RetryPolicy(sleep=lambda s: None),
+        )
+        try:
+            assert self._accesses(plain) == baseline
+            assert self._accesses(durable) == baseline
+        finally:
+            plain.close()
+            durable.close()
+
+    def test_durable_store_with_telemetry_still_matches(self, tmp_path):
+        from repro.storage import FilePageStore, MemoryPageStore
+        from repro.storage.integrity import TRAILER_SIZE
+        from repro.storage.page import required_page_size
+
+        page = required_page_size(50, 2)
+        baseline = self._accesses(MemoryPageStore(page))
+        with obs.telemetry():
+            durable = FilePageStore(tmp_path / "d.pages",
+                                    page + TRAILER_SIZE, checksums=True,
+                                    journal=True)
+            try:
+                assert self._accesses(durable) == baseline
+            finally:
+                durable.close()
+
+
 class TestIOStatsRegistryBacking:
     def test_shared_registry_aggregates(self):
         from repro.storage.counters import IOStats

@@ -5,6 +5,7 @@ import os
 import pytest
 
 from repro.storage.counters import IOStats
+from repro.storage.integrity import TRAILER_SIZE, ChecksumError
 from repro.storage.store import FilePageStore, MemoryPageStore, StoreError
 
 PAGE = 512
@@ -122,8 +123,22 @@ class TestFileSpecific:
         pid = s.allocate()
         s.write_page(pid, b"x" * PAGE)
         s.close()
-        with pytest.raises(StoreError):
+        with pytest.raises(StoreError, match="closed"):
             s.read_page(pid)
+
+    def test_every_operation_rejected_after_close(self, tmp_path):
+        s = FilePageStore(tmp_path / "c2.bin", PAGE)
+        pid = s.allocate()
+        s.write_page(pid, b"x" * PAGE)
+        s.close()
+        for op in (s.allocate,
+                   lambda: s.write_page(pid, b"y" * PAGE),
+                   lambda: s.peek_page(pid),
+                   lambda: s.raw_read(pid),
+                   lambda: s.raw_write(pid, b"y" * PAGE),
+                   s.flush):
+            with pytest.raises(StoreError, match="closed"):
+                op()
 
     def test_double_close_is_safe(self, tmp_path):
         s = FilePageStore(tmp_path / "d.bin", PAGE)
@@ -134,3 +149,137 @@ class TestFileSpecific:
         path = tmp_path / "e.bin"
         with FilePageStore(path, PAGE) as s:
             assert s.path == str(path)
+
+    def test_batched_allocation_trims_back_on_flush(self, tmp_path):
+        """allocate() extends the file in doubling truncate batches, but
+        flush/close always trim to exactly page_count pages."""
+        path = tmp_path / "batch.bin"
+        with FilePageStore(path, PAGE) as s:
+            for i in range(37):
+                pid = s.allocate()
+                s.write_page(pid, bytes([i % 251]) * PAGE)
+            s.flush()
+            assert os.path.getsize(path) == 37 * PAGE
+        assert os.path.getsize(path) == 37 * PAGE
+        with FilePageStore(path, PAGE) as s2:
+            assert s2.page_count == 37
+            assert s2.read_page(36) == bytes([36 % 251]) * PAGE
+
+    def test_allocated_unwritten_pages_do_not_linger_on_disk(self, tmp_path):
+        path = tmp_path / "over.bin"
+        with FilePageStore(path, PAGE) as s:
+            s.allocate()
+            s.write_page(0, b"a" * PAGE)
+            s.allocate()  # extended but never written
+        assert os.path.getsize(path) == 2 * PAGE  # exact, not the batch
+
+
+class TestDurableFile:
+    """Checksums + journal + superblock (the opt-in durability layer)."""
+
+    def _durable(self, tmp_path, name="d.pages", **kw):
+        kw.setdefault("checksums", True)
+        kw.setdefault("journal", True)
+        return FilePageStore(tmp_path / name, PAGE, **kw)
+
+    def _payload(self, store, fill=b"v"):
+        return fill * store.payload_size + b"\x00" * TRAILER_SIZE
+
+    def test_payload_size_reserves_trailer(self, tmp_path):
+        with self._durable(tmp_path) as s:
+            assert s.payload_size == PAGE - TRAILER_SIZE
+
+    def test_roundtrip_and_self_describing_reopen(self, tmp_path):
+        with self._durable(tmp_path) as s:
+            pid = s.allocate()
+            s.write_page(pid, self._payload(s))
+            path = s.path
+        with FilePageStore.open_existing(path) as s2:
+            assert s2.checksums and s2.journal_enabled
+            assert s2.page_count == 1
+            assert s2.read_page(0) == self._payload(s2)
+
+    def test_payload_into_trailer_region_rejected(self, tmp_path):
+        with self._durable(tmp_path) as s:
+            pid = s.allocate()
+            with pytest.raises(StoreError, match="trailer"):
+                s.write_page(pid, b"x" * PAGE)
+
+    def test_corruption_detected_on_read(self, tmp_path):
+        with self._durable(tmp_path) as s:
+            pid = s.allocate()
+            s.write_page(pid, self._payload(s))
+            raw = bytearray(s.raw_read(pid))
+            raw[10] ^= 0x40
+            s.raw_write(pid, bytes(raw))
+            with pytest.raises(ChecksumError):
+                s.read_page(pid)
+            assert s.checksum_failures == 1
+
+    def test_flag_mismatch_on_reopen_rejected(self, tmp_path):
+        with self._durable(tmp_path, journal=False) as s:
+            path = s.path
+        with pytest.raises(StoreError, match="flags"):
+            FilePageStore(path, PAGE, checksums=True, journal=True)
+
+    def test_plain_open_of_durable_file_rejected(self, tmp_path):
+        with self._durable(tmp_path) as s:
+            path = s.path
+        with pytest.raises(StoreError, match="superblock"):
+            FilePageStore(path, PAGE)
+
+    def test_open_existing_on_plain_file_rejected(self, tmp_path):
+        path = tmp_path / "plain.bin"
+        with FilePageStore(path, PAGE) as s:
+            s.allocate()
+            s.write_page(0, b"x" * PAGE)
+        with pytest.raises(StoreError, match="no superblock"):
+            FilePageStore.open_existing(path)
+
+    def test_page_size_mismatch_on_reopen_rejected(self, tmp_path):
+        with self._durable(tmp_path) as s:
+            path = s.path
+        with pytest.raises(StoreError, match="page size"):
+            FilePageStore(path, PAGE * 2, checksums=True, journal=True)
+
+    def test_tree_meta_roundtrip(self, tmp_path):
+        meta = {"height": 2, "root_page": 4, "ndim": 2,
+                "capacity": 10, "size": 33}
+        with self._durable(tmp_path) as s:
+            assert s.tree_meta is None
+            s.set_tree_meta(meta)
+            path = s.path
+        with FilePageStore.open_existing(path) as s2:
+            assert s2.tree_meta == meta
+
+    def test_tree_meta_requires_durability(self, tmp_path):
+        with FilePageStore(tmp_path / "p.bin", PAGE) as s:
+            assert not s.supports_tree_meta
+            with pytest.raises(StoreError, match="superblock"):
+                s.set_tree_meta({"height": 1, "root_page": 0, "ndim": 2,
+                                 "capacity": 1, "size": 1})
+
+    def test_tree_meta_missing_keys_rejected(self, tmp_path):
+        with self._durable(tmp_path) as s:
+            with pytest.raises(StoreError, match="missing keys"):
+                s.set_tree_meta({"height": 1})
+
+    def test_uncommitted_pages_discarded_on_reopen(self, tmp_path):
+        """The superblock's page count is the committed truth: pages
+        allocated after the last flush do not exist after reopen."""
+        s = self._durable(tmp_path)
+        path = s.path
+        s.allocate()
+        s.write_page(0, self._payload(s))
+        s.flush()
+        s.allocate()
+        s.write_page(1, self._payload(s, b"w"))
+        # no flush: simulate losing the process
+        s._crashed = True
+        s.close()
+        with FilePageStore.open_existing(path) as s2:
+            assert s2.page_count == 1
+
+    def test_memory_store_has_no_superblock_features(self):
+        s = MemoryPageStore(PAGE)
+        assert not getattr(s, "supports_tree_meta", False)
