@@ -150,18 +150,40 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["list", "all",
-                                                       "profile", "fsck"],
+                                                       "profile", "fsck",
+                                                       "serve"],
                         help="which table/figure to regenerate, "
                              "'profile <experiment>' for a telemetered run, "
-                             "or 'fsck <tree-file>' to check a page file")
+                             "'fsck <tree-file>' to check a page file, or "
+                             "'serve <tree-file>' to serve queries from it")
     parser.add_argument("target", nargs="?", default=None,
                         help="experiment to profile (with 'profile') or "
-                             "tree file to check (with 'fsck')")
+                             "tree file (with 'fsck' / 'serve')")
     parser.add_argument("--meta", default=None, metavar="PATH",
-                        help="fsck: tree meta sidecar for plain page files")
+                        help="fsck/serve: tree meta sidecar for plain "
+                             "page files")
     parser.add_argument("--page-size", type=int, default=None,
-                        help="fsck: page size for plain page files "
+                        help="fsck/serve: page size for plain page files "
                              "without a sidecar")
+    parser.add_argument("--quarantine", default=None, metavar="PATH",
+                        help="fsck: write bad page ids here as a "
+                             "quarantine file; serve: load one and skip "
+                             "those subtrees (responses become partial)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="serve: interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=9736,
+                        help="serve: TCP port (default 9736; 0 = ephemeral)")
+    parser.add_argument("--buffer-pages", type=int, default=64,
+                        help="serve: buffer-pool size in pages (default 64)")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="serve: concurrent queries before queueing "
+                             "(default 8)")
+    parser.add_argument("--max-queue", type=int, default=16,
+                        help="serve: queued queries before shedding with "
+                             "Overloaded (default 16)")
+    parser.add_argument("--deadline-s", type=float, default=1.0,
+                        help="serve: default per-query deadline in seconds "
+                             "(default 1.0)")
     parser.add_argument("--quick", action="store_true",
                         help="small fast profile (same shapes, smaller cells)")
     parser.add_argument("--queries", type=int, default=None,
@@ -268,12 +290,18 @@ def _emit_telemetry(name: str, tracer, registry, config, args,
 def _run_fsck(args: argparse.Namespace, argv: list[str]) -> int:
     """``repro fsck <tree-file>``: check the file, print the report, and
     record it as a run manifest (the lab-notebook trail CI archives)."""
-    from .fsck import fsck
+    from .fsck import fsck, write_quarantine
 
     start = time.time()
     report = fsck(args.target, meta_path=args.meta,
                   page_size=args.page_size)
     print(report.render())
+    if args.quarantine is not None:
+        # Even a clean check writes the (empty) file, so `fsck` then
+        # `serve --quarantine` composes unconditionally.
+        path = write_quarantine(report, args.quarantine)
+        print(f"wrote {path} ({len(set(report.bad_pages))} quarantined "
+              f"page(s))")
     if not args.no_manifest:
         run_dir = (args.run_dir if args.run_dir is not None
                    else obs.DEFAULT_RUN_DIR)
@@ -284,6 +312,64 @@ def _run_fsck(args: argparse.Namespace, argv: list[str]) -> int:
         path = obs.write_manifest(manifest, run_dir)
         print(f"wrote {path}")
     return 0 if report.clean else 1
+
+
+def _open_tree(args: argparse.Namespace, parser: argparse.ArgumentParser):
+    """Reattach the tree at ``args.target`` (durable or sidecar-described)."""
+    from .rtree.paged import PagedRTree
+    from .storage.store import FilePageStore
+
+    with open(args.target, "rb") as f:
+        durable = f.read(4)[:4] == b"RSUP"
+    if durable:
+        store = FilePageStore.open_existing(args.target)
+        return PagedRTree.from_store(store)
+    if args.meta is None:
+        parser.error(f"{args.target} has no superblock — pass the tree "
+                     f"meta sidecar with --meta")
+    page_size = args.page_size
+    if page_size is None:
+        import json as _json
+        with open(args.meta) as f:
+            page_size = int(_json.load(f)["page_size"])
+    store = FilePageStore(args.target, page_size)
+    return PagedRTree.open(store, args.meta)
+
+
+def _run_serve(args: argparse.Namespace,
+               parser: argparse.ArgumentParser) -> int:
+    """``repro serve <tree-file>``: serve queries until interrupted."""
+    import asyncio
+
+    from .fsck import read_quarantine
+    from .serve import QueryServer
+
+    tree = _open_tree(args, parser)
+    quarantine = None
+    if args.quarantine is not None:
+        quarantine = read_quarantine(args.quarantine)
+    server = QueryServer(
+        tree,
+        buffer_pages=args.buffer_pages,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        default_deadline_s=args.deadline_s,
+        quarantine=quarantine,
+    )
+
+    async def _serve() -> None:
+        host, port = await server.start(args.host, args.port)
+        print(f"serving {args.target} on {host}:{port} "
+              f"({len(tree)} records, height {tree.height}, "
+              f"{len(server.quarantine)} quarantined page(s))",
+              flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -299,6 +385,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.target is None:
             parser.error("fsck needs a tree file to check")
         return _run_fsck(args, raw_argv)
+    if args.experiment == "serve":
+        if args.target is None:
+            parser.error("serve needs a tree file to serve")
+        return _run_serve(args, parser)
 
     profile_mode = args.experiment == "profile"
     if profile_mode:
@@ -310,7 +400,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.target]
     elif args.target is not None:
         parser.error("a second positional argument is only valid "
-                     "with 'profile' or 'fsck'")
+                     "with 'profile', 'fsck' or 'serve'")
     else:
         names = (sorted(EXPERIMENTS) if args.experiment == "all"
                  else [args.experiment])

@@ -34,7 +34,17 @@ from .storage.integrity import (
 from .storage.page import PageFormatError, decode_node
 from .storage.store import FilePageStore, StoreError
 
-__all__ = ["FsckReport", "fsck"]
+__all__ = [
+    "FsckReport",
+    "fsck",
+    "QUARANTINE_FORMAT",
+    "write_quarantine",
+    "read_quarantine",
+]
+
+#: Format tag of the quarantine file ``repro fsck --quarantine`` writes
+#: and ``repro serve --quarantine`` consumes.
+QUARANTINE_FORMAT = "repro-quarantine-v1"
 
 
 @dataclass
@@ -51,6 +61,10 @@ class FsckReport:
     checksum_errors: list[str] = field(default_factory=list)
     decode_errors: list[str] = field(default_factory=list)
     structural_errors: list[str] = field(default_factory=list)
+    #: Page ids whose bytes cannot be trusted (checksum or decode
+    #: failures) — the set :func:`write_quarantine` exports for the
+    #: serving layer to skip.
+    bad_pages: list[int] = field(default_factory=list)
     #: Set when the file could not be checked at all (unopenable store,
     #: no committed tree).  A fatal report is never clean.
     fatal: str | None = None
@@ -80,6 +94,7 @@ class FsckReport:
             "checksum_errors": list(self.checksum_errors),
             "decode_errors": list(self.decode_errors),
             "structural_errors": list(self.structural_errors),
+            "bad_pages": list(self.bad_pages),
             "fatal": self.fatal,
             "tree": dict(self.tree) if self.tree is not None else None,
             "clean": self.clean,
@@ -192,11 +207,13 @@ def fsck(path: str | os.PathLike, *, meta_path: str | os.PathLike | None = None,
                     payload = verify_trailer(image, pid, source=path)
                 except ChecksumError as exc:
                     report.checksum_errors.append(str(exc))
+                    report.bad_pages.append(pid)
                     continue
             try:
                 decode_node(payload, page_id=pid, source=path)
             except PageFormatError as exc:
                 report.decode_errors.append(str(exc))
+                report.bad_pages.append(pid)
         report.pages_checked = store.page_count
 
         # -- phase 3: the pages form a committed, well-shaped tree --------
@@ -237,3 +254,48 @@ def fsck(path: str | os.PathLike, *, meta_path: str | os.PathLike | None = None,
         except (StoreError, OSError):  # pragma: no cover
             pass
     return report
+
+
+def write_quarantine(report: FsckReport, path: str | os.PathLike) -> str:
+    """Write the report's untrustworthy page ids as a quarantine file.
+
+    The file is a small JSON document (``repro-quarantine-v1``) the
+    serving layer loads at startup (``repro serve --quarantine``): the
+    listed subtrees are skipped without any I/O and every affected
+    response is flagged ``partial`` — corrupt pages degrade queries
+    instead of failing them.  An empty quarantine is valid (and is what
+    a clean check writes).
+    """
+    path = os.fspath(path)
+    payload = {
+        "format": QUARANTINE_FORMAT,
+        "source": report.path,
+        "page_size": report.page_size,
+        "pages_checked": report.pages_checked,
+        "bad_pages": sorted(set(report.bad_pages)),
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2)
+        f.write("\n")
+    return path
+
+
+def read_quarantine(path: str | os.PathLike) -> set[int]:
+    """Load a quarantine file back into the set of bad page ids.
+
+    Raises ``ValueError`` for files that are not quarantine files —
+    feeding the server the wrong file must fail loudly, not silently
+    skip page 0.
+    """
+    path = os.fspath(path)
+    with open(path) as f:
+        payload = json.load(f)
+    if (not isinstance(payload, dict)
+            or payload.get("format") != QUARANTINE_FORMAT):
+        raise ValueError(f"{path}: not a {QUARANTINE_FORMAT} file")
+    pages = payload.get("bad_pages")
+    if (not isinstance(pages, list)
+            or not all(isinstance(p, int) and not isinstance(p, bool)
+                       and p >= 0 for p in pages)):
+        raise ValueError(f"{path}: bad_pages must be a list of page ids")
+    return set(pages)

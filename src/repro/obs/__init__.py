@@ -38,7 +38,15 @@ from .manifest import (
     load_manifest,
     write_manifest,
 )
-from .metrics import Counter, Gauge, Histogram, MetricsError, MetricsRegistry
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsError,
+    MetricsRegistry,
+    percentile,
+)
+from .slo import RollingWindow, SloReport, SloTarget
 from .runtime import (
     disable,
     enable,
@@ -82,6 +90,11 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "percentile",
+    # slo
+    "RollingWindow",
+    "SloTarget",
+    "SloReport",
     # runtime
     "enable",
     "disable",

@@ -28,7 +28,28 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "percentile",
 ]
+
+
+def percentile(values, q: float) -> float:
+    """Exact q-th percentile of ``values`` (linear interpolation).
+
+    NaN when ``values`` is empty; shared by :class:`Histogram` and the
+    rolling-window SLO helpers in :mod:`repro.obs.slo`.
+    """
+    if not values:
+        return float("nan")
+    if not 0.0 <= q <= 100.0:
+        raise MetricsError(f"percentile {q} outside [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    pos = (q / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(pos))
+    hi = int(math.ceil(pos))
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
 
 #: A labels mapping frozen into a hashable, order-insensitive key.
 LabelKey = tuple[tuple[str, object], ...]
@@ -156,18 +177,7 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Exact q-th percentile (linear interpolation); NaN when empty."""
-        if not self.values:
-            return float("nan")
-        if not 0.0 <= q <= 100.0:
-            raise MetricsError(f"percentile {q} outside [0, 100]")
-        ordered = sorted(self.values)
-        if len(ordered) == 1:
-            return ordered[0]
-        pos = (q / 100.0) * (len(ordered) - 1)
-        lo = int(math.floor(pos))
-        hi = int(math.ceil(pos))
-        frac = pos - lo
-        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+        return percentile(self.values, q)
 
     def snapshot_value(self) -> dict[str, float | int]:
         """Summary stats (count/sum/mean/min/max/p50/p90/p99)."""

@@ -9,7 +9,7 @@ from .costmodel import (
 from .hilbert_rtree import HilbertRTree
 from .knn import knn
 from .node import Entry, Node, RTreeError
-from .paged import PagedRTree, PagedSearcher
+from .paged import PagedRTree, PagedSearcher, SearchResult
 from .rstar import RStarSplit, RStarTree
 from .split import LinearSplit, QuadraticSplit, make_split
 from .stats import TreeQuality, measure_dynamic, measure_paged
@@ -26,6 +26,7 @@ __all__ = [
     "RTreeError",
     "PagedRTree",
     "PagedSearcher",
+    "SearchResult",
     "bulk_load",
     "paged_from_dynamic",
     "BulkLoadReport",

@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Callable, Container, Iterator, Sequence
 
 import numpy as np
 
@@ -31,10 +31,27 @@ from ..core.geometry import GeometryError, Rect
 from ..obs import runtime as obs
 from ..storage.buffer import BufferPool, ReplacementPolicy
 from ..storage.counters import IOStats
-from ..storage.page import NodePage, decode_node
+from ..storage.integrity import IntegrityError
+from ..storage.page import NodePage, PageFormatError, decode_node
 from ..storage.store import PageStore, StoreError
 
-__all__ = ["PagedRTree", "PagedSearcher", "LevelSummary"]
+__all__ = ["PagedRTree", "PagedSearcher", "SearchResult", "LevelSummary"]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of one (possibly degraded) paged search.
+
+    ``partial=True`` means at least one subtree was skipped — because its
+    root page was quarantined or failed to read in degraded mode — so
+    ``ids`` is a *subset* of the true answer, never a superset: a degraded
+    response can miss matches but cannot invent them.
+    """
+
+    ids: np.ndarray
+    partial: bool
+    skipped_subtrees: int
+    nodes_visited: int
 
 
 @dataclass(frozen=True)
@@ -264,17 +281,71 @@ class PagedSearcher:
 
     # -- queries -----------------------------------------------------------
 
+    #: Exceptions a *degraded* search absorbs as unreachable subtrees:
+    #: store failures (including a fast-failing open circuit breaker),
+    #: checksum mismatches, undecodable pages, and raw I/O errors.
+    DEGRADED_ERRORS = (StoreError, IntegrityError, PageFormatError, OSError)
+
     def search(self, query: Rect) -> np.ndarray:
         """Data ids of all rectangles intersecting ``query``."""
+        return self.search_detailed(query).ids
+
+    def search_detailed(
+        self,
+        query: Rect,
+        *,
+        check: Callable[[], None] | None = None,
+        quarantined: Container[int] | None = None,
+        degraded: bool = False,
+        on_page_error: Callable[[int, Exception], None] | None = None,
+    ) -> SearchResult:
+        """Search with serving-layer hooks; returns a :class:`SearchResult`.
+
+        Parameters
+        ----------
+        check:
+            Called between node visits (cooperative cancellation): a
+            deadline's ``check`` raises there to abandon an expired query
+            mid-walk instead of finishing useless work.
+        quarantined:
+            Page ids known to be bad (e.g. from ``repro fsck
+            --quarantine``).  Their subtrees are skipped without any I/O
+            and the result is flagged partial.
+        degraded:
+            Absorb :data:`DEGRADED_ERRORS` raised while reading a node:
+            the failed subtree is skipped and counted instead of failing
+            the whole query.  Off (the default) such errors propagate.
+        on_page_error:
+            Observer called with ``(page_id, exc)`` for every absorbed
+            page failure — the server uses it to grow its runtime
+            quarantine set.
+        """
         if query.ndim != self.tree.ndim:
             raise GeometryError("query dimensionality mismatch")
         # The span only *times* the walk; all counting stays in the
         # buffer/store IOStats, so telemetry cannot shift access counts.
         with obs.span("query.search"):
             hits: list[np.ndarray] = []
+            skipped = 0
+            visited = 0
             stack = [self.tree.root_page]
             while stack:
-                node = self.buffer.get(stack.pop())
+                page_id = stack.pop()
+                if check is not None:
+                    check()
+                if quarantined is not None and page_id in quarantined:
+                    skipped += 1
+                    continue
+                try:
+                    node = self.buffer.get(page_id)
+                except self.DEGRADED_ERRORS as exc:
+                    if not degraded:
+                        raise
+                    skipped += 1
+                    if on_page_error is not None:
+                        on_page_error(page_id, exc)
+                    continue
+                visited += 1
                 mask = node.rects.intersects_rect(query)
                 if not mask.any():
                     continue
@@ -283,9 +354,11 @@ class PagedSearcher:
                     hits.append(matched)
                 else:
                     stack.extend(int(c) for c in matched)
-            if not hits:
-                return np.empty(0, dtype=np.int64)
-            return np.concatenate(hits)
+            ids = (np.concatenate(hits) if hits
+                   else np.empty(0, dtype=np.int64))
+            return SearchResult(ids=ids, partial=skipped > 0,
+                                skipped_subtrees=skipped,
+                                nodes_visited=visited)
 
     def point_query(self, point: Sequence[float]) -> np.ndarray:
         """Data ids of all rectangles containing ``point``."""

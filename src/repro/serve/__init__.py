@@ -1,0 +1,84 @@
+"""Resilient query serving over the durable page store.
+
+The experiment pipeline builds and measures trees in one process; this
+package keeps a packed tree *queryable* for many clients while the
+storage underneath misbehaves.  The contract, in one line: every
+response is **exact**, **explicitly partial**, or a **typed error** —
+never silently wrong.
+
+* :mod:`~repro.serve.protocol` — newline-JSON wire format and the typed
+  error taxonomy (``BadRequest``, ``DeadlineExceeded``, ``Overloaded``,
+  ``StoreUnavailable``);
+* :mod:`~repro.serve.deadline` — per-request deadlines with an
+  injectable clock, propagated into the paged search loop as a
+  cooperative cancellation hook;
+* :mod:`~repro.serve.admission` — bounded in-flight work plus a
+  shed-on-full FIFO queue;
+* :mod:`~repro.serve.server` — :class:`QueryServer`: asyncio sockets,
+  circuit-breaker-guarded reads, degraded (``partial=true``) responses,
+  runtime page quarantine, health endpoints;
+* :mod:`~repro.serve.client` — :class:`QueryClient` for tests, tools
+  and the chaos soak;
+* :mod:`~repro.serve.health` — ``healthz``/``readyz``/``stats`` payload
+  builders.
+
+Start one from a durable tree file with ``python -m repro serve
+tree.pages``; see ``docs/serving.md`` for the protocol and failure
+semantics.
+"""
+
+from .admission import AdmissionController
+from .client import QueryClient
+from .deadline import Deadline
+from .health import healthz_payload, readyz_payload, stats_payload, store_health
+from .protocol import (
+    ERROR_TYPES,
+    OPS,
+    PROTOCOL_VERSION,
+    QUERY_OPS,
+    BadRequest,
+    DeadlineExceeded,
+    Overloaded,
+    Request,
+    Response,
+    ServeError,
+    StoreUnavailable,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    rect_from_wire,
+    rect_to_wire,
+)
+from .server import QueryServer
+
+__all__ = [
+    # protocol
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
+    "OPS",
+    "ServeError",
+    "BadRequest",
+    "DeadlineExceeded",
+    "Overloaded",
+    "StoreUnavailable",
+    "ERROR_TYPES",
+    "Request",
+    "Response",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "rect_from_wire",
+    "rect_to_wire",
+    # components
+    "Deadline",
+    "AdmissionController",
+    "QueryServer",
+    "QueryClient",
+    # health
+    "healthz_payload",
+    "readyz_payload",
+    "stats_payload",
+    "store_health",
+]

@@ -1,0 +1,108 @@
+"""Admission control: bounded in-flight work plus a shed-on-full queue.
+
+An overloaded server has exactly three honest options for a new request:
+run it, queue it, or refuse it.  :class:`AdmissionController` implements
+that triage with two watermarks:
+
+* ``max_inflight`` — requests executing concurrently.  Below the limit,
+  :meth:`acquire` admits immediately.
+* ``max_queue`` — requests allowed to wait for a slot.  At the limit,
+  :meth:`acquire` raises a typed
+  :class:`~repro.serve.protocol.Overloaded` *immediately* — shedding load
+  with a fast, explicit error instead of building an unbounded queue and
+  collapsing under it.
+
+Slots are handed off FIFO: :meth:`release` wakes the oldest waiter
+directly (the slot transfers, in-flight count unchanged), so admission
+order is arrival order and there is no thundering herd.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+
+from .protocol import Overloaded
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Semaphore-with-a-bounded-queue for one asyncio event loop."""
+
+    def __init__(self, max_inflight: int = 8, max_queue: int = 16):
+        if max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_inflight = max_inflight
+        self.max_queue = max_queue
+        self._inflight = 0
+        self._waiters: deque[asyncio.Future] = deque()
+        self.admitted_total = 0
+        self.shed_total = 0
+        self.queued_peak = 0
+
+    @property
+    def inflight(self) -> int:
+        """Requests currently holding a slot."""
+        return self._inflight
+
+    @property
+    def queued(self) -> int:
+        """Requests currently waiting for a slot."""
+        return len(self._waiters)
+
+    async def acquire(self) -> None:
+        """Take a slot: run now, wait FIFO, or raise :class:`Overloaded`."""
+        if self._inflight < self.max_inflight and not self._waiters:
+            self._inflight += 1
+            self.admitted_total += 1
+            return
+        if len(self._waiters) >= self.max_queue:
+            self.shed_total += 1
+            raise Overloaded(
+                f"server overloaded: {self._inflight} in flight and "
+                f"{len(self._waiters)} queued (queue limit {self.max_queue})"
+            )
+        fut = asyncio.get_running_loop().create_future()
+        self._waiters.append(fut)
+        self.queued_peak = max(self.queued_peak, len(self._waiters))
+        try:
+            await fut
+        except asyncio.CancelledError:
+            if fut.cancelled() or not fut.done():
+                # Never granted: withdraw from the queue.
+                try:
+                    self._waiters.remove(fut)
+                except ValueError:
+                    pass
+            else:
+                # Granted concurrently with the cancellation: the slot is
+                # ours and unusable, so hand it on.
+                self.release()
+            raise
+        self.admitted_total += 1
+
+    def release(self) -> None:
+        """Return a slot, handing it to the oldest live waiter if any."""
+        while self._waiters:
+            fut = self._waiters.popleft()
+            if not fut.done():
+                fut.set_result(None)  # slot transfers; in-flight unchanged
+                return
+        if self._inflight <= 0:
+            raise RuntimeError("release() without a matching acquire()")
+        self._inflight -= 1
+
+    def snapshot(self) -> dict:
+        """JSON-able state for health endpoints."""
+        return {
+            "inflight": self._inflight,
+            "queued": len(self._waiters),
+            "max_inflight": self.max_inflight,
+            "max_queue": self.max_queue,
+            "admitted_total": self.admitted_total,
+            "shed_total": self.shed_total,
+            "queued_peak": self.queued_peak,
+        }

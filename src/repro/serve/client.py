@@ -1,0 +1,126 @@
+"""Asyncio client for the query server's newline-JSON protocol.
+
+A :class:`QueryClient` speaks one request/response pair at a time over
+one connection (an internal lock serializes concurrent callers); open
+several clients for parallel load, as the chaos tests do::
+
+    async with await QueryClient.connect(host, port) as client:
+        resp = await client.search(rect, deadline_s=0.25)
+        if resp.ok:
+            ids = resp.ids          # sorted; subset-of-truth if partial
+        else:
+            resp.raise_for_error()  # typed: DeadlineExceeded, Overloaded...
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Sequence
+
+from ..core.geometry import Rect
+from .protocol import (
+    Request,
+    Response,
+    ServeError,
+    decode_response,
+    encode_request,
+    rect_to_wire,
+)
+
+__all__ = ["QueryClient"]
+
+
+class QueryClient:
+    """One connection to a :class:`~repro.serve.server.QueryServer`."""
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._lock = asyncio.Lock()
+        self._next_id = 0
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "QueryClient":
+        """Open a connection to a running server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer)
+
+    async def request(self, req: Request) -> Response:
+        """Send one request and await its matching response.
+
+        Returns the :class:`~repro.serve.protocol.Response` whether or
+        not it carries an error — call
+        :meth:`~repro.serve.protocol.Response.raise_for_error` to turn
+        typed wire errors back into exceptions.
+        """
+        async with self._lock:
+            if req.id == 0:
+                self._next_id += 1
+                req.id = self._next_id
+            self._writer.write(encode_request(req))
+            await self._writer.drain()
+            line = await self._reader.readline()
+        if not line:
+            raise ServeError("server closed the connection")
+        resp = decode_response(line)
+        if resp.id != req.id:
+            raise ServeError(
+                f"response id {resp.id} does not match request id {req.id}")
+        return resp
+
+    # -- convenience wrappers ---------------------------------------------
+
+    async def search(self, rect: Rect | Sequence,
+                     deadline_s: float | None = None) -> Response:
+        """Region query: ids of all rectangles intersecting ``rect``."""
+        wire = rect_to_wire(rect) if isinstance(rect, Rect) else rect
+        return await self.request(
+            Request(op="search", rect=wire, deadline_s=deadline_s))
+
+    async def point(self, point: Sequence[float],
+                    deadline_s: float | None = None) -> Response:
+        """Point query: ids of all rectangles containing ``point``."""
+        return await self.request(
+            Request(op="point", point=list(point), deadline_s=deadline_s))
+
+    async def count(self, rect: Rect | Sequence,
+                    deadline_s: float | None = None) -> Response:
+        """Match count only (no id list on the wire)."""
+        wire = rect_to_wire(rect) if isinstance(rect, Rect) else rect
+        return await self.request(
+            Request(op="count", rect=wire, deadline_s=deadline_s))
+
+    async def healthz(self) -> dict:
+        """The server's liveness/operational snapshot."""
+        resp = await self.request(Request(op="healthz"))
+        return resp.raise_for_error().data
+
+    async def readyz(self) -> dict:
+        """The server's readiness payload (``ready`` may be false)."""
+        resp = await self.request(Request(op="readyz"))
+        return resp.raise_for_error().data
+
+    async def stats(self) -> dict:
+        """The full numeric stats dump."""
+        resp = await self.request(Request(op="stats"))
+        return resp.raise_for_error().data
+
+    async def ping(self) -> dict:
+        """Round-trip liveness check; returns the protocol version."""
+        resp = await self.request(Request(op="ping"))
+        return resp.raise_for_error().data
+
+    async def aclose(self) -> None:
+        """Close the connection."""
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> "QueryClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

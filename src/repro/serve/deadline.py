@@ -1,0 +1,63 @@
+"""Request deadlines: absolute expiry points with an injectable clock.
+
+Every query carries a :class:`Deadline` from the moment it is parsed.  The
+deadline is *propagated into the paged search loop*: the searcher calls
+:meth:`Deadline.check` between node visits, so an expired request abandons
+its tree walk cooperatively instead of finishing useless work — and the
+server re-checks after queueing and before responding, guaranteeing no
+success response is ever written after its deadline.
+
+The clock is injectable (``time.monotonic`` by default) so tests drive
+expiry deterministically with a fake clock.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .protocol import DeadlineExceeded
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An absolute point on ``clock`` by which a request must finish."""
+
+    __slots__ = ("expires_at", "clock")
+
+    def __init__(self, expires_at: float,
+                 clock: Callable[[], float] = time.monotonic):
+        self.expires_at = expires_at
+        self.clock = clock
+
+    @classmethod
+    def after(cls, budget_s: float,
+              clock: Callable[[], float] = time.monotonic) -> "Deadline":
+        """A deadline ``budget_s`` seconds from now."""
+        if budget_s <= 0:
+            raise ValueError(f"deadline budget must be > 0, got {budget_s}")
+        return cls(clock() + budget_s, clock)
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - self.clock()
+
+    def expired(self) -> bool:
+        """Has the deadline passed?"""
+        return self.remaining() <= 0.0
+
+    def check(self, what: str = "request") -> None:
+        """Raise :class:`~repro.serve.protocol.DeadlineExceeded` if expired.
+
+        Bound as the searcher's ``check`` hook, this is the cooperative
+        cancellation point between node visits.
+        """
+        remaining = self.remaining()
+        if remaining <= 0.0:
+            raise DeadlineExceeded(
+                f"{what} deadline exceeded by {-remaining:.6f}s"
+            )
+
+    def __repr__(self) -> str:
+        return f"Deadline(remaining={self.remaining():.6f}s)"

@@ -1,0 +1,117 @@
+"""Health and readiness payloads for the query server.
+
+Three views, all JSON-able and all built from live server state:
+
+* ``healthz`` — liveness + everything an operator wants on one screen:
+  breaker state, admission counters, journal-recovery status, quarantine
+  size, rolling latency percentiles, per-error-code counts.
+* ``readyz`` — the load-balancer answer.  A server is *ready* when its
+  tree is attached and the circuit breaker is not open; an open breaker
+  means new traffic would be served heavily degraded, so the server asks
+  to be drained while still answering in-flight clients.
+* ``stats`` — the fuller numeric dump (health + per-store I/O counters).
+
+The helpers duck-type the store so wrapped stores (fault injection,
+striping) report the innermost real device's recovery/corruption counters.
+"""
+
+from __future__ import annotations
+
+from ..obs.slo import SloTarget
+
+__all__ = [
+    "store_health",
+    "healthz_payload",
+    "readyz_payload",
+    "stats_payload",
+]
+
+
+def _store_chain(store):
+    """The store and every ``inner`` store beneath it (wrappers first)."""
+    seen = set()
+    while store is not None and id(store) not in seen:
+        seen.add(id(store))
+        yield store
+        store = getattr(store, "inner", None)
+
+
+def store_health(store) -> dict:
+    """Durability/recovery counters summed over the wrapper chain."""
+    chain = list(_store_chain(store))
+    out = {
+        "page_count": store.page_count,
+        "page_size": store.page_size,
+        "path": next((s.path for s in chain
+                      if getattr(s, "path", None) is not None), None),
+        "checksum_failures": sum(getattr(s, "checksum_failures", 0)
+                                 for s in chain),
+        "recoveries": sum(getattr(s, "recoveries", 0) for s in chain),
+        "recovered_pages": sum(getattr(s, "recovered_pages", 0)
+                               for s in chain),
+        "retry_count": sum(getattr(s, "retry_count", 0) for s in chain),
+    }
+    out["journal_recovered"] = out["recoveries"] > 0
+    return out
+
+
+def _latency_block(server) -> dict:
+    latency = server.latency.summary()
+    slo: SloTarget | None = server.slo
+    block = {"latency_s": latency}
+    if slo is not None:
+        block["slo"] = slo.evaluate(server.latency).as_dict()
+    return block
+
+
+def healthz_payload(server) -> dict:
+    """Liveness + operational snapshot (always ``ok`` while answering)."""
+    payload = {
+        "ok": True,
+        "uptime_s": server.clock() - server.started_at,
+        "tree": {
+            "size": len(server.tree),
+            "height": server.tree.height,
+            "pages": server.tree.page_count,
+        },
+        "breaker": server.breaker.snapshot(),
+        "admission": server.admission.snapshot(),
+        "requests_total": server.requests_total,
+        "responses_partial": server.partial_total,
+        "errors": dict(server.error_counts),
+        "degraded_reads": server.degraded_reads,
+        "quarantine": {
+            "pages": len(server.quarantine),
+            "added_at_runtime": server.quarantined_runtime,
+        },
+        "store": store_health(server.tree.store),
+        "sessions": server.session_count,
+    }
+    payload.update(_latency_block(server))
+    return payload
+
+
+def readyz_payload(server) -> dict:
+    """Readiness: drain while the breaker is open, serve otherwise."""
+    breaker = server.breaker.snapshot()
+    store = store_health(server.tree.store)
+    payload = {
+        "ready": breaker["state"] != "open",
+        "breaker": breaker,
+        "journal": {
+            "recovered": store["journal_recovered"],
+            "recoveries": store["recoveries"],
+            "recovered_pages": store["recovered_pages"],
+        },
+    }
+    payload.update(_latency_block(server))
+    if not payload["ready"]:
+        payload["reason"] = "circuit breaker is open"
+    return payload
+
+
+def stats_payload(server) -> dict:
+    """The full numeric dump: healthz plus readiness and shed/trip detail."""
+    payload = healthz_payload(server)
+    payload["ready"] = server.breaker.snapshot()["state"] != "open"
+    return payload

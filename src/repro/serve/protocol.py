@@ -1,0 +1,232 @@
+"""Wire protocol for the query server: newline-delimited JSON.
+
+One request per line, one response per line, matched by ``id``.  The
+format is deliberately boring — any language can speak it with a socket
+and a JSON library — and every failure mode is a *typed* error code, so a
+client can always tell "no answer yet" from "no answer ever" from "partial
+answer":
+
+Request::
+
+    {"id": 7, "op": "search", "rect": [[0.1, 0.1], [0.4, 0.2]],
+     "deadline_s": 0.25}
+
+Response::
+
+    {"id": 7, "ok": true, "op": "search", "ids": [3, 17], "partial": false,
+     "unreachable_subtrees": 0, "elapsed_s": 0.0012}
+
+Error response::
+
+    {"id": 7, "ok": false, "op": "search", "error": "DeadlineExceeded",
+     "message": "..."}
+
+Operations: ``search`` (region query), ``point`` (point query), ``count``
+(match count only), ``healthz`` / ``readyz`` / ``stats`` (health payloads
+in ``data``), and ``ping``.
+
+``partial=true`` marks a degraded read: some subtrees were unreachable
+(corrupt, quarantined, or behind an open circuit breaker) and were
+skipped, so ``ids`` is a subset of the true answer — degraded responses
+under-report, they never fabricate.  ``unreachable_subtrees`` counts the
+skipped subtrees.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+from ..core.geometry import GeometryError, Rect
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "QUERY_OPS",
+    "OPS",
+    "ServeError",
+    "BadRequest",
+    "DeadlineExceeded",
+    "Overloaded",
+    "StoreUnavailable",
+    "ERROR_TYPES",
+    "Request",
+    "Response",
+    "encode_request",
+    "decode_request",
+    "encode_response",
+    "decode_response",
+    "rect_from_wire",
+    "rect_to_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+#: Operations that run a tree walk (deadline + admission controlled).
+QUERY_OPS = ("search", "point", "count")
+#: All operations the server understands.
+OPS = QUERY_OPS + ("healthz", "readyz", "stats", "ping")
+
+
+class ServeError(Exception):
+    """Base of every typed serving error; ``code`` is the wire name."""
+
+    code = "Internal"
+
+
+class BadRequest(ServeError):
+    """The request line could not be parsed or validated."""
+
+    code = "BadRequest"
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline passed before a result could be returned."""
+
+    code = "DeadlineExceeded"
+
+
+class Overloaded(ServeError):
+    """Admission control shed the request instead of queueing it."""
+
+    code = "Overloaded"
+
+
+class StoreUnavailable(ServeError):
+    """The page store failed (I/O error, corruption, open breaker) and
+    degraded reads were not allowed to absorb it."""
+
+    code = "StoreUnavailable"
+
+
+#: Wire code -> exception class (for clients raising typed errors).
+ERROR_TYPES: dict[str, type[ServeError]] = {
+    cls.code: cls
+    for cls in (ServeError, BadRequest, DeadlineExceeded, Overloaded,
+                StoreUnavailable)
+}
+
+
+def rect_to_wire(rect: Rect) -> list:
+    """``Rect`` -> ``[[lo...], [hi...]]``."""
+    return [list(map(float, rect.lo)), list(map(float, rect.hi))]
+
+
+def rect_from_wire(value) -> Rect:
+    """``[[lo...], [hi...]]`` -> ``Rect`` (raises :class:`BadRequest`)."""
+    if (not isinstance(value, (list, tuple)) or len(value) != 2
+            or not all(isinstance(side, (list, tuple)) for side in value)
+            or len(value[0]) != len(value[1]) or not value[0]):
+        raise BadRequest(f"rect must be [[lo...], [hi...]], got {value!r}")
+    try:
+        return Rect(tuple(float(x) for x in value[0]),
+                    tuple(float(x) for x in value[1]))
+    except (TypeError, ValueError, GeometryError) as exc:
+        raise BadRequest(f"malformed rect {value!r}: {exc}") from None
+
+
+@dataclass
+class Request:
+    """One client request (see the module docstring for the wire form)."""
+
+    op: str
+    id: int = 0
+    rect: list | None = None
+    point: list | None = None
+    #: Relative deadline budget in seconds; the server clamps it to its
+    #: ``max_deadline_s`` and applies its default when omitted.
+    deadline_s: float | None = None
+
+
+@dataclass
+class Response:
+    """One server response; ``ok=False`` carries a typed ``error`` code."""
+
+    id: int
+    ok: bool
+    op: str = ""
+    ids: list[int] | None = None
+    count: int | None = None
+    partial: bool = False
+    unreachable_subtrees: int = 0
+    error: str | None = None
+    message: str | None = None
+    data: dict | None = None
+    elapsed_s: float | None = None
+
+    def raise_for_error(self) -> "Response":
+        """Return self when ``ok``; raise the typed exception otherwise."""
+        if self.ok:
+            return self
+        exc_type = ERROR_TYPES.get(self.error or "", ServeError)
+        raise exc_type(self.message or self.error or "request failed")
+
+
+def _encode(payload: dict) -> bytes:
+    return (json.dumps(payload, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def encode_request(req: Request) -> bytes:
+    """Request -> one JSON line (``None`` fields omitted)."""
+    payload = {k: v for k, v in asdict(req).items() if v is not None}
+    return _encode(payload)
+
+
+def decode_request(line: bytes | str) -> Request:
+    """One JSON line -> validated Request (raises :class:`BadRequest`).
+
+    A raisable :class:`BadRequest` keeps the offending request ``id`` in
+    ``.request_id`` when one could be parsed, so the error response still
+    correlates.
+    """
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise _bad_request(f"request is not valid JSON: {exc}", 0) from None
+    if not isinstance(payload, dict):
+        raise _bad_request(f"request must be a JSON object, got "
+                           f"{type(payload).__name__}", 0)
+    req_id = payload.get("id", 0)
+    if not isinstance(req_id, int) or isinstance(req_id, bool):
+        raise _bad_request(f"id must be an integer, got {req_id!r}", 0)
+    op = payload.get("op")
+    if op not in OPS:
+        raise _bad_request(f"unknown op {op!r}; expected one of {OPS}",
+                           req_id)
+    deadline_s = payload.get("deadline_s")
+    if deadline_s is not None:
+        if (not isinstance(deadline_s, (int, float))
+                or isinstance(deadline_s, bool) or deadline_s <= 0):
+            raise _bad_request(
+                f"deadline_s must be a positive number, got {deadline_s!r}",
+                req_id)
+        deadline_s = float(deadline_s)
+    unknown = set(payload) - {"id", "op", "rect", "point", "deadline_s"}
+    if unknown:
+        raise _bad_request(f"unknown request fields {sorted(unknown)}",
+                           req_id)
+    return Request(op=op, id=req_id, rect=payload.get("rect"),
+                   point=payload.get("point"), deadline_s=deadline_s)
+
+
+def _bad_request(message: str, req_id: int) -> BadRequest:
+    exc = BadRequest(message)
+    exc.request_id = req_id
+    return exc
+
+
+def encode_response(resp: Response) -> bytes:
+    """Response -> one JSON line (``None`` fields omitted)."""
+    payload = {k: v for k, v in asdict(resp).items() if v is not None}
+    return _encode(payload)
+
+
+def decode_response(line: bytes | str) -> Response:
+    """One JSON line -> Response (raises :class:`ServeError` on garbage)."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ServeError(f"response is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict) or "ok" not in payload:
+        raise ServeError(f"malformed response line: {line!r}")
+    known = {f for f in Response.__dataclass_fields__}
+    return Response(**{k: v for k, v in payload.items() if k in known})

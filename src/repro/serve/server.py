@@ -1,0 +1,313 @@
+"""The resilient query server.
+
+:class:`QueryServer` serves region/point/count queries from a persisted
+:class:`~repro.rtree.paged.PagedRTree` to many concurrent clients over
+the newline-JSON protocol, and stays *honestly* available while the
+store misbehaves:
+
+* every request carries a :class:`~repro.serve.deadline.Deadline`
+  propagated into the paged search loop (cooperative cancellation
+  between node visits; no success is ever written after its deadline);
+* transient page faults are absorbed by the store's
+  :class:`~repro.storage.faults.RetryPolicy`, behind a per-store
+  :class:`~repro.storage.breaker.CircuitBreaker` that trips on sustained
+  failures and fast-fails reads while open;
+* reads that still fail are served *degraded*: the unreachable subtree
+  is skipped, the response is flagged ``partial=true`` with an
+  ``unreachable_subtrees`` count — a subset of the truth, never a
+  fabrication — and deterministically-corrupt pages join the runtime
+  quarantine so they stop feeding the breaker;
+* an :class:`~repro.serve.admission.AdmissionController` bounds
+  in-flight work and sheds excess load with typed ``Overloaded`` errors;
+* ``healthz``/``readyz``/``stats`` report breaker state,
+  journal-recovery status, and rolling latency percentiles.
+
+Concurrency model: asyncio handles sockets and admission; searches run
+on a small thread pool under one lock (the shared file handle and
+buffer pool are single-accessor), so queueing, shedding and deadline
+expiry overlap real work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import Counter as TallyCounter
+from concurrent.futures import ThreadPoolExecutor
+from threading import Lock
+from typing import Callable, Iterable
+
+from ..core.geometry import GeometryError, Rect
+from ..obs import runtime as obs
+from ..obs.slo import RollingWindow, SloTarget
+from ..rtree.paged import PagedRTree, SearchResult
+from ..storage.breaker import CircuitBreaker
+from ..storage.integrity import IntegrityError
+from ..storage.page import PageFormatError
+from ..storage.store import StoreError
+from .admission import AdmissionController
+from .deadline import Deadline
+from .health import healthz_payload, readyz_payload, stats_payload
+from .protocol import (
+    PROTOCOL_VERSION,
+    QUERY_OPS,
+    BadRequest,
+    Request,
+    Response,
+    ServeError,
+    decode_request,
+    encode_response,
+    rect_from_wire,
+)
+
+__all__ = ["QueryServer"]
+
+#: Exceptions from the storage stack that map to the ``StoreUnavailable``
+#: wire code when degraded reads could not absorb them.
+_STORE_FAILURES = (StoreError, IntegrityError, PageFormatError, OSError)
+
+#: Page failures that are the *page's* fault (vs. the device's): these
+#: are deterministic, so the page joins the runtime quarantine.
+_QUARANTINABLE = (IntegrityError, PageFormatError)
+
+
+class QueryServer:
+    """A multi-client asyncio query server over one paged R-tree."""
+
+    def __init__(
+        self,
+        tree: PagedRTree,
+        *,
+        buffer_pages: int = 64,
+        max_inflight: int = 8,
+        max_queue: int = 16,
+        default_deadline_s: float = 1.0,
+        max_deadline_s: float = 30.0,
+        breaker: CircuitBreaker | None = None,
+        quarantine: Iterable[int] | None = None,
+        slo: SloTarget | None = None,
+        degraded: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+        latency_window: int = 1024,
+        search_workers: int = 2,
+    ):
+        self.tree = tree
+        self.clock = clock
+        self.default_deadline_s = default_deadline_s
+        self.max_deadline_s = max_deadline_s
+        self.degraded = degraded
+        self.slo = slo
+
+        # One breaker guards the store the searcher reads through; reuse
+        # the store's own if it already has one, otherwise attach ours.
+        if breaker is None:
+            breaker = getattr(tree.store, "breaker", None)
+        if breaker is None:
+            breaker = CircuitBreaker(clock=clock)
+        if getattr(tree.store, "breaker", None) is not breaker:
+            tree.store.breaker = breaker
+        self.breaker = breaker
+
+        self.searcher = tree.searcher(buffer_pages)
+        self.admission = AdmissionController(max_inflight, max_queue)
+        self.latency = RollingWindow(latency_window)
+        self.quarantine: set[int] = set(quarantine or ())
+        self.quarantined_runtime = 0
+
+        self.requests_total = 0
+        self.partial_total = 0
+        self.degraded_reads = 0
+        self.error_counts: TallyCounter[str] = TallyCounter()
+        self.session_count = 0
+        self.started_at = clock()
+
+        # The buffer pool and the store's file handle are single-accessor:
+        # one lock serializes tree walks while asyncio keeps admission,
+        # shedding and deadline expiry concurrent above them.
+        self._search_lock = Lock()
+        self._executor = ThreadPoolExecutor(
+            max_workers=search_workers, thread_name_prefix="repro-serve"
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self.address: tuple | None = None
+
+    # -- request handling --------------------------------------------------
+
+    async def handle_request(self, req: Request) -> Response:
+        """Execute one request, always returning a (possibly error)
+        :class:`~repro.serve.protocol.Response`."""
+        self.requests_total += 1
+        obs.inc("serve.requests", op=req.op)
+        try:
+            if req.op == "ping":
+                return Response(id=req.id, ok=True, op="ping",
+                                data={"version": PROTOCOL_VERSION})
+            if req.op == "healthz":
+                return Response(id=req.id, ok=True, op="healthz",
+                                data=healthz_payload(self))
+            if req.op == "readyz":
+                return Response(id=req.id, ok=True, op="readyz",
+                                data=readyz_payload(self))
+            if req.op == "stats":
+                return Response(id=req.id, ok=True, op="stats",
+                                data=stats_payload(self))
+            if req.op in QUERY_OPS:
+                return await self._handle_query(req)
+            raise BadRequest(f"unknown op {req.op!r}")
+        except ServeError as exc:
+            return self._error_response(req, exc.code, str(exc))
+        except GeometryError as exc:
+            return self._error_response(req, BadRequest.code, str(exc))
+        except _STORE_FAILURES as exc:
+            return self._error_response(
+                req, "StoreUnavailable",
+                f"{type(exc).__name__}: {exc}")
+
+    async def _handle_query(self, req: Request) -> Response:
+        start = self.clock()
+        budget = (req.deadline_s if req.deadline_s is not None
+                  else self.default_deadline_s)
+        deadline = Deadline.after(min(budget, self.max_deadline_s),
+                                  self.clock)
+        query = self._query_rect(req)
+
+        await self.admission.acquire()
+        try:
+            # Re-check after any queue wait: a request that expired while
+            # queued must not start a tree walk.
+            deadline.check("queued request")
+            loop = asyncio.get_running_loop()
+            result: SearchResult = await loop.run_in_executor(
+                self._executor, self._run_search, query, deadline
+            )
+        finally:
+            self.admission.release()
+
+        # The walk finished, but if its deadline passed meanwhile the
+        # client has already moved on — never respond after the deadline.
+        deadline.check("completed request")
+
+        elapsed = self.clock() - start
+        self.latency.observe(elapsed)
+        obs.observe("query.latency_s", elapsed)
+        if result.partial:
+            self.partial_total += 1
+            obs.inc("serve.partial_responses")
+
+        resp = Response(
+            id=req.id, ok=True, op=req.op,
+            partial=result.partial,
+            unreachable_subtrees=result.skipped_subtrees,
+            elapsed_s=elapsed,
+            count=int(result.ids.size),
+        )
+        if req.op != "count":
+            resp.ids = sorted(int(x) for x in result.ids)
+        return resp
+
+    def _run_search(self, query: Rect, deadline: Deadline) -> SearchResult:
+        with self._search_lock:
+            return self.searcher.search_detailed(
+                query,
+                check=deadline.check,
+                quarantined=self.quarantine,
+                degraded=self.degraded,
+                on_page_error=self._note_page_error,
+            )
+
+    def _query_rect(self, req: Request) -> Rect:
+        if req.op == "point":
+            point = req.point
+            if (not isinstance(point, (list, tuple)) or not point):
+                raise BadRequest(
+                    f"op 'point' needs a point [x, y, ...], got {point!r}")
+            try:
+                return Rect.from_point(tuple(float(x) for x in point))
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(f"malformed point {point!r}: {exc}") \
+                    from None
+        if req.rect is None:
+            raise BadRequest(f"op {req.op!r} needs a rect [[lo...], [hi...]]")
+        return rect_from_wire(req.rect)
+
+    def _note_page_error(self, page_id: int, exc: Exception) -> None:
+        self.degraded_reads += 1
+        obs.inc("serve.degraded_pages", fault=type(exc).__name__)
+        if (isinstance(exc, _QUARANTINABLE)
+                and page_id not in self.quarantine):
+            self.quarantine.add(page_id)
+            self.quarantined_runtime += 1
+            obs.inc("serve.quarantined_pages")
+
+    def _error_response(self, req: Request, code: str,
+                        message: str) -> Response:
+        self.error_counts[code] += 1
+        obs.inc("serve.errors", code=code)
+        return Response(id=req.id, ok=False, op=req.op,
+                        error=code, message=message)
+
+    # -- socket layer ------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1",
+                    port: int = 0) -> tuple:
+        """Bind and start accepting clients; returns ``(host, port)``."""
+        self._server = await asyncio.start_server(
+            self._serve_client, host, port
+        )
+        self.address = self._server.sockets[0].getsockname()[:2]
+        return self.address
+
+    async def serve_forever(self) -> None:
+        """Block serving clients until cancelled (used by the CLI)."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def _serve_client(self, reader: asyncio.StreamReader,
+                            writer: asyncio.StreamWriter) -> None:
+        self.session_count += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    req = decode_request(line)
+                except BadRequest as exc:
+                    resp = self._error_response(
+                        Request(op="", id=getattr(exc, "request_id", 0)),
+                        exc.code, str(exc))
+                    resp.op = None  # unknown; omitted on the wire
+                else:
+                    resp = await self.handle_request(req)
+                writer.write(encode_response(resp))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self.session_count -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass
+
+    async def aclose(self) -> None:
+        """Stop accepting clients and release the search pool."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self._executor.shutdown(wait=True)
+
+    async def __aenter__(self) -> "QueryServer":
+        if self._server is None:
+            await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -1,6 +1,8 @@
 """Storage substrate: pages, page stores, buffer pool, I/O accounting,
-and the opt-in durability layer (checksums, journal, fault injection)."""
+and the opt-in durability layer (checksums, journal, fault injection,
+retry with jitter, circuit breaker)."""
 
+from .breaker import CircuitBreaker
 from .buffer import BufferPool, ClockPolicy, FIFOPolicy, LRUPolicy, make_policy
 from .counters import IOStats
 from .faults import (
@@ -20,6 +22,7 @@ from .store import (
     PageStore,
     SimulatedCrash,
     StoreError,
+    StoreUnavailable,
 )
 from .striped import StripedPageStore
 
@@ -39,7 +42,9 @@ __all__ = [
     "FilePageStore",
     "StripedPageStore",
     "StoreError",
+    "StoreUnavailable",
     "SimulatedCrash",
+    "CircuitBreaker",
     "IntegrityError",
     "ChecksumError",
     "SuperblockError",

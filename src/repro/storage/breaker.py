@@ -1,0 +1,150 @@
+"""Per-store circuit breaker: fail fast once a store is demonstrably sick.
+
+A :class:`CircuitBreaker` watches the success/failure stream of a
+:class:`~repro.storage.store.PageStore`'s reads and writes (the store calls
+:meth:`record_success` / :meth:`record_failure` around every operation when
+one is attached).  The state machine is the classic three-state design:
+
+* **closed** — normal operation; ``failure_threshold`` *consecutive*
+  failures trip the breaker.
+* **open** — :meth:`allow` answers ``False``, so the store raises
+  :class:`~repro.storage.store.StoreUnavailable` *before* touching the disk
+  or burning retry budget.  The serving layer treats that fast failure as
+  an unreachable subtree and answers degraded (``partial=true``) instead of
+  hanging on a sick device.
+* **half-open** — after ``reset_timeout_s`` the breaker lets probe
+  operations through; ``half_open_successes`` consecutive probe successes
+  close it, any probe failure re-opens it (and restarts the timer).
+
+The clock is injectable so tests drive the timeout deterministically, and
+all transitions are lock-protected — the serving layer records from
+executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from ..obs import runtime as obs
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with an injectable clock."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(self, *, failure_threshold: int = 5,
+                 reset_timeout_s: float = 1.0,
+                 half_open_successes: int = 2,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if reset_timeout_s <= 0:
+            raise ValueError(
+                f"reset_timeout_s must be > 0, got {reset_timeout_s}"
+            )
+        if half_open_successes < 1:
+            raise ValueError(
+                f"half_open_successes must be >= 1, got {half_open_successes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout_s = reset_timeout_s
+        self.half_open_successes = half_open_successes
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._probe_successes = 0
+        self._opened_at = 0.0
+        self.trips = 0
+        self.fast_fails = 0
+        self.failures_total = 0
+        self.successes_total = 0
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state, advancing ``open`` -> ``half_open`` on timeout."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def allow(self) -> bool:
+        """May an operation be attempted right now?
+
+        ``False`` only while open (inside the reset timeout); the caller is
+        expected to fail fast without touching the device.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state is not self.OPEN:
+                return True
+            self.fast_fails += 1
+            return False
+
+    # -- event stream -------------------------------------------------------
+
+    def record_success(self) -> None:
+        """An attempted operation completed."""
+        with self._lock:
+            self._maybe_half_open()
+            self.successes_total += 1
+            self._consecutive_failures = 0
+            if self._state == self.HALF_OPEN:
+                self._probe_successes += 1
+                if self._probe_successes >= self.half_open_successes:
+                    self._state = self.CLOSED
+                    obs.inc("storage.breaker.closes")
+
+    def record_failure(self) -> None:
+        """An attempted operation raised."""
+        with self._lock:
+            self._maybe_half_open()
+            self.failures_total += 1
+            self._consecutive_failures += 1
+            if self._state == self.HALF_OPEN:
+                self._trip()
+            elif (self._state == self.CLOSED
+                    and self._consecutive_failures >= self.failure_threshold):
+                self._trip()
+
+    # -- internals ----------------------------------------------------------
+
+    def _maybe_half_open(self) -> None:
+        if (self._state == self.OPEN
+                and self.clock() - self._opened_at >= self.reset_timeout_s):
+            self._state = self.HALF_OPEN
+            self._probe_successes = 0
+
+    def _trip(self) -> None:
+        self._state = self.OPEN
+        self._opened_at = self.clock()
+        self._probe_successes = 0
+        self.trips += 1
+        obs.inc("storage.breaker.trips")
+
+    def snapshot(self) -> dict:
+        """JSON-able state for health endpoints and run manifests."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "trips": self.trips,
+                "fast_fails": self.fast_fails,
+                "failures_total": self.failures_total,
+                "successes_total": self.successes_total,
+            }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state!r}, trips={self.trips}, "
+                f"threshold={self.failure_threshold})")

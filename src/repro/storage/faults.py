@@ -18,7 +18,8 @@ Three cooperating pieces:
   :meth:`~repro.storage.store.PageStore.read_page` /
   :meth:`~repro.storage.store.PageStore.write_page` on any store.  Retries
   never touch the I/O counters (the paper's access counts stay
-  bit-identical); they surface as the ``storage.retries`` metric.
+  bit-identical); they surface as per-fault-type
+  ``storage.retries{fault=...}`` counters.
 
 Everything is deterministic given the plan's seed and the operation
 sequence, so a failing fault-injection run reproduces exactly.
@@ -66,17 +67,31 @@ class RetryPolicy:
     ``attempts`` counts total tries (1 = no retry).  The delay starts at
     ``backoff_s`` and multiplies by ``multiplier`` per retry, capped at
     ``max_backoff_s``; tests inject ``sleep`` to keep wall-clock at zero.
+
+    ``jitter=True`` applies *full jitter*: each sleep draws uniformly from
+    ``[0, nominal_delay]`` so a fleet of clients retrying the same sick
+    store does not stampede it in lockstep.  The draw comes from a private
+    ``Random(seed)``, so a seeded policy's delay schedule is deterministic
+    and a failing run reproduces exactly.
+
+    ``on_retry`` (see :meth:`run`) receives the exception that triggered
+    the retry, letting callers keep per-fault-type counters.
     """
 
     attempts: int = 4
     backoff_s: float = 0.0
     multiplier: float = 2.0
     max_backoff_s: float = 0.1
+    jitter: bool = False
+    seed: int = 0
     retryable: tuple = (TransientIOError,)
     sleep: Callable[[float], None] = field(default=time.sleep, repr=False)
 
+    def __post_init__(self) -> None:
+        self._rng = Random(self.seed)
+
     def run(self, fn: Callable[[], object],
-            on_retry: Callable[[], None] | None = None):
+            on_retry: Callable[[BaseException], None] | None = None):
         """Call ``fn`` until it succeeds or the attempt budget is spent."""
         if self.attempts < 1:
             raise StoreError(f"retry attempts must be >= 1, got "
@@ -85,13 +100,14 @@ class RetryPolicy:
         for attempt in range(self.attempts):
             try:
                 return fn()
-            except self.retryable:
+            except self.retryable as exc:
                 if attempt == self.attempts - 1:
                     raise
                 if on_retry is not None:
-                    on_retry()
+                    on_retry(exc)
                 if delay > 0:
-                    self.sleep(delay)
+                    self.sleep(self._rng.uniform(0.0, delay)
+                               if self.jitter else delay)
                 delay = min(delay * self.multiplier if delay > 0
                             else self.backoff_s, self.max_backoff_s)
         raise AssertionError("unreachable")  # pragma: no cover
@@ -226,10 +242,10 @@ class FaultInjectingPageStore(PageStore):
 
     def __init__(self, inner: PageStore, plan: FaultPlan, *,
                  retry: RetryPolicy | None = None,
-                 stats: IOStats | None = None):
+                 stats: IOStats | None = None, breaker=None):
         super().__init__(inner.page_size,
                          stats if stats is not None else inner.stats,
-                         retry=retry)
+                         retry=retry, breaker=breaker)
         self.inner = inner
         self.plan = plan
 
@@ -240,6 +256,26 @@ class FaultInjectingPageStore(PageStore):
     @property
     def page_count(self) -> int:
         return self.inner.page_count
+
+    # The wrapper is transparent to tree plumbing: a durable inner store's
+    # superblock metadata (and path, for error messages) shines through so
+    # ``PagedRTree.from_store`` and ``bulk_load`` work on a faulty store.
+
+    @property
+    def path(self):
+        return getattr(self.inner, "path", None)
+
+    @property
+    def supports_tree_meta(self) -> bool:
+        return getattr(self.inner, "supports_tree_meta", False)
+
+    @property
+    def tree_meta(self):
+        return getattr(self.inner, "tree_meta", None)
+
+    def set_tree_meta(self, meta: dict) -> None:
+        """Commit tree metadata through to the inner (durable) store."""
+        self.inner.set_tree_meta(meta)
 
     def allocate(self) -> int:
         return self.inner.allocate()

@@ -61,6 +61,7 @@ from .journal import WriteJournal, journal_path
 
 __all__ = [
     "StoreError",
+    "StoreUnavailable",
     "SimulatedCrash",
     "PageStore",
     "MemoryPageStore",
@@ -70,6 +71,15 @@ __all__ = [
 
 class StoreError(RuntimeError):
     """Raised for unknown pages, size mismatches, or closed stores."""
+
+
+class StoreUnavailable(StoreError):
+    """The store's circuit breaker is open: the operation was refused
+    *before* touching the device (see :mod:`repro.storage.breaker`).
+
+    Serving layers treat this as a degradable condition — skip the page,
+    flag the response partial — rather than a corrupt result.
+    """
 
 
 class SimulatedCrash(StoreError):
@@ -95,17 +105,25 @@ class PageStore(abc.ABC):
     ``retry`` (a :class:`~repro.storage.faults.RetryPolicy`) makes
     :meth:`read_page` / :meth:`write_page` retry transient faults with
     bounded backoff.  Retries never touch the I/O counters — the paper's
-    access counts stay bit-identical — and surface through the
-    ``storage.retries`` metric plus the :attr:`retry_count` attribute.
+    access counts stay bit-identical — and surface through the per-fault
+    ``storage.retries{fault=...}`` counters plus the :attr:`retry_count`
+    attribute.
+
+    ``breaker`` (a :class:`~repro.storage.breaker.CircuitBreaker`) watches
+    every attempted read/write: once it trips, operations raise
+    :class:`StoreUnavailable` *before* any I/O (and before any counter
+    moves), so a sick device fails fast instead of hanging callers in
+    retry loops.  With no breaker attached behaviour is unchanged.
     """
 
     def __init__(self, page_size: int, stats: IOStats | None = None, *,
-                 retry=None):
+                 retry=None, breaker=None):
         if page_size < 32:
             raise StoreError(f"page_size {page_size} is implausibly small")
         self.page_size = page_size
         self.stats = stats if stats is not None else IOStats()
         self.retry = retry
+        self.breaker = breaker
         self.retry_count = 0
 
     @abc.abstractmethod
@@ -139,11 +157,14 @@ class PageStore(abc.ABC):
         separate from build-time I/O.
         """
         self._check_id(page_id)
+        self._check_breaker(page_id, "read")
         (stats if stats is not None else self.stats).disk_reads += 1
-        if self.retry is None:
-            return self._read(page_id)
-        return self.retry.run(lambda: self._read(page_id),
-                              on_retry=self._note_retry)
+        return self._attempt(
+            lambda: self._read(page_id)
+            if self.retry is None
+            else self.retry.run(lambda: self._read(page_id),
+                                on_retry=self._note_retry)
+        )
 
     def peek_page(self, page_id: int) -> bytes:
         """Fetch one page *without* counting (validation, stats, plots)."""
@@ -158,16 +179,36 @@ class PageStore(abc.ABC):
                 f"page {page_id}: got {len(data)} bytes, "
                 f"page size is {self.page_size}"
             )
+        self._check_breaker(page_id, "write")
         self.stats.disk_writes += 1
-        if self.retry is None:
-            self._write(page_id, data)
-            return
-        self.retry.run(lambda: self._write(page_id, data),
-                       on_retry=self._note_retry)
+        self._attempt(
+            lambda: self._write(page_id, data)
+            if self.retry is None
+            else self.retry.run(lambda: self._write(page_id, data),
+                                on_retry=self._note_retry)
+        )
 
-    def _note_retry(self) -> None:
+    def _check_breaker(self, page_id: int, op: str) -> None:
+        if self.breaker is not None and not self.breaker.allow():
+            raise StoreUnavailable(
+                f"page {page_id}: {op} refused, circuit breaker is open"
+            )
+
+    def _attempt(self, op):
+        """Run one (possibly retried) operation, feeding the breaker."""
+        if self.breaker is None:
+            return op()
+        try:
+            result = op()
+        except Exception:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
+
+    def _note_retry(self, exc: BaseException) -> None:
         self.retry_count += 1
-        obs.inc("storage.retries")
+        obs.inc("storage.retries", fault=type(exc).__name__)
 
     # -- raw access (fault injection, fsck) ----------------------------------
 
@@ -209,8 +250,8 @@ class MemoryPageStore(PageStore):
     """In-memory page store (the default experiment backend)."""
 
     def __init__(self, page_size: int, stats: IOStats | None = None, *,
-                 retry=None):
-        super().__init__(page_size, stats, retry=retry)
+                 retry=None, breaker=None):
+        super().__init__(page_size, stats, retry=retry, breaker=breaker)
         self._pages: list[bytes | None] = []
 
     def allocate(self) -> int:
@@ -269,8 +310,9 @@ class FilePageStore(PageStore):
     def __init__(self, path: str | os.PathLike, page_size: int,
                  stats: IOStats | None = None, *,
                  checksums: bool = False, journal: bool = False,
-                 sync: bool = False, retry=None, crash_plan=None):
-        super().__init__(page_size, stats, retry=retry)
+                 sync: bool = False, retry=None, breaker=None,
+                 crash_plan=None):
+        super().__init__(page_size, stats, retry=retry, breaker=breaker)
         self._path = os.fspath(path)
         self.checksums = checksums
         self._journal_requested = journal
@@ -391,7 +433,8 @@ class FilePageStore(PageStore):
     @classmethod
     def open_existing(cls, path: str | os.PathLike,
                       stats: IOStats | None = None, *,
-                      sync: bool = False, retry=None) -> "FilePageStore":
+                      sync: bool = False, retry=None,
+                      breaker=None) -> "FilePageStore":
         """Open a durable store using only its superblock (self-describing:
         page size and durability flags come from the file itself)."""
         path = os.fspath(path)
@@ -400,7 +443,7 @@ class FilePageStore(PageStore):
             path, sb.page_size, stats,
             checksums=bool(sb.flags & FLAG_CHECKSUMS),
             journal=bool(sb.flags & FLAG_JOURNAL),
-            sync=sync, retry=retry,
+            sync=sync, retry=retry, breaker=breaker,
         )
 
     # -- properties -----------------------------------------------------------

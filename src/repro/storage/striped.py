@@ -32,13 +32,15 @@ class StripedPageStore(PageStore):
     """
 
     def __init__(self, disks: Sequence[PageStore],
-                 stats: IOStats | None = None):
+                 stats: IOStats | None = None, *,
+                 retry=None, breaker=None):
         if not disks:
             raise StoreError("need at least one backing store")
         sizes = {d.page_size for d in disks}
         if len(sizes) != 1:
             raise StoreError(f"page-size mismatch across disks: {sizes}")
-        super().__init__(disks[0].page_size, stats)
+        super().__init__(disks[0].page_size, stats, retry=retry,
+                         breaker=breaker)
         self._disks = list(disks)
         counts = {d.page_count for d in self._disks}
         if counts not in ({0}, set()):

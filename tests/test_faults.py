@@ -60,10 +60,10 @@ class TestRetryPolicy:
 
         calls = []
         with pytest.raises(ValueError):
-            _no_sleep_retry().run(boom, on_retry=lambda: calls.append(1))
+            _no_sleep_retry().run(boom, on_retry=calls.append)
         assert calls == []  # no retry was attempted
 
-    def test_on_retry_called_per_retry_not_per_attempt(self):
+    def test_on_retry_called_per_retry_with_the_fault(self):
         calls = []
 
         def flaky():
@@ -71,8 +71,9 @@ class TestRetryPolicy:
                 raise TransientIOError("glitch")
             return 1
 
-        _no_sleep_retry().run(flaky, on_retry=lambda: calls.append(1))
+        _no_sleep_retry().run(flaky, on_retry=calls.append)
         assert len(calls) == 2
+        assert all(isinstance(exc, TransientIOError) for exc in calls)
 
     def test_backoff_capped(self):
         delays = []
@@ -253,8 +254,31 @@ class TestFaultsDoNotMoveTheMetric:
             store = FaultInjectingPageStore(MemoryPageStore(PAGE * 4), plan,
                                             retry=_no_sleep_retry())
             bulk_load(rects, SortTileRecursive(), capacity=50, store=store)
-        assert registry.counter("storage.retries").value == store.retry_count
+        retried = registry.counter("storage.retries",
+                                   fault="TransientIOError").value
+        assert retried == store.retry_count
         assert store.retry_count > 0
+
+    def test_jittered_backoff_is_seeded_and_bounded(self):
+        def delays_for(seed):
+            delays = []
+            policy = RetryPolicy(attempts=6, backoff_s=0.01, multiplier=2.0,
+                                 jitter=True, seed=seed,
+                                 sleep=delays.append)
+
+            def always():
+                raise TransientIOError("x")
+
+            with pytest.raises(TransientIOError):
+                policy.run(always)
+            return delays
+
+        first, again, other = delays_for(42), delays_for(42), delays_for(43)
+        assert first == again  # same seed -> identical schedule
+        assert first != other
+        # Full jitter: each delay drawn from [0, exponential backoff].
+        caps = [0.01 * 2.0 ** i for i in range(len(first))]
+        assert all(0.0 <= d <= cap for d, cap in zip(first, caps))
 
 
 class TestFlipBit:

@@ -1,0 +1,88 @@
+"""Rolling latency windows and SLO targets (``repro.obs.slo``)."""
+
+import math
+
+import pytest
+
+from repro.obs import Histogram, RollingWindow, SloTarget, percentile
+
+
+class TestPercentileFunction:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_interpolates(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 50.0) == pytest.approx(5.0)
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 100.0) == 10.0
+
+    def test_matches_histogram(self):
+        hist = Histogram("x", {})
+        for v in (3.0, 1.0, 2.0, 4.0):
+            hist.observe(v)
+        assert hist.percentile(50.0) == percentile([1.0, 2.0, 3.0, 4.0], 50.0)
+
+
+class TestRollingWindow:
+    def test_keeps_only_the_most_recent(self):
+        window = RollingWindow(maxlen=3)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            window.observe(v)
+        assert window.values() == [2.0, 3.0, 4.0]
+        assert len(window) == 3
+        assert window.total_observed == 4
+
+    def test_percentile_tracks_the_window_not_history(self):
+        window = RollingWindow(maxlen=2)
+        window.observe(100.0)  # will be evicted
+        window.observe(1.0)
+        window.observe(3.0)
+        assert window.percentile(50.0) == pytest.approx(2.0)
+
+    def test_summary_shape(self):
+        window = RollingWindow(maxlen=8)
+        assert window.summary() == {"total_observed": 0, "window": 0}
+        for v in range(1, 6):
+            window.observe(float(v))
+        summary = window.summary()
+        assert summary["window"] == 5
+        assert summary["p50"] == pytest.approx(3.0)
+        assert summary["max"] == 5.0
+
+    def test_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            RollingWindow(maxlen=0)
+
+
+class TestSloTarget:
+    def test_empty_samples_vacuously_ok(self):
+        report = SloTarget(p50_s=0.001, p99_s=0.01).evaluate([])
+        assert report.ok
+        assert report.count == 0
+        assert math.isnan(report.p50)
+
+    def test_violations_named(self):
+        report = SloTarget(p50_s=0.5, p99_s=0.5).evaluate([1.0, 1.0, 1.0])
+        assert not report.ok
+        assert len(report.violations) == 2
+        assert any("p99" in v for v in report.violations)
+
+    def test_unset_thresholds_never_violate(self):
+        assert SloTarget().evaluate([100.0]).ok
+
+    def test_accepts_window_and_histogram_sources(self):
+        window = RollingWindow()
+        hist = Histogram("query.latency_s", {})
+        for v in (0.001, 0.002, 0.003):
+            window.observe(v)
+            hist.observe(v)
+        target = SloTarget(p99_s=1.0)
+        assert target.evaluate(window).p50 == target.evaluate(hist).p50
+        assert target.evaluate(window).ok
+
+    def test_as_dict_is_jsonable(self):
+        report = SloTarget(p99_s=0.5).evaluate([1.0])
+        d = report.as_dict()
+        assert d["ok"] is False
+        assert isinstance(d["violations"], list)

@@ -1,0 +1,160 @@
+"""Admission control: bounded in-flight work, FIFO slot handoff, and
+typed ``Overloaded`` shedding — unit level and through a live server."""
+
+import asyncio
+
+import pytest
+
+from repro import RectArray, SortTileRecursive, bulk_load
+from repro.serve import AdmissionController, Overloaded, QueryClient, QueryServer
+from repro.storage import MemoryPageStore
+
+
+def run(coro):
+    """Drive one async test scenario to completion."""
+    return asyncio.run(coro)
+
+
+class TestAdmissionController:
+    def test_admits_up_to_max_inflight(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=2, max_queue=4)
+            await ctl.acquire()
+            await ctl.acquire()
+            assert ctl.inflight == 2 and ctl.queued == 0
+
+        run(scenario())
+
+    def test_queues_then_sheds_with_overloaded(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queue=1)
+            await ctl.acquire()
+            waiter = asyncio.ensure_future(ctl.acquire())
+            await asyncio.sleep(0)  # let the waiter enqueue
+            assert ctl.queued == 1
+            with pytest.raises(Overloaded, match="queue limit 1"):
+                await ctl.acquire()
+            assert ctl.shed_total == 1
+            ctl.release()  # hands the slot to the waiter
+            await waiter
+            assert ctl.inflight == 1 and ctl.queued == 0
+
+        run(scenario())
+
+    def test_handoff_is_fifo(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queue=4)
+            await ctl.acquire()
+            order = []
+
+            async def wait(tag):
+                await ctl.acquire()
+                order.append(tag)
+
+            tasks = [asyncio.ensure_future(wait(i)) for i in range(3)]
+            await asyncio.sleep(0)
+            for _ in range(3):
+                ctl.release()
+                await asyncio.sleep(0)
+            await asyncio.gather(*tasks)
+            assert order == [0, 1, 2]
+
+        run(scenario())
+
+    def test_cancelled_waiter_leaves_the_queue(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queue=2)
+            await ctl.acquire()
+            waiter = asyncio.ensure_future(ctl.acquire())
+            await asyncio.sleep(0)
+            waiter.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiter
+            assert ctl.queued == 0
+            ctl.release()
+            assert ctl.inflight == 0  # slot returned, not leaked
+
+        run(scenario())
+
+    def test_unmatched_release_raises(self):
+        ctl = AdmissionController()
+        with pytest.raises(RuntimeError):
+            ctl.release()
+
+    def test_rejects_bad_limits(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+    def test_snapshot_counts(self):
+        async def scenario():
+            ctl = AdmissionController(max_inflight=1, max_queue=0)
+            await ctl.acquire()
+            with pytest.raises(Overloaded):
+                await ctl.acquire()
+            snap = ctl.snapshot()
+            assert snap["admitted_total"] == 1
+            assert snap["shed_total"] == 1
+            assert snap["max_queue"] == 0
+
+        run(scenario())
+
+
+class TestServerSheddingEndToEnd:
+    """A saturated server sheds with the typed wire error, then recovers."""
+
+    def test_overload_sheds_and_drains(self, rng):
+        rects = RectArray.from_points(rng.random((3_000, 2)))
+        tree, _ = bulk_load(rects, SortTileRecursive(), capacity=25,
+                            store=MemoryPageStore(4096))
+
+        # A search gate so requests genuinely pile up: the first query
+        # blocks inside the executor until the test opens the gate.
+        import threading
+        gate = threading.Event()
+
+        async def scenario():
+            server = QueryServer(tree, buffer_pages=64, max_inflight=1,
+                                 max_queue=1, default_deadline_s=30.0)
+            original = server._run_search
+            first = threading.Event()
+
+            def gated(query, deadline):
+                first.set()
+                gate.wait(timeout=10.0)
+                return original(query, deadline)
+
+            server._run_search = gated
+            host, port = await server.start()
+            clients = [await QueryClient.connect(host, port)
+                       for _ in range(4)]
+            try:
+                wire = [[0.0, 0.0], [1.0, 1.0]]
+                tasks = [asyncio.ensure_future(c.search(wire))
+                         for c in clients]
+                # 1 runs, 1 queues, the rest shed with a typed error.
+                await asyncio.get_running_loop().run_in_executor(
+                    None, first.wait, 10.0)
+                while server.admission.shed_total < 2:
+                    await asyncio.sleep(0.005)
+                gate.set()
+                responses = await asyncio.gather(*tasks)
+                outcomes = sorted(
+                    (r.error or "ok") for r in responses)
+                assert outcomes.count("ok") == 2
+                assert outcomes.count("Overloaded") == 2
+                assert server.admission.shed_total == 2
+
+                # After the burst drains, fresh queries are admitted.
+                again = await clients[0].search(wire)
+                assert again.ok
+                health = await clients[0].healthz()
+                assert health["admission"]["inflight"] == 0
+            finally:
+                gate.set()
+                for c in clients:
+                    await c.aclose()
+                await server.aclose()
+
+        run(scenario())

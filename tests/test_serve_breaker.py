@@ -1,0 +1,216 @@
+"""Circuit breaker: the three-state machine, store integration (fail fast
+with ``StoreUnavailable`` before counting), and breaker-driven degraded
+serving with recovery."""
+
+import asyncio
+
+import pytest
+
+from repro import RectArray, SortTileRecursive, bulk_load
+from repro.serve import QueryServer, Request
+from repro.storage import (
+    CircuitBreaker,
+    FaultInjectingPageStore,
+    FaultPlan,
+    MemoryPageStore,
+    StoreUnavailable,
+    TransientIOError,
+)
+
+PAGE = 4096
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestStateMachine:
+    def _breaker(self, clock, threshold=3):
+        return CircuitBreaker(failure_threshold=threshold,
+                              reset_timeout_s=1.0, half_open_successes=2,
+                              clock=clock)
+
+    def test_trips_on_consecutive_failures_only(self):
+        breaker = self._breaker(FakeClock())
+        for _ in range(2):
+            breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state == CircuitBreaker.CLOSED
+        breaker.record_failure()
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+
+    def test_open_refuses_then_half_opens_after_timeout(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.fast_fails == 1
+        clock.advance(1.0)
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        assert breaker.allow()  # probes may pass
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 2
+        assert not breaker.allow()  # timer restarted
+
+    def test_enough_probe_successes_close(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_snapshot_is_jsonable(self):
+        snap = self._breaker(FakeClock()).snapshot()
+        assert snap["state"] == "closed"
+        assert set(snap) >= {"trips", "fast_fails", "failures_total"}
+
+    def test_rejects_bad_parameters(self):
+        for kwargs in ({"failure_threshold": 0}, {"reset_timeout_s": 0.0},
+                       {"half_open_successes": 0}):
+            with pytest.raises(ValueError):
+                CircuitBreaker(**kwargs)
+
+
+class TestStoreIntegration:
+    def _faulty_store(self, clock, p_read=1.0, threshold=3):
+        breaker = CircuitBreaker(failure_threshold=threshold,
+                                 reset_timeout_s=1.0, clock=clock)
+        inner = MemoryPageStore(PAGE)
+        store = FaultInjectingPageStore(
+            inner, FaultPlan(seed=1, p_transient_read=p_read,
+                             max_transient_per_op=10_000),
+            breaker=breaker,
+        )
+        pid = store.allocate()
+        plan_p = store.plan.p_transient_read
+        store.plan.p_transient_read = 0.0  # write cleanly
+        store.write_page(pid, b"x" * PAGE)
+        store.plan.p_transient_read = plan_p
+        return store, breaker, pid
+
+    def test_sustained_failures_trip_and_fail_fast(self):
+        clock = FakeClock()
+        store, breaker, pid = self._faulty_store(clock)
+        for _ in range(3):
+            with pytest.raises(TransientIOError):
+                store.read_page(pid)
+        assert breaker.state == CircuitBreaker.OPEN
+        # While open the device is not even touched: the read fails fast
+        # with the typed unavailability error and counts nothing.
+        reads_before = store.stats.disk_reads
+        with pytest.raises(StoreUnavailable, match="circuit breaker"):
+            store.read_page(pid)
+        assert store.stats.disk_reads == reads_before
+        assert breaker.fast_fails == 1
+
+    def test_recovers_through_half_open_probes(self):
+        clock = FakeClock()
+        store, breaker, pid = self._faulty_store(clock)
+        for _ in range(3):
+            with pytest.raises(TransientIOError):
+                store.read_page(pid)
+        clock.advance(1.0)
+        store.plan.p_transient_read = 0.0  # the device healed
+        assert store.read_page(pid) == b"x" * PAGE  # probe 1
+        assert store.read_page(pid) == b"x" * PAGE  # probe 2 -> closed
+        assert breaker.state == CircuitBreaker.CLOSED
+
+    def test_successes_keep_breaker_closed(self):
+        clock = FakeClock()
+        store, breaker, pid = self._faulty_store(clock, p_read=0.0)
+        for _ in range(20):
+            store.read_page(pid)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.successes_total >= 20
+
+
+class TestServerDegradesWhileOpen:
+    """With the breaker open, the server keeps answering from cache:
+    responses are flagged partial (never silently wrong), readyz asks to
+    be drained, and recovery closes the loop."""
+
+    def test_degraded_reads_then_recovery(self, rng):
+        clock = FakeClock()
+        rects = RectArray.from_points(rng.random((3_000, 2)))
+        inner = MemoryPageStore(PAGE)
+        plan = FaultPlan(seed=0)
+        store = FaultInjectingPageStore(inner, plan)
+        tree, _ = bulk_load(rects, SortTileRecursive(), capacity=25,
+                            store=store)
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=1.0,
+                                 clock=clock)
+
+        async def scenario():
+            server = QueryServer(tree, buffer_pages=256, breaker=breaker,
+                                 clock=clock, default_deadline_s=1_000.0)
+            wire = [[0.0, 0.0], [1.0, 1.0]]
+
+            async def search(req_id):
+                return await server.handle_request(
+                    Request(op="search", id=req_id, rect=wire))
+
+            clean = await search(1)
+            assert clean.ok and not clean.partial
+            oracle = clean.ids
+
+            # The device goes dark: a cold root read fails per query (a
+            # failed parent hides its children), so three degraded-but-
+            # honest responses accumulate the failures that trip the
+            # breaker.
+            plan.p_transient_read = 1.0
+            plan.max_transient_per_op = 10_000
+            server.searcher.buffer.clear()
+            for req_id in (2, 3, 4):
+                degraded = await search(req_id)
+                assert degraded.ok and degraded.partial
+                assert degraded.unreachable_subtrees > 0
+                assert set(degraded.ids) <= set(oracle)  # never garbage
+            assert breaker.state == CircuitBreaker.OPEN
+
+            # While open, reads fail fast -> still partial, still honest.
+            fast = await search(5)
+            assert fast.ok and fast.partial
+            assert breaker.fast_fails > 0
+            ready = await server.handle_request(Request(op="readyz", id=6))
+            assert ready.data["ready"] is False
+            assert "breaker" in ready.data["reason"]
+
+            # The device heals; after the reset timeout, probes succeed,
+            # the breaker closes, and answers are exact again.
+            plan.p_transient_read = 0.0
+            clock.advance(1.0)
+            healed = await search(7)
+            assert healed.ok and not healed.partial
+            assert healed.ids == oracle
+            assert breaker.state == CircuitBreaker.CLOSED
+            ready = await server.handle_request(Request(op="readyz", id=8))
+            assert ready.data["ready"] is True
+            await server.aclose()
+
+        asyncio.run(scenario())

@@ -1,0 +1,165 @@
+"""Deadline propagation: fake-clock expiry, mid-walk cancellation, and the
+no-response-after-deadline guarantee at the server layer."""
+
+import asyncio
+
+import pytest
+
+from repro import RectArray, SortTileRecursive, bulk_load
+from repro.core.geometry import Rect
+from repro.serve import Deadline, DeadlineExceeded, QueryServer, Request
+from repro.storage import MemoryPageStore
+
+PAGE = 4096
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestDeadline:
+    def test_counts_down_on_the_injected_clock(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock)
+        assert deadline.remaining() == pytest.approx(1.0)
+        assert not deadline.expired()
+        clock.advance(0.999)
+        deadline.check()  # still fine
+        clock.advance(0.002)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded, match="request deadline"):
+            deadline.check()
+
+    def test_check_names_the_phase(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.5, clock)
+        clock.advance(1.0)
+        with pytest.raises(DeadlineExceeded, match="tree walk"):
+            deadline.check("tree walk")
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            Deadline.after(0.0)
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+
+def _build_tree(rng, n=3_000, capacity=25, store=None):
+    rects = RectArray.from_points(rng.random((n, 2)))
+    tree, _ = bulk_load(rects, SortTileRecursive(), capacity=capacity,
+                        store=store or MemoryPageStore(PAGE))
+    return tree
+
+
+class TestSearcherCancellation:
+    def test_expired_deadline_aborts_the_walk_mid_tree(self, rng):
+        tree = _build_tree(rng)
+        searcher = tree.searcher(64)
+        clock = FakeClock()
+        deadline = Deadline.after(0.5, clock)
+
+        visits = []
+
+        def check():
+            visits.append(1)
+            if len(visits) == 3:
+                clock.advance(1.0)  # the deadline passes mid-walk
+            deadline.check()
+
+        with pytest.raises(DeadlineExceeded):
+            searcher.search_detailed(Rect((0.0, 0.0), (1.0, 1.0)),
+                                     check=check)
+        # The walk stopped at the expiry point instead of finishing: a
+        # full scan of this tree visits far more than 3 nodes.
+        assert len(visits) == 3
+
+    def test_fresh_deadline_changes_nothing(self, rng):
+        tree = _build_tree(rng)
+        query = Rect((0.2, 0.2), (0.6, 0.6))
+        plain = tree.searcher(64).search(query)
+        deadline = Deadline.after(3600.0, FakeClock())
+        checked = tree.searcher(64).search_detailed(query,
+                                                    check=deadline.check)
+        assert sorted(plain) == sorted(checked.ids)
+        assert not checked.partial
+
+
+class SlowReadStore(MemoryPageStore):
+    """A store whose every read advances a fake clock (simulated latency)."""
+
+    def __init__(self, page_size, clock, read_cost_s):
+        super().__init__(page_size)
+        self.clock = clock
+        self.read_cost_s = read_cost_s
+
+    def _read(self, page_id):
+        """Serve the page after 'spending' simulated time on it."""
+        self.clock.advance(self.read_cost_s)
+        return super()._read(page_id)
+
+
+class TestServerNeverAnswersLate:
+    """Acceptance: with a fake clock, no success response lands after its
+    deadline — even when the walk itself beats the expiry."""
+
+    def test_slow_store_yields_deadline_exceeded_not_results(self, rng):
+        clock = FakeClock()
+        store = SlowReadStore(PAGE, clock, read_cost_s=0.05)
+        tree = _build_tree(rng, store=store)
+
+        async def scenario():
+            server = QueryServer(tree, buffer_pages=8, clock=clock,
+                                 default_deadline_s=1.0)
+            # Each page read costs 0.05 simulated seconds, so a broad
+            # query burns through a 0.2 s budget mid-walk.
+            tight = await server.handle_request(Request(
+                op="search", id=1, rect=[[0.0, 0.0], [1.0, 1.0]],
+                deadline_s=0.2))
+            assert tight.ok is False
+            assert tight.error == "DeadlineExceeded"
+            assert tight.ids is None  # no partial answer smuggled out
+
+            # The same query with a generous budget succeeds...
+            roomy = await server.handle_request(Request(
+                op="search", id=2, rect=[[0.0, 0.0], [1.0, 1.0]],
+                deadline_s=10_000.0))
+            assert roomy.ok and not roomy.partial
+            # ...and its response respected its own deadline.
+            assert roomy.elapsed_s < 10_000.0
+            await server.aclose()
+
+        asyncio.run(scenario())
+
+    def test_completed_walk_past_deadline_is_still_an_error(self, rng):
+        clock = FakeClock()
+        tree = _build_tree(rng)
+
+        async def scenario():
+            server = QueryServer(tree, buffer_pages=64, clock=clock)
+            # Sabotage: the walk completes but the clock has already
+            # passed the deadline when the result surfaces.
+            original = server._run_search
+
+            def late(query, deadline):
+                result = original(query, deadline)
+                clock.advance(5.0)
+                return result
+
+            server._run_search = late
+            resp = await server.handle_request(Request(
+                op="search", id=1, rect=[[0.4, 0.4], [0.5, 0.5]],
+                deadline_s=1.0))
+            assert resp.ok is False
+            assert resp.error == "DeadlineExceeded"
+            await server.aclose()
+
+        asyncio.run(scenario())

@@ -1,0 +1,179 @@
+"""Striped store under faults and concurrent readers.
+
+Two gaps this file closes (the parallel experiments always ran the
+striped store clean and single-threaded): a single faulty disk must
+behave like any faulty store — transients retried *at the device* stay
+invisible to the stripe's accounting, a breaker on the stripe fails fast
+with the typed error — and concurrent readers must see consistent pages
+and exact per-disk accounting.
+"""
+
+import threading
+
+import pytest
+
+from repro import RectArray, SortTileRecursive, bulk_load
+from repro.queries import region_queries
+from repro.storage import (
+    CircuitBreaker,
+    FaultInjectingPageStore,
+    FaultPlan,
+    MemoryPageStore,
+    RetryPolicy,
+    StoreUnavailable,
+    StripedPageStore,
+    TransientIOError,
+)
+
+PAGE = 4096
+DISKS = 4
+
+
+def _no_sleep_retry(attempts=4):
+    return RetryPolicy(attempts=attempts, backoff_s=0.01, jitter=True,
+                       seed=9, sleep=lambda s: None)
+
+
+def _striped_with_one_faulty_disk(plan, *, retry=None, breaker=None):
+    """A 4-disk stripe whose disk 1 (pages 1, 5, 9, ...) injects faults.
+
+    ``retry`` rides on the faulty *device* — retries are a per-disk
+    concern, so the stripe's global and per-disk access counts stay
+    bit-identical to a clean run.
+    """
+    disks = [MemoryPageStore(PAGE) for _ in range(DISKS - 1)]
+    faulty = FaultInjectingPageStore(MemoryPageStore(PAGE), plan,
+                                     retry=retry)
+    disks.insert(1, faulty)
+    return StripedPageStore(disks, breaker=breaker), faulty
+
+
+class TestFaultyDisk:
+    def test_transients_on_one_disk_retried_to_success(self):
+        plan = FaultPlan(seed=4, p_transient_read=0.5)
+        store, faulty = _striped_with_one_faulty_disk(
+            plan, retry=_no_sleep_retry())
+        for i in range(40):
+            pid = store.allocate()
+            store.write_page(pid, bytes([i]) * PAGE)
+        for i in range(40):
+            assert store.read_page(i) == bytes([i]) * PAGE
+        assert plan.injected["transient_read"] > 0
+        assert faulty.retry_count == plan.injected["transient_read"]
+
+    def test_retries_never_move_global_or_per_disk_counts(self):
+        plan = FaultPlan(seed=8, p_transient_read=0.6)
+        store, faulty = _striped_with_one_faulty_disk(
+            plan, retry=_no_sleep_retry())
+        for i in range(DISKS * 10):
+            pid = store.allocate()
+            store.write_page(pid, bytes([i]) * PAGE)
+        store.stats.reset()
+        store.reset_disk_stats()
+        for i in range(DISKS * 10):
+            store.read_page(i)
+        assert store.stats.disk_reads == DISKS * 10
+        # Round-robin: every disk saw exactly its share, retries invisible.
+        assert store.per_disk_reads() == [10] * DISKS
+        assert faulty.retry_count > 0
+
+    def test_unretried_transient_escapes_typed(self):
+        plan = FaultPlan(seed=0, p_transient_read=1.0)
+        store, _ = _striped_with_one_faulty_disk(plan)
+        for i in range(4):
+            pid = store.allocate()
+            store.write_page(pid, b"x" * PAGE)
+        store.read_page(0)  # healthy disk
+        with pytest.raises(TransientIOError):
+            store.read_page(1)  # the sick disk
+
+    def test_breaker_trips_on_the_stripe_and_fails_fast(self):
+        plan = FaultPlan(seed=0, p_transient_read=1.0,
+                         max_transient_per_op=10_000)
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout_s=60.0)
+        store, _ = _striped_with_one_faulty_disk(plan, breaker=breaker)
+        for i in range(4):
+            pid = store.allocate()
+            store.write_page(pid, b"x" * PAGE)
+        for _ in range(3):
+            with pytest.raises(TransientIOError):
+                store.read_page(1)
+        assert breaker.state == CircuitBreaker.OPEN
+        reads_before = store.stats.disk_reads
+        with pytest.raises(StoreUnavailable):
+            store.read_page(0)  # even healthy disks: the stripe is one store
+        assert store.stats.disk_reads == reads_before
+
+
+class TestConcurrentReaders:
+    def test_readers_see_consistent_pages_and_exact_counts(self):
+        store = StripedPageStore([MemoryPageStore(PAGE)
+                                  for _ in range(DISKS)])
+        n_pages = DISKS * 8
+        for i in range(n_pages):
+            pid = store.allocate()
+            store.write_page(pid, bytes([i]) * PAGE)
+        store.stats.reset()
+        store.reset_disk_stats()
+
+        n_threads, rounds = 8, 25
+        errors = []
+        barrier = threading.Barrier(n_threads)
+
+        def reader(seed):
+            barrier.wait()
+            for r in range(rounds):
+                pid = (seed * 7 + r * 3) % n_pages
+                data = store.read_page(pid)
+                if data != bytes([pid]) * PAGE:
+                    errors.append((seed, pid))
+
+        threads = [threading.Thread(target=reader, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"torn/mixed reads: {errors[:5]}"
+        assert store.stats.disk_reads == n_threads * rounds
+        # Per-disk counters partition the global count exactly.
+        assert sum(store.per_disk_reads()) == n_threads * rounds
+
+    def test_concurrent_searchers_with_faulty_disk_agree_with_oracle(self,
+                                                                     rng):
+        rects = RectArray.from_points(rng.random((2_000, 2)))
+        plan = FaultPlan(seed=2, p_transient_read=0.25)
+        # Concurrent readers interleave their draws from the plan's RNG,
+        # so the per-op consecutive-fault bound no longer guarantees any
+        # single op's retries see a success; a deep attempt budget makes
+        # an escape (0.25^12) practically impossible.
+        store, _ = _striped_with_one_faulty_disk(
+            plan, retry=_no_sleep_retry(attempts=12))
+        tree, _ = bulk_load(rects, SortTileRecursive(), capacity=25,
+                            store=store)
+        oracle_tree, _ = bulk_load(rects, SortTileRecursive(), capacity=25,
+                                   store=MemoryPageStore(PAGE))
+        oracle = oracle_tree.searcher(256)
+        queries = list(region_queries(0.08, 40, seed=6))
+        expected = [sorted(int(x) for x in oracle.search(q))
+                    for q in queries]
+
+        errors = []
+
+        def worker(offset):
+            # Each thread gets its own searcher (buffers are not shared),
+            # all over the same faulty striped store.
+            searcher = tree.searcher(32)
+            for i in range(offset, len(queries), 4):
+                got = sorted(int(x) for x in searcher.search(queries[i]))
+                if got != expected[i]:
+                    errors.append(i)
+
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, f"queries {errors[:5]} diverged from the oracle"
+        assert plan.injected["transient_read"] > 0
