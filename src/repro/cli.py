@@ -23,6 +23,16 @@ Any experiment can also emit telemetry without the breakdown table::
 
     python -m repro table5 --trace-out t5.trace.jsonl --metrics-out t5.json
 
+Build a durable tree across worker processes, survive a ``kill -9``::
+
+    python -m repro build tree.rt --size 1000000 --workers 8
+    python -m repro build tree.rt --size 1000000 --workers 8 --resume
+
+Check a file offline, then serve it with live generation reloads::
+
+    python -m repro fsck tree.rt
+    python -m repro serve tree.rt --allow-reload
+
 List everything available::
 
     python -m repro list
@@ -151,14 +161,16 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["list", "all",
                                                        "profile", "fsck",
-                                                       "serve"],
+                                                       "serve", "build"],
                         help="which table/figure to regenerate, "
                              "'profile <experiment>' for a telemetered run, "
-                             "'fsck <tree-file>' to check a page file, or "
-                             "'serve <tree-file>' to serve queries from it")
+                             "'fsck <tree-file>' to check a page file, "
+                             "'serve <tree-file>' to serve queries from it, "
+                             "or 'build <tree-file>' for a parallel, "
+                             "resumable bulk load into a durable file")
     parser.add_argument("target", nargs="?", default=None,
                         help="experiment to profile (with 'profile') or "
-                             "tree file (with 'fsck' / 'serve')")
+                             "tree file (with 'fsck' / 'serve' / 'build')")
     parser.add_argument("--meta", default=None, metavar="PATH",
                         help="fsck/serve: tree meta sidecar for plain "
                              "page files")
@@ -184,6 +196,36 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--deadline-s", type=float, default=1.0,
                         help="serve: default per-query deadline in seconds "
                              "(default 1.0)")
+    parser.add_argument("--allow-reload", action="store_true",
+                        help="serve: accept 'reload' admin requests that "
+                             "fsck-verify a new tree file and cut over to "
+                             "it with zero downtime")
+    parser.add_argument("--size", type=int, default=100_000,
+                        help="build: number of uniform points to load "
+                             "(default 100000; deterministic in --seed)")
+    parser.add_argument("--capacity", type=int, default=100,
+                        help="build: entries per node (default 100)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="build: worker processes; 0 runs shards "
+                             "inline (default 2)")
+    parser.add_argument("--staging", default=None, metavar="DIR",
+                        help="build: staging directory for shard runs and "
+                             "checkpoints (default: <tree-file>.staging)")
+    parser.add_argument("--resume", action="store_true",
+                        help="build: resume from an existing staging "
+                             "directory, re-running only shards without a "
+                             "verified checkpoint")
+    parser.add_argument("--keep-staging", action="store_true",
+                        help="build: keep the staging directory after a "
+                             "successful build (debugging/CI artifacts)")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="build: attempts per shard before the build "
+                             "fails with a typed PoisonShard (default 3)")
+    parser.add_argument("--worker-deadline-s", type=float, default=30.0,
+                        help="build: heartbeat staleness deadline before a "
+                             "worker is declared hung (default 30)")
+    parser.add_argument("--throttle-s", type=float, default=0.0,
+                        help=argparse.SUPPRESS)  # test hook: slow shards
     parser.add_argument("--quick", action="store_true",
                         help="small fast profile (same shapes, smaller cells)")
     parser.add_argument("--queries", type=int, default=None,
@@ -355,6 +397,7 @@ def _run_serve(args: argparse.Namespace,
         max_queue=args.max_queue,
         default_deadline_s=args.deadline_s,
         quarantine=quarantine,
+        allow_reload=args.allow_reload,
     )
 
     async def _serve() -> None:
@@ -369,6 +412,81 @@ def _run_serve(args: argparse.Namespace,
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    return 0
+
+
+def _run_build(args: argparse.Namespace, argv: list[str]) -> int:
+    """``repro build <tree-file>``: parallel, resumable bulk load.
+
+    Deterministic in ``--size``/``--seed``/``--capacity``: any worker
+    count (and any number of kill/resume cycles) produces the same
+    durable file as a serial ``bulk_load`` of the same input.  Exit
+    codes: 0 built, 2 a shard was poisoned (staging kept for resume).
+    """
+    from .datasets import uniform_points
+    from .pipeline import PoisonShard, parallel_bulk_load
+    from .storage.integrity import TRAILER_SIZE
+    from .storage.journal import journal_path
+    from .storage.page import required_page_size
+    from .storage.store import FilePageStore
+
+    start = time.time()
+    points = uniform_points(args.size, seed=args.seed)
+    page_size = required_page_size(args.capacity, points.ndim) + TRAILER_SIZE
+    staging = (args.staging if args.staging is not None
+               else f"{args.target}.staging")
+    # The output file is written only during final assembly; a leftover
+    # (possibly partial) file from an earlier run is dead weight.  Its
+    # journal sidecar goes with it — a stale journal must never be
+    # replayed into the fresh store.
+    for stale in (args.target, journal_path(args.target)):
+        if os.path.exists(stale):
+            os.remove(stale)
+    store = FilePageStore(args.target, page_size, checksums=True,
+                          journal=True)
+    try:
+        tree, report = parallel_bulk_load(
+            points,
+            capacity=args.capacity,
+            store=store,
+            staging_path=staging,
+            workers=args.workers,
+            resume=args.resume,
+            deadline_s=args.worker_deadline_s,
+            max_attempts=args.max_attempts,
+            throttle_s=args.throttle_s,
+            keep_staging=args.keep_staging,
+        )
+    except PoisonShard as exc:
+        print(f"build failed: {exc}", file=sys.stderr)
+        store.close()
+        return 2
+    print(f"built {args.target}: {args.size} records, "
+          f"height {tree.height}, {report.bulk.pages_written} pages "
+          f"written, {report.plan.shard_count} shards, "
+          f"workers={args.workers}"
+          + (f", resumed {len(report.resumed_shards)} shard(s)"
+             if report.resumed_shards else "")
+          + (f", retries {dict(report.retries)}" if report.retries else ""))
+    store.close()
+    if not args.no_manifest:
+        run_dir = (args.run_dir if args.run_dir is not None
+                   else obs.DEFAULT_RUN_DIR)
+        manifest = obs.RunManifest.collect(
+            "build", argv=argv, duration_s=time.time() - start,
+            registry=report.metrics,
+            extra={"build": {
+                "target": args.target,
+                "plan": report.plan.as_dict(),
+                "workers": args.workers,
+                "resumed_shards": list(report.resumed_shards),
+                "retries": dict(report.retries),
+                "height": report.bulk.height,
+                "pages_written": report.bulk.pages_written,
+            }},
+        )
+        path = obs.write_manifest(manifest, run_dir)
+        print(f"wrote {path}")
     return 0
 
 
@@ -389,6 +507,10 @@ def main(argv: list[str] | None = None) -> int:
         if args.target is None:
             parser.error("serve needs a tree file to serve")
         return _run_serve(args, parser)
+    if args.experiment == "build":
+        if args.target is None:
+            parser.error("build needs an output tree file")
+        return _run_build(args, raw_argv)
 
     profile_mode = args.experiment == "profile"
     if profile_mode:
@@ -400,7 +522,7 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.target]
     elif args.target is not None:
         parser.error("a second positional argument is only valid "
-                     "with 'profile', 'fsck' or 'serve'")
+                     "with 'profile', 'fsck', 'serve' or 'build'")
     else:
         names = (sorted(EXPERIMENTS) if args.experiment == "all"
                  else [args.experiment])

@@ -63,10 +63,23 @@ class ExternalRectSorter:
     how many records are held in memory at once; each sorted chunk is
     spilled as a binary run file, and :meth:`sorted_records` merges the
     runs with a heap.
+
+    Spills are **crash-clean**: every run is written to a pid-suffixed
+    temporary name, fsynced, and published with ``os.replace``, so a
+    killed sorter never leaves a torn run behind — only ignorable
+    ``*.tmp-*`` litter.  By default runs live in an ephemeral temporary
+    directory; passing ``staging`` pins them to a named, context-managed
+    directory (removed on clean exit *and* on exception, kept only by a
+    hard kill), and ``reuse_runs=True`` re-opens such a directory and
+    adopts its published runs instead of re-sorting them —
+    :attr:`resumed_records` tells the caller how many records are
+    already sorted so only the remainder needs re-feeding.
     """
 
     def __init__(self, ndim: int, *, chunk_size: int = 100_000,
-                 spill_dir: str | None = None):
+                 spill_dir: str | None = None,
+                 staging: str | os.PathLike | None = None,
+                 reuse_runs: bool = False):
         if ndim < 1:
             raise GeometryError("ndim must be >= 1")
         if chunk_size < 2:
@@ -74,13 +87,53 @@ class ExternalRectSorter:
         self.ndim = ndim
         self.chunk_size = chunk_size
         self._struct = _record_struct(ndim)
-        self._tmp = tempfile.TemporaryDirectory(
-            prefix="repro-extsort-", dir=spill_dir
-        )
         self._runs: list[str] = []
         self._buffer: list[tuple] = []
         self._count = 0
         self._spills = 0
+        self._resumed = 0
+        self._keep = False
+        if staging is not None:
+            if spill_dir is not None:
+                raise PackingError("pass spill_dir or staging, not both")
+            # Imported here so core.packing never loads repro.pipeline
+            # unless persistent spill staging is actually requested.
+            from ...pipeline.staging import StagingDir
+
+            self._tmp = None
+            self._staging = StagingDir(staging)
+            self._dir = self._staging.path
+            if reuse_runs:
+                self._adopt_runs()
+        elif reuse_runs:
+            raise PackingError("reuse_runs requires a staging directory")
+        else:
+            self._tmp = tempfile.TemporaryDirectory(
+                prefix="repro-extsort-", dir=spill_dir
+            )
+            self._staging = None
+            self._dir = self._tmp.name
+
+    def _adopt_runs(self) -> None:
+        """Adopt published runs from a previous (killed) sorter."""
+        self._staging.sweep_tmp()
+        for name in sorted(os.listdir(self._dir)):
+            if not (name.startswith("run-") and name.endswith(".bin")):
+                continue
+            path = os.path.join(self._dir, name)
+            size = os.path.getsize(path)
+            if size % self._struct.size:
+                # Published runs are atomic; a short file means the
+                # directory was damaged at rest, not torn by a crash.
+                raise PackingError(
+                    f"{path}: spill run is not a whole number of "
+                    f"records ({size} bytes)")
+            records = size // self._struct.size
+            self._runs.append(path)
+            self._count += records
+            self._resumed += records
+            self._spills += 1
+        obs.inc("extsort.records_resumed", self._resumed)
 
     # -- feeding -------------------------------------------------------------
 
@@ -105,6 +158,21 @@ class ExternalRectSorter:
         """Spilled runs so far (diagnostic; excludes the live buffer)."""
         return self._spills
 
+    @property
+    def resumed_records(self) -> int:
+        """Records adopted from pre-existing runs (``reuse_runs=True``).
+
+        These are already sorted on disk; a resuming caller feeds only
+        the remainder of its input.
+        """
+        return self._resumed
+
+    def keep(self) -> None:
+        """Preserve the staging directory when this sorter closes (only
+        meaningful with ``staging``; lets a caller hand the runs to a
+        later resume explicitly)."""
+        self._keep = True
+
     # -- spilling ------------------------------------------------------------
 
     def _spill(self) -> None:
@@ -113,11 +181,16 @@ class ExternalRectSorter:
         with obs.span("extsort.spill", run=self._spills,
                       count=len(self._buffer)):
             self._buffer.sort()
-            path = os.path.join(self._tmp.name,
-                                f"run-{self._spills:06d}.bin")
-            with open(path, "wb") as f:
+            path = os.path.join(self._dir, f"run-{self._spills:06d}.bin")
+            # Publish atomically: a crash mid-spill leaves a *.tmp-<pid>
+            # file that resume sweeps, never a torn run it would trust.
+            tmp = f"{path}.tmp-{os.getpid()}"
+            with open(tmp, "wb") as f:
                 for record in self._buffer:
                     f.write(self._struct.pack(*record))
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, path)
         obs.inc("extsort.records_spilled", len(self._buffer))
         self._runs.append(path)
         self._spills += 1
@@ -142,8 +215,11 @@ class ExternalRectSorter:
         yield from heapq.merge(*streams)
 
     def close(self) -> None:
-        """Delete all spill files."""
-        self._tmp.cleanup()
+        """Delete all spill files (unless :meth:`keep` was called)."""
+        if self._tmp is not None:
+            self._tmp.cleanup()
+        elif not self._keep:
+            self._staging.remove()
 
     def __enter__(self) -> "ExternalRectSorter":
         return self
@@ -273,33 +349,20 @@ def external_bulk_load(
     # Upper levels: reuse the in-memory machinery over the leaf MBRs.
     from ...core.packing.str_ import SortTileRecursive
     from ...rtree.paged import PagedRTree
-    from ...rtree.bulk import BulkLoadReport, _write_level
+    from ...rtree.bulk import BulkLoadReport, pack_upper_levels
     from ...storage.counters import IOStats
 
     level_rects = RectArray(np.array(leaf_mbrs_lo), np.array(leaf_mbrs_hi))
     level_ids = np.array(leaf_pages, dtype=np.int64)
-    algorithm = SortTileRecursive()
-    level = 1
-    if len(level_ids) == 1:
-        root_page = int(level_ids[0])
-        level = 0
-    else:
-        while True:
-            perm = algorithm.order(level_rects, capacity)
-            level_rects = level_rects.take(perm)
-            level_ids = level_ids[perm]
-            mbrs, page_ids = _write_level(
-                level_rects, level_ids, level, store, store.page_size,
-                capacity,
-            )
-            if len(page_ids) == 1:
-                root_page = int(page_ids[0])
-                break
-            level_rects, level_ids = mbrs, page_ids
-            level += 1
+    root_page, height = pack_upper_levels(
+        store, SortTileRecursive(), capacity, level_rects, level_ids,
+    )
 
-    tree = PagedRTree(store, root_page, height=level + 1, ndim=ndim,
+    tree = PagedRTree(store, root_page, height=height, ndim=ndim,
                       capacity=capacity, size=total)
+    # Durable destinations get the same atomic superblock commit as
+    # bulk_load, so externally-built files are self-describing too.
+    tree.commit_meta()
     report = BulkLoadReport(
         pages_written=store.stats.disk_writes,
         height=tree.height,

@@ -250,7 +250,10 @@ def fsck(path: str | os.PathLike, *, meta_path: str | os.PathLike | None = None,
         report.fatal = f"check aborted: {exc}"
     finally:
         try:
-            store.close()
+            # A check is read-only: flush (and its superblock commit)
+            # only when opening actually recovered journalled pages —
+            # otherwise the file's bytes stay untouched.
+            store.close(flush=store.recoveries > 0)
         except (StoreError, OSError):  # pragma: no cover
             pass
     return report

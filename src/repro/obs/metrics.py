@@ -307,3 +307,48 @@ class MetricsRegistry:
     def as_dict(self) -> dict:
         """Alias for :meth:`snapshot` (the manifest writer's spelling)."""
         return self.snapshot()
+
+    # -- cross-process transport ---------------------------------------------
+
+    def to_jsonable(self) -> list[dict]:
+        """Lossless JSON-able dump, unlike :meth:`snapshot` which
+        summarises histograms.
+
+        Used to ship a per-shard registry across a process boundary
+        (worker ``done`` records) so the orchestrator can :meth:`merge`
+        it with full fidelity — merged percentiles stay exact because
+        the raw histogram samples travel too.
+        """
+        out = []
+        for (name, _), metric in sorted(
+            self._metrics.items(), key=lambda kv: kv[0]
+        ):
+            entry: dict = {"name": name, "kind": metric.kind,
+                           "labels": dict(metric.labels)}
+            if metric.kind == "histogram":
+                entry["values"] = list(metric.values)
+            else:
+                entry["value"] = metric.snapshot_value()
+            out.append(entry)
+        return out
+
+    @classmethod
+    def from_jsonable(cls, dump: list[dict]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`to_jsonable` output."""
+        registry = cls()
+        for entry in dump:
+            try:
+                kind = _KINDS[entry["kind"]]
+                metric = registry._get(kind, entry["name"],
+                                       dict(entry["labels"]))
+                if kind is Histogram:
+                    metric.values.extend(float(v) for v in entry["values"])
+                elif kind is Counter:
+                    metric.value = int(entry["value"])
+                elif entry["value"] is not None:
+                    metric.value = entry["value"]
+            except (KeyError, TypeError, ValueError) as exc:
+                raise MetricsError(
+                    f"malformed metrics dump entry {entry!r}: {exc}"
+                ) from exc
+        return registry

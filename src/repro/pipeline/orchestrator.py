@@ -1,0 +1,563 @@
+"""Fault-tolerant sharded bulk load: supervise, checkpoint, assemble.
+
+:func:`parallel_bulk_load` is the multi-process twin of
+:func:`repro.rtree.bulk.bulk_load` with three extra guarantees:
+
+**Bit-identical output.**  Shards are the top-level STR slabs — a
+function of the data, never of the worker count — and workers replay the
+serial loader's per-slab recursion over the same staged float64 arrays.
+Assembly writes every shard's pages in slab order through the ordinary
+``store.allocate()`` sequence and reuses
+:func:`~repro.rtree.bulk.pack_upper_levels` for the internal levels, so
+a 7-worker build and a serial ``bulk_load`` produce the same bytes in
+the same page ids.
+
+**Crash tolerance.**  All intermediate state lives in a staging
+directory under CRC-verified, atomically-published files; the
+orchestrator appends one fsynced checkpoint record per shard *after*
+verifying the worker's output.  Kill anything — worker or orchestrator,
+any instant — and ``resume=True`` re-runs exactly the shards without a
+verified checkpoint.  Workers that die or stop heartbeating are retried
+up to ``max_attempts`` times; a shard that keeps failing raises a typed
+:class:`PoisonShard` (staging kept, ``poison.json`` written) rather
+than ever committing a partial tree.
+
+**Observability.**  Every worker ships its own
+:class:`~repro.obs.metrics.MetricsRegistry` home inside its done
+record; the orchestrator merges them (checkpointed shards included, so
+resumed builds keep the metrics of work done before the crash) and
+returns the merged registry in the :class:`PipelineReport` for the run
+manifest.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.geometry import GeometryError, RectArray
+from ..core.packing.str_ import SortTileRecursive
+from ..obs import runtime as obs
+from ..obs.metrics import MetricsRegistry
+from ..rtree.bulk import BulkLoadReport, pack_upper_levels
+from ..rtree.node import RTreeError
+from ..rtree.paged import PagedRTree
+from ..storage.counters import IOStats
+from ..storage.page import required_page_size
+from ..storage.store import MemoryPageStore, PageStore
+from .checkpoint import CHECKPOINT_NAME, CheckpointLog
+from .plan import (
+    BuildPlan,
+    ResumeMismatch,
+    input_fingerprint,
+    load_plan,
+    make_plan,
+    stage_input,
+    write_plan,
+)
+from .staging import (
+    StagingDir,
+    atomic_write_json,
+    check_record_crc,
+    file_crc32c,
+)
+from . import worker as shard_worker
+
+__all__ = [
+    "PipelineError",
+    "PoisonShard",
+    "PipelineReport",
+    "parallel_bulk_load",
+]
+
+
+class PipelineError(RTreeError):
+    """Raised for unusable pipeline configuration or corrupted staging."""
+
+
+class PoisonShard(PipelineError):
+    """A shard failed every allowed attempt.
+
+    The staging directory is kept (healthy shards' checkpoints survive)
+    and ``poison.json`` records the diagnosis; fixing the cause and
+    re-running with ``resume=True`` only re-executes the poisoned shard.
+    """
+
+    def __init__(self, shard: int, attempts: int, reason: str,
+                 staging_path: str):
+        super().__init__(
+            f"shard {shard} failed {attempts} attempt(s): {reason} "
+            f"(staging kept at {staging_path}; fix and resume)"
+        )
+        self.shard = shard
+        self.attempts = attempts
+        self.reason = reason
+        self.staging_path = staging_path
+
+
+@dataclass(frozen=True)
+class PipelineReport:
+    """What the parallel build did (superset of the serial report)."""
+
+    bulk: BulkLoadReport
+    plan: BuildPlan
+    workers: int
+    #: Failed attempts per shard (shards absent never failed).
+    retries: dict[int, int]
+    #: Shards found already checkpointed by a resume.
+    resumed_shards: tuple[int, ...]
+    #: Merged per-shard worker registries + orchestrator counters.
+    metrics: MetricsRegistry = field(compare=False)
+    staging_path: str = ""
+
+
+def _verify_shard_output(staging: StagingDir, shard: int,
+                         plan: BuildPlan, record: dict | None
+                         ) -> tuple[dict | None, str]:
+    """Validate a done/checkpoint record against the published files.
+
+    Returns ``(record, "")`` when the shard's output is provably
+    complete, else ``(None, reason)``.
+    """
+    if record is None:
+        return None, "no completion record"
+    if not check_record_crc(record):
+        return None, "completion record fails its CRC"
+    if int(record.get("shard", -1)) != shard:
+        return None, f"record names shard {record.get('shard')}"
+    if int(record.get("fingerprint", -1)) != plan.fingerprint:
+        return None, "record fingerprint does not match the plan"
+    start, stop = plan.shard_ranges()[shard]
+    if int(record.get("records", -1)) != stop - start:
+        return None, (f"record count {record.get('records')} != slab "
+                      f"size {stop - start}")
+    if int(record.get("pages", -1)) != plan.shard_pages(shard):
+        return None, (f"page count {record.get('pages')} != expected "
+                      f"{plan.shard_pages(shard)}")
+    for name, crc_key, bytes_key in (
+        (shard_worker.run_name(shard), "run_crc", "run_bytes"),
+        (shard_worker.mbrs_name(shard), "mbrs_crc", "mbrs_bytes"),
+    ):
+        path = staging.file(name)
+        if not os.path.exists(path):
+            return None, f"{name} missing"
+        crc, size = file_crc32c(path)
+        if crc != record.get(crc_key) or size != record.get(bytes_key):
+            return None, f"{name} does not match its recorded CRC"
+    return record, ""
+
+
+def _load_done_record(staging: StagingDir, shard: int) -> dict | None:
+    import json
+
+    path = staging.file(shard_worker.done_name(shard))
+    try:
+        with open(path) as f:
+            record = json.load(f)
+    except (OSError, json.JSONDecodeError):
+        return None
+    if record.get("format") != shard_worker.DONE_FORMAT:
+        return None
+    return record
+
+
+def _failure_reason(staging: StagingDir, shard: int, fallback: str) -> str:
+    path = staging.file(shard_worker.error_name(shard))
+    try:
+        with open(path) as f:
+            tail = f.read().strip().splitlines()
+    except OSError:
+        return fallback
+    return f"{fallback}: {tail[-1]}" if tail else fallback
+
+
+class _Supervisor:
+    """Runs pending shards under process supervision with retries."""
+
+    def __init__(self, staging: StagingDir, plan: BuildPlan,
+                 checkpoint: CheckpointLog, *, workers: int,
+                 heartbeat_s: float, deadline_s: float, max_attempts: int,
+                 fault: dict | None, throttle_s: float, poll_s: float):
+        self.staging = staging
+        self.plan = plan
+        self.checkpoint = checkpoint
+        self.workers = workers
+        self.heartbeat_s = heartbeat_s
+        self.deadline_s = deadline_s
+        self.max_attempts = max_attempts
+        self.fault = fault or {}
+        self.throttle_s = throttle_s
+        self.poll_s = poll_s
+        self.retries: dict[int, int] = {}
+        self.attempts: dict[int, int] = {}
+
+    # -- shared bits ---------------------------------------------------------
+
+    def _fault_for(self, shard: int) -> str | None:
+        plan = self.fault.get(shard)
+        if plan is None:
+            return None
+        attempt = self.attempts.get(shard, 0)
+        return plan[attempt] if attempt < len(plan) else None
+
+    def _record_success(self, shard: int, record: dict) -> None:
+        self.checkpoint.append(record)
+        obs.inc("pipeline.shards_checkpointed")
+
+    def _record_failure(self, shard: int, reason: str,
+                        pending: deque) -> None:
+        self.attempts[shard] = self.attempts.get(shard, 0) + 1
+        self.retries[shard] = self.attempts[shard]
+        obs.inc("pipeline.shard_failures")
+        if self.attempts[shard] >= self.max_attempts:
+            diagnosis = {
+                "shard": shard,
+                "attempts": self.attempts[shard],
+                "reason": reason,
+                "slab": list(self.plan.shard_ranges()[shard]),
+            }
+            atomic_write_json(self.staging.file("poison.json"), diagnosis)
+            self.staging.keep()
+            raise PoisonShard(shard, self.attempts[shard], reason,
+                              self.staging.path)
+        pending.append(shard)
+
+    # -- inline mode (workers == 0) ------------------------------------------
+
+    def run_inline(self, pending_shards: list[int]) -> None:
+        pending = deque(pending_shards)
+        while pending:
+            shard = pending.popleft()
+            start, stop = self.plan.shard_ranges()[shard]
+            try:
+                record = shard_worker.run_shard(
+                    self.staging.path, shard, start, stop,
+                    capacity=self.plan.capacity,
+                    page_size=self.plan.page_size,
+                    ndim=self.plan.ndim,
+                    fingerprint=self.plan.fingerprint,
+                    attempt=self.attempts.get(shard, 0),
+                    heartbeat_s=self.heartbeat_s,
+                    fault=self._fault_for(shard),
+                    throttle_s=self.throttle_s,
+                    inline=True,
+                )
+            except shard_worker.InjectedWorkerFault as exc:
+                self._record_failure(shard, str(exc), pending)
+                continue
+            record, reason = _verify_shard_output(
+                self.staging, shard, self.plan, record)
+            if record is None:
+                self._record_failure(shard, reason, pending)
+            else:
+                self._record_success(shard, record)
+
+    # -- subprocess mode -----------------------------------------------------
+
+    def _launch(self, ctx, shard: int):
+        start, stop = self.plan.shard_ranges()[shard]
+        spec = {
+            "staging_path": self.staging.path,
+            "shard": shard,
+            "start": start,
+            "stop": stop,
+            "capacity": self.plan.capacity,
+            "page_size": self.plan.page_size,
+            "ndim": self.plan.ndim,
+            "fingerprint": self.plan.fingerprint,
+            "attempt": self.attempts.get(shard, 0),
+            "heartbeat_s": self.heartbeat_s,
+            "fault": self._fault_for(shard),
+            "throttle_s": self.throttle_s,
+        }
+        proc = ctx.Process(target=shard_worker._process_main, args=(spec,),
+                           name=f"repro-shard-{shard}")
+        proc.start()
+        obs.inc("pipeline.workers_launched")
+        return proc
+
+    def _heartbeat_age(self, shard: int, started_at: float) -> float:
+        try:
+            mtime = os.path.getmtime(
+                self.staging.file(shard_worker.heartbeat_name(shard)))
+        except OSError:
+            mtime = started_at
+        return time.monotonic() - max(mtime - self._mtime_skew, started_at)
+
+    def run_processes(self, pending_shards: list[int]) -> None:
+        method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                  else "spawn")
+        ctx = multiprocessing.get_context(method)
+        # Heartbeats are file mtimes (wall clock); supervision runs on
+        # the monotonic clock.  Calibrate the offset once.
+        self._mtime_skew = time.time() - time.monotonic()
+        pending = deque(pending_shards)
+        running: dict[int, tuple] = {}
+        try:
+            while pending or running:
+                while pending and len(running) < self.workers:
+                    shard = pending.popleft()
+                    running[shard] = (self._launch(ctx, shard),
+                                      time.monotonic())
+                time.sleep(self.poll_s)
+                for shard, (proc, started_at) in list(running.items()):
+                    if proc.is_alive():
+                        if self._heartbeat_age(shard, started_at) \
+                                > self.deadline_s:
+                            proc.terminate()
+                            proc.join(timeout=2.0)
+                            if proc.is_alive():  # pragma: no cover
+                                proc.kill()
+                                proc.join()
+                            del running[shard]
+                            obs.inc("pipeline.workers_reaped")
+                            self._record_failure(
+                                shard,
+                                f"heartbeat stale for >{self.deadline_s}s",
+                                pending)
+                        continue
+                    proc.join()
+                    del running[shard]
+                    record, reason = _verify_shard_output(
+                        self.staging, shard, self.plan,
+                        _load_done_record(self.staging, shard))
+                    if record is not None:
+                        self._record_success(shard, record)
+                    else:
+                        self._record_failure(
+                            shard,
+                            _failure_reason(
+                                self.staging, shard,
+                                f"worker exit code {proc.exitcode}, "
+                                f"{reason}"),
+                            pending)
+        finally:
+            for shard, (proc, _) in running.items():
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=2.0)
+                    if proc.is_alive():  # pragma: no cover
+                        proc.kill()
+                        proc.join()
+
+
+def _assemble(staging: StagingDir, plan: BuildPlan,
+              checkpoint: CheckpointLog, store: PageStore
+              ) -> tuple[PagedRTree, BulkLoadReport]:
+    """Write checkpointed shard runs into the store and pack upward."""
+    build_io = store.stats.snapshot()
+    page_ids: list[int] = []
+    mbr_los: list[np.ndarray] = []
+    mbr_his: list[np.ndarray] = []
+    with obs.span("pipeline.assemble", shards=plan.shard_count,
+                  leaf_pages=plan.leaf_pages):
+        for shard in range(plan.shard_count):
+            record, reason = _verify_shard_output(
+                staging, shard, plan, checkpoint.records.get(shard))
+            if record is None:
+                raise PipelineError(
+                    f"cannot assemble: shard {shard} {reason}")
+            with open(staging.file(shard_worker.run_name(shard)),
+                      "rb") as f:
+                blob = f.read()
+            npages = int(record["pages"])
+            for i in range(npages):
+                page_id = store.allocate()
+                store.write_page(
+                    page_id,
+                    blob[i * plan.page_size:(i + 1) * plan.page_size])
+                page_ids.append(page_id)
+            mbrs = np.load(staging.file(shard_worker.mbrs_name(shard)))
+            mbr_los.append(mbrs[:, 0, :])
+            mbr_his.append(mbrs[:, 1, :])
+        mbr_rects = RectArray(np.concatenate(mbr_los),
+                              np.concatenate(mbr_his), copy=False)
+        root_page, height = pack_upper_levels(
+            store, SortTileRecursive(), plan.capacity, mbr_rects,
+            np.asarray(page_ids, dtype=np.int64),
+        )
+    tree = PagedRTree(store, root_page, height=height, ndim=plan.ndim,
+                      capacity=plan.capacity, size=plan.count)
+    # Same atomic cutover as the serial loader: a durable store's
+    # superblock now names a complete tree, or never changed at all.
+    tree.commit_meta()
+    io_delta = IOStats(
+        disk_reads=store.stats.disk_reads - build_io.disk_reads,
+        disk_writes=store.stats.disk_writes - build_io.disk_writes,
+    )
+    report = BulkLoadReport(
+        pages_written=io_delta.disk_writes,
+        height=tree.height,
+        leaf_pages=plan.leaf_pages,
+        build_io=io_delta,
+    )
+    return tree, report
+
+
+def parallel_bulk_load(
+    rects: RectArray | None = None,
+    *,
+    data_ids: np.ndarray | None = None,
+    capacity: int = 100,
+    store: PageStore | None = None,
+    staging_path: str | os.PathLike,
+    workers: int = 2,
+    resume: bool = False,
+    heartbeat_s: float = 0.5,
+    deadline_s: float = 30.0,
+    max_attempts: int = 3,
+    fault: dict | None = None,
+    throttle_s: float = 0.0,
+    keep_staging: bool = False,
+    poll_s: float = 0.05,
+) -> tuple[PagedRTree, PipelineReport]:
+    """Bulk-load an R-tree with sharded workers and resumable checkpoints.
+
+    Parameters mirror :func:`repro.rtree.bulk.bulk_load` plus:
+
+    staging_path:
+        Directory for staged input, shard runs and the checkpoint log.
+        Survives any crash; removed only after a successful build
+        (unless ``keep_staging``).
+    workers:
+        Concurrent worker processes; ``0`` runs shards inline in this
+        process (fast, still checkpointed — the property tests' mode).
+    resume:
+        Re-open an existing staging directory: the plan is CRC-verified
+        against ``rects`` (or trusted from staging when ``rects`` is
+        ``None``), checkpointed shards are skipped, the rest re-run.
+    heartbeat_s / deadline_s / max_attempts:
+        Liveness cadence, staleness deadline, and per-shard attempt cap
+        before :class:`PoisonShard`.
+    fault / throttle_s:
+        Test hooks: ``{shard: ["crash" | "hang", ...]}`` per attempt,
+        and a per-shard sleep before publication.
+    """
+    if workers < 0:
+        raise PipelineError("workers must be >= 0")
+    if max_attempts < 1:
+        raise PipelineError("max_attempts must be >= 1")
+    if rects is None and not resume:
+        raise PipelineError("a fresh build needs input rectangles")
+    if rects is not None and len(rects) == 0:
+        raise GeometryError("cannot bulk-load zero rectangles")
+    if capacity < 2:
+        raise RTreeError("capacity must be >= 2")
+
+    # Never remove on error: any interruption — including exceptions —
+    # must leave resumable state behind.  Success cleans up.
+    staging = StagingDir(staging_path, remove_on_error=False,
+                         remove_on_success=not keep_staging)
+    with staging, obs.span("pipeline.build", workers=workers,
+                           resume=resume):
+        staging.sweep_tmp()
+        if resume:
+            plan = load_plan(staging)
+            if plan.capacity != capacity:
+                raise ResumeMismatch(
+                    f"resume with capacity {capacity}, plan has "
+                    f"{plan.capacity}")
+            if store is None:
+                if plan.page_size != required_page_size(capacity,
+                                                        plan.ndim):
+                    raise ResumeMismatch(
+                        "resume without a store, but the plan was made "
+                        f"for page size {plan.page_size}")
+                store = MemoryPageStore(plan.page_size)
+            elif store.page_size != plan.page_size:
+                raise ResumeMismatch(
+                    f"resume with page size {store.page_size}, plan has "
+                    f"{plan.page_size}")
+            if rects is not None:
+                ids = (np.arange(len(rects), dtype=np.int64)
+                       if data_ids is None
+                       else np.asarray(data_ids, dtype=np.int64))
+                if input_fingerprint(rects, ids, capacity=capacity,
+                                     page_size=plan.page_size) \
+                        != plan.fingerprint:
+                    raise ResumeMismatch(
+                        "resume input does not match the staged plan "
+                        "(different data, ids, capacity or page size)")
+        else:
+            if staging.exists("plan.json"):
+                raise PipelineError(
+                    f"{staging.file('plan.json')} already exists; pass "
+                    "resume=True to continue it or remove the staging "
+                    "directory")
+            if store is None:
+                store = MemoryPageStore(required_page_size(capacity,
+                                                           rects.ndim))
+            if store.payload_size < required_page_size(capacity,
+                                                       rects.ndim):
+                raise RTreeError(
+                    f"store payload size {store.payload_size} cannot "
+                    f"hold {capacity} {rects.ndim}-d entries")
+            ids = (np.arange(len(rects), dtype=np.int64)
+                   if data_ids is None
+                   else np.asarray(data_ids, dtype=np.int64))
+            if ids.shape != (len(rects),):
+                raise RTreeError(
+                    f"data_ids shape {ids.shape} does not match "
+                    f"{len(rects)} rects")
+            with obs.span("pipeline.plan", size=len(rects)):
+                plan = make_plan(rects, ids, capacity=capacity,
+                                 page_size=store.page_size)
+                # The one global computation: STR's stable x-sort.  Every
+                # worker replays the remaining recursion on its own slab.
+                xorder = np.argsort(rects.centers()[:, 0], kind="stable")
+                inputs = stage_input(staging, plan, rects, ids, xorder)
+                write_plan(staging, plan, inputs)
+
+        checkpoint = CheckpointLog(staging.file(CHECKPOINT_NAME))
+        resumed: list[int] = []
+        pending: list[int] = []
+        for shard in range(plan.shard_count):
+            record, _ = _verify_shard_output(
+                staging, shard, plan, checkpoint.records.get(shard))
+            if record is not None:
+                resumed.append(shard)
+            else:
+                pending.append(shard)
+        obs.set_gauge("pipeline.shards", plan.shard_count)
+        obs.set_gauge("pipeline.shards_resumed", len(resumed))
+
+        supervisor = _Supervisor(
+            staging, plan, checkpoint, workers=workers,
+            heartbeat_s=heartbeat_s, deadline_s=deadline_s,
+            max_attempts=max_attempts, fault=fault,
+            throttle_s=throttle_s, poll_s=poll_s,
+        )
+        with obs.span("pipeline.shards", pending=len(pending),
+                      workers=workers):
+            if workers == 0:
+                supervisor.run_inline(pending)
+            else:
+                supervisor.run_processes(pending)
+
+        tree, bulk_report = _assemble(staging, plan, checkpoint, store)
+
+        merged = MetricsRegistry()
+        for shard in range(plan.shard_count):
+            dump = checkpoint.records[shard].get("metrics")
+            if dump:
+                merged.merge(MetricsRegistry.from_jsonable(dump))
+        merged.counter("pipeline.shard_retries").inc(
+            sum(supervisor.retries.values()))
+        merged.counter("pipeline.shards_resumed").inc(len(resumed))
+        merged.gauge("pipeline.workers").set(workers)
+
+        report = PipelineReport(
+            bulk=bulk_report,
+            plan=plan,
+            workers=workers,
+            retries=dict(supervisor.retries),
+            resumed_shards=tuple(resumed),
+            metrics=merged,
+            staging_path=staging.path,
+        )
+        return tree, report

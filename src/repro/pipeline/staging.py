@@ -1,0 +1,188 @@
+"""Staging directories and atomic file primitives for resumable builds.
+
+Everything the parallel build pipeline persists before its final commit
+lives in one *staging directory*: the staged input arrays, the shard
+plan, per-shard leaf runs, heartbeat files and the checkpoint log.  The
+rules that make a staging directory crash-safe are small and uniform:
+
+* every durable file is written to a unique ``*.tmp-<pid>`` sibling and
+  published with ``os.replace`` — readers never observe a half-written
+  file, and two writers racing on the same logical file (an orphaned
+  worker from a killed orchestrator vs. its replacement) both publish
+  complete images;
+* published files are verified by content CRC32C before they are
+  trusted on resume;
+* the directory itself is context-managed: a *clean exception* removes
+  it (no litter after a failed in-process build), while a hard kill
+  leaves it behind for ``--resume`` to pick up.  Callers that want the
+  directory to survive a specific failure (the orchestrator keeps it on
+  :class:`~repro.pipeline.PoisonShard` so the healthy shards' work is
+  not thrown away) call :meth:`StagingDir.keep` first.
+
+The same primitives back the external sorter's crash-clean spill runs
+(:mod:`repro.core.packing.external`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+
+from ..storage.integrity import crc32c
+
+__all__ = [
+    "StagingError",
+    "StagingDir",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_save_npy",
+    "file_crc32c",
+    "record_crc",
+    "check_record_crc",
+]
+
+
+class StagingError(RuntimeError):
+    """Raised for unusable staging directories or corrupt staged files."""
+
+
+def atomic_write_bytes(path: str | os.PathLike, data: bytes, *,
+                       sync: bool = True) -> str:
+    """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
+
+    The temporary name carries the writer's pid so two processes
+    publishing the same logical file never tear each other's buffers;
+    ``os.replace`` makes the last complete image win.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as f:
+        f.write(data)
+        if sync:
+            f.flush()
+            os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def atomic_write_json(path: str | os.PathLike, payload: dict, *,
+                      sync: bool = True) -> str:
+    """Atomically publish ``payload`` as pretty-printed JSON."""
+    data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
+    return atomic_write_bytes(path, data, sync=sync)
+
+
+def atomic_save_npy(path: str | os.PathLike, array) -> str:
+    """Atomically publish a numpy array as a ``.npy`` file."""
+    import numpy as np
+
+    path = os.fspath(path)
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "wb") as f:
+        np.save(f, array)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def file_crc32c(path: str | os.PathLike, *, chunk_bytes: int = 1 << 20
+                ) -> tuple[int, int]:
+    """``(crc32c, size)`` of a file's full contents."""
+    crc = 0
+    size = 0
+    with open(os.fspath(path), "rb") as f:
+        while True:
+            chunk = f.read(chunk_bytes)
+            if not chunk:
+                break
+            crc = crc32c(chunk, crc)
+            size += len(chunk)
+    return crc, size
+
+
+def record_crc(record: dict) -> int:
+    """CRC32C over a JSON record's canonical form (its ``crc`` key, if
+    present, is excluded — that is where this value goes)."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    return crc32c(json.dumps(body, sort_keys=True,
+                             separators=(",", ":")).encode())
+
+
+def check_record_crc(record: dict) -> bool:
+    """Does the record's embedded ``crc`` match its contents?"""
+    return isinstance(record.get("crc"), int) \
+        and record["crc"] == record_crc(record)
+
+
+class StagingDir:
+    """A context-managed working directory for resumable pipelines.
+
+    Parameters
+    ----------
+    path:
+        Directory to create (parents included).  Reusing an existing
+        directory is exactly how ``--resume`` works — the constructor
+        never clears it.
+    remove_on_error:
+        Remove the directory when the ``with`` block exits on an
+        exception (default).  A SIGKILL obviously skips this, which is
+        the crash-survival property resume relies on.
+    remove_on_success:
+        Remove the directory on clean exit (default): a completed build
+        has committed its output, so its scaffolding is garbage.
+    """
+
+    def __init__(self, path: str | os.PathLike, *,
+                 remove_on_error: bool = True,
+                 remove_on_success: bool = True):
+        self.path = os.fspath(path)
+        self.remove_on_error = remove_on_error
+        self.remove_on_success = remove_on_success
+        self._keep = False
+        os.makedirs(self.path, exist_ok=True)
+        if not os.path.isdir(self.path):  # pragma: no cover - race only
+            raise StagingError(f"{self.path}: not a directory")
+
+    def file(self, name: str) -> str:
+        """Absolute path of ``name`` inside the staging directory."""
+        return os.path.join(self.path, name)
+
+    def exists(self, name: str) -> bool:
+        """Does ``name`` exist inside the staging directory?"""
+        return os.path.exists(self.file(name))
+
+    def keep(self) -> None:
+        """Survive the ``with`` exit regardless of outcome (resume will
+        want this directory)."""
+        self._keep = True
+
+    def remove(self) -> None:
+        """Delete the directory tree now (idempotent)."""
+        shutil.rmtree(self.path, ignore_errors=True)
+
+    def sweep_tmp(self) -> int:
+        """Delete leftover ``*.tmp-*`` files (torn writes from a previous
+        crashed process); returns how many were removed."""
+        removed = 0
+        for entry in os.listdir(self.path):
+            if ".tmp-" in entry:
+                try:
+                    os.unlink(os.path.join(self.path, entry))
+                    removed += 1
+                except OSError:  # pragma: no cover - concurrent sweep
+                    pass
+        return removed
+
+    def __enter__(self) -> "StagingDir":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._keep:
+            return
+        if exc_type is None:
+            if self.remove_on_success:
+                self.remove()
+        elif self.remove_on_error:
+            self.remove()

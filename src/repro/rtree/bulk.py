@@ -28,7 +28,8 @@ from .paged import PagedRTree
 from .node import RTreeError
 from .tree import RTree
 
-__all__ = ["BulkLoadReport", "bulk_load", "paged_from_dynamic"]
+__all__ = ["BulkLoadReport", "bulk_load", "pack_upper_levels",
+           "paged_from_dynamic"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,47 @@ def _write_level(
         page_ids[i] = page_id
         offset += size
     return rects.group_mbrs(sizes), page_ids
+
+
+def pack_upper_levels(
+    store: PageStore,
+    algorithm: PackingAlgorithm,
+    capacity: int,
+    mbrs: RectArray,
+    page_ids: np.ndarray,
+    *,
+    reorder_internal: bool = True,
+    start_level: int = 1,
+) -> tuple[int, int]:
+    """Pack ``(MBR, page id)`` pairs upward until a single root remains.
+
+    This is steps 2-3 of the paper's General Algorithm above the leaves,
+    shared by the serial loader, the external-memory loader and the
+    sharded parallel orchestrator so all three produce byte-identical
+    internal levels from the same leaf sequence.  Returns
+    ``(root_page, height)`` where height counts levels including leaves.
+    """
+    if len(page_ids) == 1:
+        return int(page_ids[0]), start_level
+    level = start_level
+    level_rects, level_ids = mbrs, np.asarray(page_ids, dtype=np.int64)
+    while True:
+        if reorder_internal:
+            with obs.span("pack.order", algorithm=algorithm.name,
+                          level=level, count=len(level_rects)):
+                perm = algorithm.order(level_rects, capacity)
+                level_rects = level_rects.take(perm)
+                level_ids = level_ids[perm]
+        with obs.span("bulk.write_level", level=level,
+                      count=len(level_rects)):
+            next_mbrs, next_ids = _write_level(
+                level_rects, level_ids, level, store, store.page_size,
+                capacity,
+            )
+        if len(next_ids) == 1:
+            return int(next_ids[0]), level + 1
+        level_rects, level_ids = next_mbrs, next_ids
+        level += 1
 
 
 def bulk_load(
@@ -127,26 +169,19 @@ def bulk_load(
 
     with obs.span("bulk.load", algorithm=algorithm.name, size=len(rects),
                   capacity=capacity):
-        level = 0
-        level_rects, level_ids = rects, ids
-        while True:
-            if level == 0 or reorder_internal:
-                with obs.span("pack.order", algorithm=algorithm.name,
-                              level=level, count=len(level_rects)):
-                    perm = algorithm.order(level_rects, capacity)
-                    level_rects = level_rects.take(perm)
-                    level_ids = level_ids[perm]
-            with obs.span("bulk.write_level", level=level,
-                          count=len(level_rects)):
-                mbrs, page_ids = _write_level(
-                    level_rects, level_ids, level, store, store.page_size,
-                    capacity
-                )
-            if len(page_ids) == 1:
-                root_page = int(page_ids[0])
-                break
-            level_rects, level_ids = mbrs, page_ids
-            level += 1
+        with obs.span("pack.order", algorithm=algorithm.name,
+                      level=0, count=len(rects)):
+            perm = algorithm.order(rects, capacity)
+            leaf_rects = rects.take(perm)
+            leaf_ids = ids[perm]
+        with obs.span("bulk.write_level", level=0, count=len(leaf_rects)):
+            mbrs, page_ids = _write_level(
+                leaf_rects, leaf_ids, 0, store, store.page_size, capacity
+            )
+        root_page, height = pack_upper_levels(
+            store, algorithm, capacity, mbrs, page_ids,
+            reorder_internal=reorder_internal,
+        )
 
     io_delta = IOStats(
         disk_reads=store.stats.disk_reads - build_io.disk_reads,
@@ -155,7 +190,7 @@ def bulk_load(
     tree = PagedRTree(
         store,
         root_page,
-        height=level + 1,
+        height=height,
         ndim=rects.ndim,
         capacity=capacity,
         size=len(rects),

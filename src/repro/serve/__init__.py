@@ -8,7 +8,7 @@ never silently wrong.
 
 * :mod:`~repro.serve.protocol` — newline-JSON wire format and the typed
   error taxonomy (``BadRequest``, ``DeadlineExceeded``, ``Overloaded``,
-  ``StoreUnavailable``);
+  ``StoreUnavailable``, ``ReloadRejected``);
 * :mod:`~repro.serve.deadline` — per-request deadlines with an
   injectable clock, propagated into the paged search loop as a
   cooperative cancellation hook;
@@ -16,7 +16,8 @@ never silently wrong.
   shed-on-full FIFO queue;
 * :mod:`~repro.serve.server` — :class:`QueryServer`: asyncio sockets,
   circuit-breaker-guarded reads, degraded (``partial=true``) responses,
-  runtime page quarantine, health endpoints;
+  runtime page quarantine, health endpoints, and zero-downtime
+  generation cutover via the ``reload`` admin op;
 * :mod:`~repro.serve.client` — :class:`QueryClient` for tests, tools
   and the chaos soak;
 * :mod:`~repro.serve.health` — ``healthz``/``readyz``/``stats`` payload
@@ -32,6 +33,7 @@ from .client import QueryClient
 from .deadline import Deadline
 from .health import healthz_payload, readyz_payload, stats_payload, store_health
 from .protocol import (
+    ADMIN_OPS,
     ERROR_TYPES,
     OPS,
     PROTOCOL_VERSION,
@@ -39,6 +41,7 @@ from .protocol import (
     BadRequest,
     DeadlineExceeded,
     Overloaded,
+    ReloadRejected,
     Request,
     Response,
     ServeError,
@@ -56,12 +59,14 @@ __all__ = [
     # protocol
     "PROTOCOL_VERSION",
     "QUERY_OPS",
+    "ADMIN_OPS",
     "OPS",
     "ServeError",
     "BadRequest",
     "DeadlineExceeded",
     "Overloaded",
     "StoreUnavailable",
+    "ReloadRejected",
     "ERROR_TYPES",
     "Request",
     "Response",

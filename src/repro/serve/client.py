@@ -106,6 +106,16 @@ class QueryClient:
         resp = await self.request(Request(op="stats"))
         return resp.raise_for_error().data
 
+    async def reload(self, path: str) -> dict:
+        """Ask the server to cut over to the tree file at ``path``.
+
+        Returns the new generation info; typed ``ReloadRejected`` when
+        the server refuses (reloads disabled, file unreadable, fsck
+        failed) — the old generation keeps serving in that case.
+        """
+        resp = await self.request(Request(op="reload", path=path))
+        return resp.raise_for_error().data
+
     async def ping(self) -> dict:
         """Round-trip liveness check; returns the protocol version."""
         resp = await self.request(Request(op="ping"))

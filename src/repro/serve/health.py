@@ -86,6 +86,12 @@ def healthz_payload(server) -> dict:
         },
         "store": store_health(server.tree.store),
         "sessions": server.session_count,
+        "generation": {
+            "active": server.generation,
+            "path": server.generation_path,
+            "reloads": server.reloads_total,
+            "reload_enabled": server.allow_reload,
+        },
     }
     payload.update(_latency_block(server))
     return payload

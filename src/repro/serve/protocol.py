@@ -23,7 +23,10 @@ Error response::
 
 Operations: ``search`` (region query), ``point`` (point query), ``count``
 (match count only), ``healthz`` / ``readyz`` / ``stats`` (health payloads
-in ``data``), and ``ping``.
+in ``data``), ``ping``, and the admin op ``reload`` (``path`` names a
+freshly built durable tree file; the server fsck-verifies it and swaps
+generations atomically — rejections come back as the typed
+``ReloadRejected`` error and the old generation keeps serving).
 
 ``partial=true`` marks a degraded read: some subtrees were unreachable
 (corrupt, quarantined, or behind an open circuit breaker) and were
@@ -48,6 +51,7 @@ __all__ = [
     "DeadlineExceeded",
     "Overloaded",
     "StoreUnavailable",
+    "ReloadRejected",
     "ERROR_TYPES",
     "Request",
     "Response",
@@ -63,8 +67,10 @@ PROTOCOL_VERSION = 1
 
 #: Operations that run a tree walk (deadline + admission controlled).
 QUERY_OPS = ("search", "point", "count")
+#: Administrative operations (no tree walk; ``reload`` swaps generations).
+ADMIN_OPS = ("healthz", "readyz", "stats", "ping", "reload")
 #: All operations the server understands.
-OPS = QUERY_OPS + ("healthz", "readyz", "stats", "ping")
+OPS = QUERY_OPS + ADMIN_OPS
 
 
 class ServeError(Exception):
@@ -98,11 +104,19 @@ class StoreUnavailable(ServeError):
     code = "StoreUnavailable"
 
 
+class ReloadRejected(ServeError):
+    """A ``reload`` was refused — reloads are disabled, the candidate
+    file is unreadable or fails fsck — and the serving generation is
+    unchanged."""
+
+    code = "ReloadRejected"
+
+
 #: Wire code -> exception class (for clients raising typed errors).
 ERROR_TYPES: dict[str, type[ServeError]] = {
     cls.code: cls
     for cls in (ServeError, BadRequest, DeadlineExceeded, Overloaded,
-                StoreUnavailable)
+                StoreUnavailable, ReloadRejected)
 }
 
 
@@ -135,6 +149,8 @@ class Request:
     #: Relative deadline budget in seconds; the server clamps it to its
     #: ``max_deadline_s`` and applies its default when omitted.
     deadline_s: float | None = None
+    #: ``reload`` only: filesystem path of the candidate tree file.
+    path: str | None = None
 
 
 @dataclass
@@ -200,12 +216,17 @@ def decode_request(line: bytes | str) -> Request:
                 f"deadline_s must be a positive number, got {deadline_s!r}",
                 req_id)
         deadline_s = float(deadline_s)
-    unknown = set(payload) - {"id", "op", "rect", "point", "deadline_s"}
+    path = payload.get("path")
+    if path is not None and not isinstance(path, str):
+        raise _bad_request(f"path must be a string, got {path!r}", req_id)
+    unknown = set(payload) - {"id", "op", "rect", "point", "deadline_s",
+                              "path"}
     if unknown:
         raise _bad_request(f"unknown request fields {sorted(unknown)}",
                            req_id)
     return Request(op=op, id=req_id, rect=payload.get("rect"),
-                   point=payload.get("point"), deadline_s=deadline_s)
+                   point=payload.get("point"), deadline_s=deadline_s,
+                   path=path)
 
 
 def _bad_request(message: str, req_id: int) -> BadRequest:

@@ -20,7 +20,14 @@ store misbehaves:
 * an :class:`~repro.serve.admission.AdmissionController` bounds
   in-flight work and sheds excess load with typed ``Overloaded`` errors;
 * ``healthz``/``readyz``/``stats`` report breaker state,
-  journal-recovery status, and rolling latency percentiles.
+  journal-recovery status, rolling latency percentiles and the active
+  tree generation;
+* when started with ``allow_reload=True``, the ``reload`` admin op
+  cuts over to a freshly built tree file with zero downtime: the
+  candidate is fsck-verified and opened while the old generation keeps
+  answering, then swapped in under the search lock (which drains any
+  in-flight walk); rejections are typed ``ReloadRejected`` errors and
+  never disturb the serving generation.
 
 Concurrency model: asyncio handles sockets and admission; searches run
 on a small thread pool under one lock (the shared file handle and
@@ -52,6 +59,7 @@ from .protocol import (
     PROTOCOL_VERSION,
     QUERY_OPS,
     BadRequest,
+    ReloadRejected,
     Request,
     Response,
     ServeError,
@@ -90,6 +98,7 @@ class QueryServer:
         clock: Callable[[], float] = time.monotonic,
         latency_window: int = 1024,
         search_workers: int = 2,
+        allow_reload: bool = False,
     ):
         self.tree = tree
         self.clock = clock
@@ -97,6 +106,11 @@ class QueryServer:
         self.max_deadline_s = max_deadline_s
         self.degraded = degraded
         self.slo = slo
+        self.allow_reload = allow_reload
+        self.buffer_pages = buffer_pages
+        self.generation = 1
+        self.generation_path = getattr(tree.store, "path", None)
+        self.reloads_total = 0
 
         # One breaker guards the store the searcher reads through; reuse
         # the store's own if it already has one, otherwise attach ours.
@@ -151,6 +165,8 @@ class QueryServer:
             if req.op == "stats":
                 return Response(id=req.id, ok=True, op="stats",
                                 data=stats_payload(self))
+            if req.op == "reload":
+                return await self._handle_reload(req)
             if req.op in QUERY_OPS:
                 return await self._handle_query(req)
             raise BadRequest(f"unknown op {req.op!r}")
@@ -204,6 +220,91 @@ class QueryServer:
         if req.op != "count":
             resp.ids = sorted(int(x) for x in result.ids)
         return resp
+
+    # -- generation reload -------------------------------------------------
+
+    async def _handle_reload(self, req: Request) -> Response:
+        if not self.allow_reload:
+            raise ReloadRejected(
+                "reloads are disabled on this server (start it with "
+                "allow_reload / --allow-reload)")
+        if not req.path:
+            raise BadRequest("op 'reload' needs a path to the new tree "
+                             "file")
+        loop = asyncio.get_running_loop()
+        data = await loop.run_in_executor(
+            self._executor, self._reload_blocking, req.path)
+        return Response(id=req.id, ok=True, op="reload", data=data)
+
+    def _reload_blocking(self, path: str) -> dict:
+        """Verify + open the candidate, then swap generations atomically.
+
+        All the slow work (fsck pass, opening the store, priming the
+        searcher) happens *before* the swap, while the old generation
+        keeps answering queries; the swap itself only reassigns
+        references under the search lock, which by construction drains
+        any in-flight tree walk first.  Every failure raises
+        :class:`ReloadRejected` with the old generation untouched.
+        """
+        from ..fsck import fsck as run_fsck
+        from ..storage.store import FilePageStore
+
+        try:
+            with open(path, "rb") as f:
+                durable = f.read(4) == b"RSUP"
+        except OSError as exc:
+            raise ReloadRejected(f"cannot read {path}: {exc}") from None
+        if not durable:
+            raise ReloadRejected(
+                f"{path} has no superblock; reload serves only durable "
+                "self-describing tree files")
+        try:
+            report = run_fsck(path)
+        except Exception as exc:
+            raise ReloadRejected(
+                f"fsck of {path} failed: "
+                f"{type(exc).__name__}: {exc}") from None
+        if not report.clean:
+            raise ReloadRejected(
+                f"fsck found {len(set(report.bad_pages))} bad page(s) "
+                f"in {path}; refusing to cut over")
+        try:
+            store = FilePageStore.open_existing(path)
+            tree = PagedRTree.from_store(store)
+            searcher = tree.searcher(self.buffer_pages)
+        except Exception as exc:
+            raise ReloadRejected(
+                f"cannot open {path}: "
+                f"{type(exc).__name__}: {exc}") from None
+        # A new generation is a new device: it gets a fresh breaker and
+        # an empty quarantine (old page ids mean nothing in this file).
+        breaker = getattr(store, "breaker", None)
+        if breaker is None:
+            breaker = CircuitBreaker(clock=self.clock)
+            store.breaker = breaker
+        with self._search_lock:
+            old_store = self.tree.store
+            self.tree = tree
+            self.searcher = searcher
+            self.breaker = breaker
+            self.quarantine = set()
+            self.quarantined_runtime = 0
+            self.generation += 1
+            self.generation_path = path
+            self.reloads_total += 1
+        obs.inc("serve.reloads")
+        if old_store is not store:
+            try:
+                old_store.close()
+            except Exception:  # pragma: no cover - best-effort release
+                pass
+        return {
+            "generation": self.generation,
+            "path": path,
+            "tree": {"size": len(tree), "height": tree.height,
+                     "pages": tree.page_count},
+            "fsck": {"clean": True},
+        }
 
     def _run_search(self, query: Rect, deadline: Deadline) -> SearchResult:
         with self._search_lock:

@@ -634,7 +634,10 @@ class FilePageStore(PageStore):
         if self._journal is not None:
             self._journal.checkpoint()
 
-    def close(self) -> None:
+    def close(self, *, flush: bool = True) -> None:
+        """Close the store; ``flush=False`` skips the final superblock
+        commit so read-only passes (``fsck`` on a clean file) leave the
+        bytes on disk exactly as they found them."""
         if self._closed:
             return
         if self._crashed:
@@ -649,7 +652,8 @@ class FilePageStore(PageStore):
                 pass
             return
         try:
-            self.flush()
+            if flush:
+                self.flush()
         finally:
             self._closed = True
             if self._journal is not None:

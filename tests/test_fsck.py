@@ -52,6 +52,39 @@ class TestFsckModule:
         assert report.clean, report.render()
         assert not report.checksums
 
+    def test_dynamic_conversion_commits_a_checkable_durable_file(
+            self, tmp_path, rng):
+        """``paged_from_dynamic`` into a durable store goes through the
+        same atomic superblock commit as ``bulk_load``: the file is
+        self-describing, fsck-clean, and reopens with the right
+        metadata."""
+        from repro import paged_from_dynamic
+        from repro.rtree.tree import RTree
+        from repro.core.geometry import Rect
+        from repro.rtree.paged import PagedRTree
+
+        dyn = RTree(capacity=CAPACITY)
+        points = rng.random((300, 2))
+        for i, p in enumerate(points):
+            dyn.insert(Rect.from_point(tuple(p)), i)
+        path = tmp_path / "converted.pages"
+        store = FilePageStore(path, PAGE_SIZE, checksums=True,
+                              journal=True)
+        paged = paged_from_dynamic(dyn, store=store)
+        store.close()
+
+        report = fsck(path)
+        assert report.clean, report.render()
+        assert report.tree["size"] == 300
+        assert report.tree["height"] == paged.height
+        assert report.tree["root_page"] == paged.root_page
+
+        reopened = PagedRTree.from_store(FilePageStore.open_existing(path))
+        assert len(reopened) == 300
+        query = Rect.from_point(tuple(points[0]))
+        assert 0 in reopened.searcher(16).search(query)
+        reopened.store.close()
+
     def test_missing_file_is_fatal(self, tmp_path):
         report = fsck(tmp_path / "nope.pages")
         assert report.fatal == "file does not exist"

@@ -24,7 +24,7 @@ import os
 from repro import RectArray, SortTileRecursive, bulk_load, obs
 from repro.queries import point_queries, region_queries
 from repro.rtree.paged import PagedRTree
-from repro.serve import QueryClient, QueryServer
+from repro.serve import QueryClient, QueryServer, Request
 from repro.storage import (
     FaultInjectingPageStore,
     FaultPlan,
@@ -203,4 +203,95 @@ def test_chaos_soak_no_silently_wrong_answers(tmp_path, rng):
     assert not violations, (
         f"{len(violations)} silently-wrong or mistyped responses, e.g. "
         f"{violations[0]['why']}{note}"
+    )
+
+
+def test_chaos_soak_with_mid_traffic_reloads(tmp_path, rng):
+    """The soak's zero-silent-wrong bar holds while the serving
+    generation is swapped underneath the traffic.
+
+    Two durable files are built from the *same* records (byte-identical
+    trees), and a reload client flips the server between them while the
+    query clients run.  Because both generations answer identically, one
+    oracle covers the whole stream: every response must be exact and ok
+    — a failed or wrong query during any of the cutovers fails the test.
+    """
+    import time
+    started = time.time()
+    rects = RectArray.from_points(rng.random((N_RECTS, 2)))
+    oracle_tree, _ = bulk_load(rects, SortTileRecursive(),
+                               capacity=CAPACITY,
+                               store=MemoryPageStore(4096))
+    oracle = oracle_tree.searcher(512)
+    queries = _workload()[:1_200]
+    expected = [frozenset(int(x) for x in oracle.search(q))
+                for q in queries]
+
+    page_size = required_page_size(CAPACITY, 2) + TRAILER_SIZE
+    paths = []
+    for name in ("gen-a.pages", "gen-b.pages"):
+        path = tmp_path / name
+        store = FilePageStore(path, page_size, checksums=True,
+                              journal=True)
+        bulk_load(rects, SortTileRecursive(), capacity=CAPACITY,
+                  store=store)
+        store.close()
+        paths.append(path)
+
+    served = PagedRTree.from_store(FilePageStore.open_existing(paths[0]))
+    violations = []
+    reload_count = 0
+
+    async def client_session(host, port, client_index):
+        async with await QueryClient.connect(host, port) as client:
+            for qi in range(client_index, len(queries), N_CLIENTS):
+                resp = await client.search(queries[qi])
+                if not resp.ok:
+                    violations.append({"query": qi, "why": "failed",
+                                       "error": resp.error})
+                elif resp.partial:
+                    violations.append({"query": qi, "why": "partial"})
+                elif frozenset(resp.ids) != expected[qi]:
+                    violations.append({"query": qi, "why": "wrong ids"})
+
+    async def reload_session(host, port):
+        nonlocal reload_count
+        async with await QueryClient.connect(host, port) as client:
+            flips = [paths[1], paths[0], paths[1], paths[0]]
+            for target in flips:
+                await asyncio.sleep(0.02)
+                (await client.request(
+                    Request(op="reload", path=str(target))
+                )).raise_for_error()
+                reload_count += 1
+
+    async def scenario():
+        async with QueryServer(served, buffer_pages=48,
+                               allow_reload=True, max_inflight=8,
+                               default_deadline_s=30.0) as server:
+            host, port = server.address
+            await asyncio.gather(
+                *[client_session(host, port, i)
+                  for i in range(N_CLIENTS)],
+                reload_session(host, port),
+            )
+            return server
+
+    server = asyncio.run(scenario())
+
+    summary = {
+        "duration_s": time.time() - started,
+        "clients": N_CLIENTS,
+        "queries": len(queries),
+        "reloads": reload_count,
+        "violations": len(violations),
+        "final_generation": server.generation,
+    }
+    note = _dump_artifacts(summary, violations,
+                           {"error_counts": dict(server.error_counts)})
+    assert reload_count == 4
+    assert server.generation == 5
+    assert not violations, (
+        f"{len(violations)} failed/wrong responses across reloads, e.g. "
+        f"{violations[0]}{note}"
     )
