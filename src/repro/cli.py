@@ -33,6 +33,11 @@ Check a file offline, then serve it with live generation reloads::
     python -m repro fsck tree.rt
     python -m repro serve tree.rt --allow-reload
 
+Statically check the determinism/durability/async contracts::
+
+    python -m repro lint
+    python -m repro lint src/repro/serve --format json
+
 List everything available::
 
     python -m repro list
@@ -161,16 +166,20 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["list", "all",
                                                        "profile", "fsck",
-                                                       "serve", "build"],
+                                                       "serve", "build",
+                                                       "lint"],
                         help="which table/figure to regenerate, "
                              "'profile <experiment>' for a telemetered run, "
                              "'fsck <tree-file>' to check a page file, "
                              "'serve <tree-file>' to serve queries from it, "
-                             "or 'build <tree-file>' for a parallel, "
-                             "resumable bulk load into a durable file")
+                             "'build <tree-file>' for a parallel, "
+                             "resumable bulk load into a durable file, or "
+                             "'lint [path]' to check the invariant "
+                             "contracts statically")
     parser.add_argument("target", nargs="?", default=None,
-                        help="experiment to profile (with 'profile') or "
-                             "tree file (with 'fsck' / 'serve' / 'build')")
+                        help="experiment to profile (with 'profile'), "
+                             "tree file (with 'fsck' / 'serve' / 'build'), "
+                             "or path to check (with 'lint'; default src)")
     parser.add_argument("--meta", default=None, metavar="PATH",
                         help="fsck/serve: tree meta sidecar for plain "
                              "page files")
@@ -226,6 +235,22 @@ def _build_parser() -> argparse.ArgumentParser:
                              "worker is declared hung (default 30)")
     parser.add_argument("--throttle-s", type=float, default=0.0,
                         help=argparse.SUPPRESS)  # test hook: slow shards
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", dest="lint_format",
+                        help="lint: findings as an aligned text report "
+                             "(default) or a JSON document")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="lint: baseline file of grandfathered "
+                             "findings (default: lint-baseline.json if "
+                             "present; the committed one is empty and "
+                             "stays empty)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="lint: rewrite the baseline file to accept "
+                             "every current finding, then exit 0")
+    parser.add_argument("--manifest", action="store_true",
+                        help="lint: record the findings as a run manifest "
+                             f"under {obs.DEFAULT_RUN_DIR} so lint results "
+                             "live beside benchmark runs")
     parser.add_argument("--quick", action="store_true",
                         help="small fast profile (same shapes, smaller cells)")
     parser.add_argument("--queries", type=int, default=None,
@@ -415,6 +440,49 @@ def _run_serve(args: argparse.Namespace,
     return 0
 
 
+def _run_lint(args: argparse.Namespace, argv: list[str]) -> int:
+    """``repro lint [path]``: statically check the invariant contracts.
+
+    Exit codes: 0 clean (every finding suppressed or baselined), 1 new
+    findings.  ``--manifest`` files the report as a run manifest so a
+    directory of runs shows lint verdicts beside benchmark numbers.
+    """
+    from .lint import Baseline, DEFAULT_BASELINE, LintEngine
+
+    start = time.time()
+    paths = [args.target if args.target is not None else "src"]
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+        baseline_path = DEFAULT_BASELINE
+    baseline = (Baseline.load(baseline_path) if baseline_path
+                else Baseline())
+    engine = LintEngine(baseline=baseline)
+    report = engine.run(paths)
+
+    if args.write_baseline:
+        out = (args.baseline if args.baseline is not None
+               else DEFAULT_BASELINE)
+        all_found = report.findings + report.baselined
+        path = Baseline.from_findings(all_found).write(out)
+        print(f"wrote {path} ({len(all_found)} finding(s) baselined)")
+        return 0
+
+    if args.lint_format == "json":
+        print(report.to_json())
+    else:
+        print(report.render())
+    if args.manifest:
+        run_dir = (args.run_dir if args.run_dir is not None
+                   else obs.DEFAULT_RUN_DIR)
+        manifest = obs.RunManifest.collect(
+            "lint", argv=argv, duration_s=time.time() - start,
+            extra={"lint": report.as_dict()},
+        )
+        path = obs.write_manifest(manifest, run_dir)
+        print(f"wrote {path}")
+    return 0 if report.clean else 1
+
+
 def _run_build(args: argparse.Namespace, argv: list[str]) -> int:
     """``repro build <tree-file>``: parallel, resumable bulk load.
 
@@ -511,6 +579,8 @@ def main(argv: list[str] | None = None) -> int:
         if args.target is None:
             parser.error("build needs an output tree file")
         return _run_build(args, raw_argv)
+    if args.experiment == "lint":
+        return _run_lint(args, raw_argv)
 
     profile_mode = args.experiment == "profile"
     if profile_mode:
@@ -521,8 +591,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         names = [args.target]
     elif args.target is not None:
-        parser.error("a second positional argument is only valid "
-                     "with 'profile', 'fsck', 'serve' or 'build'")
+        parser.error("a second positional argument is only valid with "
+                     "'profile', 'fsck', 'serve', 'build' or 'lint'")
     else:
         names = (sorted(EXPERIMENTS) if args.experiment == "all"
                  else [args.experiment])

@@ -1,0 +1,63 @@
+"""``repro.lint`` — static enforcement of the repo's invariant contracts.
+
+``python -m repro lint`` walks the ASTs of everything under ``src/``
+and fails on violations of the determinism, durability, counter-purity,
+exception-discipline, async-safety and picklability contracts the
+earlier PRs established dynamically.  See ``docs/static-analysis.md``
+for the rules and :mod:`repro.lint.engine` for the machinery.
+
+>>> from repro.lint import LintEngine, Baseline
+>>> report = LintEngine(root=".").run(["src"])      # doctest: +SKIP
+>>> report.clean                                     # doctest: +SKIP
+True
+"""
+
+from __future__ import annotations
+
+import os
+
+from .engine import (
+    BASELINE_FORMAT,
+    Baseline,
+    FileContext,
+    Finding,
+    LintEngine,
+    LintReport,
+    Rule,
+    all_rules,
+    register,
+)
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "DEFAULT_BASELINE",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "register",
+]
+
+#: The committed baseline the CLI applies by default (kept empty for
+#: ``src/`` — fix findings, don't baseline them).
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def lint_paths(paths: list[str], *, root: str | os.PathLike = ".",
+               baseline_path: str | None = None) -> LintReport:
+    """Lint ``paths`` (relative to ``root``) with every registered rule.
+
+    ``baseline_path=None`` auto-loads ``<root>/lint-baseline.json`` when
+    present; pass ``""`` to force an empty baseline.
+    """
+    root = os.fspath(root)
+    if baseline_path is None:
+        candidate = os.path.join(root, DEFAULT_BASELINE)
+        baseline_path = candidate if os.path.exists(candidate) else ""
+    baseline = Baseline.load(baseline_path) if baseline_path else Baseline()
+    engine = LintEngine(root=root, baseline=baseline)
+    return engine.run(paths)

@@ -1,0 +1,450 @@
+"""AST-walking lint engine enforcing the repo's invariant contracts.
+
+The guarantees PRs 1-4 built — bit-identical ``mean_accesses`` under
+tracing, fsync-then-rename atomic publication, typed error taxonomies,
+byte-identical parallel builds, a never-blocking asyncio serving loop —
+exist in the code only as conventions.  Dynamic tests catch violations
+after a 2000-query chaos soak; this engine catches them at commit time
+by walking every file's AST with a set of pluggable, project-specific
+rules (``repro.lint.rules``).
+
+Pieces
+------
+:class:`Finding`
+    One rule violation: rule id, file, position, message.  Its
+    :meth:`~Finding.key` is deliberately line-number-free so baselines
+    survive unrelated edits above a finding.
+:class:`Rule`
+    Base class; concrete rules register themselves with
+    :func:`register` and restrict themselves to the package paths whose
+    contract they guard via ``path_pattern``.
+:class:`FileContext`
+    Everything a rule may look at for one file: source, AST, the
+    resolved import-alias table, and suppression comments.
+:class:`Baseline`
+    A committed JSON map of finding keys -> occurrence counts.  Lint
+    exits clean when every finding is baselined; the repo's committed
+    baseline for ``src/`` is empty and must stay empty.
+:class:`LintEngine` / :class:`LintReport`
+    Discovery, per-file dispatch, suppression accounting, text/JSON
+    rendering, and the manifest payload the CLI stores beside
+    benchmark runs.
+
+Suppressions
+------------
+A trailing comment silences named rules on that line::
+
+    self._skew = time.time() - time.monotonic()  # repro-lint: disable=RL001 -- mtime calibration
+
+``disable=all`` silences every rule on the line; a whole file opts out
+of one rule with ``# repro-lint: disable-file=RL005`` on a line of its
+own.  Suppressions are counted and reported, never silent.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import tokenize
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "register",
+    "resolve_call_name",
+]
+
+BASELINE_FORMAT = "repro-lint-baseline-v1"
+
+#: Rule id used for files the engine cannot parse at all.
+PARSE_ERROR_RULE = "RL000"
+
+_SUPPRESS_PREFIX = "repro-lint:"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One violation of one rule at one source position."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    col: int
+    message: str
+
+    def key(self) -> str:
+        """Baseline identity: path + rule + message, no line number, so
+        a baselined finding survives edits elsewhere in the file."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def as_dict(self) -> dict:
+        """JSON-able form (the ``--format json`` / manifest shape)."""
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def render(self) -> str:
+        """``path:line:col: RULE message`` — the text-report line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class Rule:
+    """Base class for one invariant check.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``path_pattern`` is a substring-or-regex-free applicability test:
+    a tuple of posix path fragments; the rule runs on files whose
+    repo-relative path contains any fragment.  An empty tuple means
+    every file.
+    """
+
+    id: str = ""
+    name: str = ""
+    #: One-line statement of the invariant the rule guards.
+    invariant: str = ""
+    #: Posix path fragments selecting the files under contract.
+    path_fragments: tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        """Is this repo-relative path under the rule's contract?"""
+        if not self.path_fragments:
+            return True
+        return any(frag in path for frag in self.path_fragments)
+
+    def check(self, ctx: "FileContext") -> Iterator[Finding]:
+        """Yield one :class:`Finding` per violation in ``ctx``."""
+        raise NotImplementedError
+
+    def finding(self, ctx: "FileContext", node: ast.AST,
+                message: str) -> Finding:
+        """A :class:`Finding` for this rule at ``node``'s position."""
+        return Finding(rule=self.id, path=ctx.path,
+                       line=getattr(node, "lineno", 0),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    rule = cls()
+    if not rule.id:
+        raise ValueError(f"{cls.__name__} has no rule id")
+    if rule.id in _REGISTRY and type(_REGISTRY[rule.id]) is not cls:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by id (imports the rule package
+    so registration is a side effect of first use, not of import order)."""
+    from . import rules as _rules  # noqa: F401  (registration side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+# -- import-alias resolution -------------------------------------------------
+
+
+def _collect_aliases(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the dotted module/attribute they denote.
+
+    ``import numpy as np`` -> ``{"np": "numpy"}``;
+    ``from time import time as now`` -> ``{"now": "time.time"}``.
+    Relative imports keep their dots (``from ..storage import x`` ->
+    ``{"x": "..storage.x"}``) so rules can still recognise them.
+    """
+    aliases: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            module = "." * node.level + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = (
+                    f"{module}.{alias.name}" if module else alias.name
+                )
+    return aliases
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def resolve_call_name(func: ast.AST, aliases: dict[str, str]) -> str | None:
+    """The fully-qualified dotted name a call target denotes, with the
+    file's import aliases expanded (``np.random.rand`` ->
+    ``numpy.random.rand``; ``now`` -> ``time.time``)."""
+    dotted = _dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    expanded = aliases.get(head, head)
+    return f"{expanded}.{rest}" if rest else expanded
+
+
+# -- suppression comments ----------------------------------------------------
+
+
+def _parse_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """``(line -> rule ids disabled on it, rule ids disabled file-wide)``.
+
+    Uses the tokenizer, not a regex over raw lines, so the directive is
+    only honoured in real comments — a string literal containing
+    ``repro-lint:`` does not suppress anything.
+    """
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return per_line, per_file
+    for line, text in comments:
+        body = text.lstrip("#").strip()
+        if not body.startswith(_SUPPRESS_PREFIX):
+            continue
+        directive = body[len(_SUPPRESS_PREFIX):].strip()
+        # Anything after ` -- ` is a human-facing justification.
+        directive = directive.split(" -- ")[0].strip()
+        for key, target in (("disable-file=", per_file), ("disable=", None)):
+            if not directive.startswith(key):
+                continue
+            ids = {part.strip().upper() for part in
+                   directive[len(key):].split(",") if part.strip()}
+            if target is not None:
+                target.update(ids)
+            else:
+                per_line.setdefault(line, set()).update(ids)
+            break
+    return per_line, per_file
+
+
+@dataclass
+class FileContext:
+    """Everything rules may inspect about one file."""
+
+    path: str  # repo-relative, posix
+    source: str
+    tree: ast.Module
+    aliases: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source)
+        return cls(path=path, source=source, tree=tree,
+                   aliases=_collect_aliases(tree))
+
+
+# -- baseline ----------------------------------------------------------------
+
+
+class Baseline:
+    """A committed map of known findings, matched by :meth:`Finding.key`.
+
+    Each key carries the number of occurrences grandfathered in, so a
+    *new* instance of an already-baselined pattern in the same file
+    still fails the build.
+    """
+
+    def __init__(self, counts: dict[str, int] | None = None):
+        self.counts: dict[str, int] = dict(counts or {})
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Baseline":
+        with open(os.fspath(path)) as f:
+            data = json.load(f)
+        if data.get("format") != BASELINE_FORMAT:
+            raise ValueError(
+                f"{path}: not a {BASELINE_FORMAT} file "
+                f"(format={data.get('format')!r})"
+            )
+        counts = {str(k): int(v) for k, v in data.get("findings", {}).items()}
+        return cls(counts)
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: dict[str, int] = {}
+        for f in findings:
+            counts[f.key()] = counts.get(f.key(), 0) + 1
+        return cls(counts)
+
+    def write(self, path: str | os.PathLike) -> str:
+        """Serialise to ``path`` (sorted keys, trailing newline)."""
+        path = os.fspath(path)
+        with open(path, "w") as f:
+            json.dump({"format": BASELINE_FORMAT,
+                       "findings": dict(sorted(self.counts.items()))},
+                      f, indent=2, sort_keys=True)
+            f.write("\n")
+        return path
+
+    def split(self, findings: list[Finding]
+              ) -> tuple[list[Finding], list[Finding]]:
+        """``(new, baselined)`` — per-key occurrences beyond the
+        grandfathered count are new."""
+        seen: dict[str, int] = {}
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            key = f.key()
+            seen[key] = seen.get(key, 0) + 1
+            (old if seen[key] <= self.counts.get(key, 0) else new).append(f)
+        return new, old
+
+
+# -- engine ------------------------------------------------------------------
+
+
+@dataclass
+class LintReport:
+    """The outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_checked: int = 0
+    rules: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def as_dict(self) -> dict:
+        """JSON-able report (stored under ``extra.lint`` in manifests)."""
+        return {
+            "clean": self.clean,
+            "files_checked": self.files_checked,
+            "rules": list(self.rules),
+            "suppressed": self.suppressed,
+            "baselined": [f.as_dict() for f in self.baselined],
+            "findings": [f.as_dict() for f in self.findings],
+        }
+
+    def to_json(self) -> str:
+        """The :meth:`as_dict` report as pretty-printed JSON."""
+        return json.dumps(self.as_dict(), indent=2, sort_keys=True)
+
+    def render(self) -> str:
+        """One line per finding plus a trailing verdict summary line."""
+        lines = [f.render() for f in self.findings]
+        verdict = ("clean" if self.clean
+                   else f"{len(self.findings)} finding(s)")
+        lines.append(
+            f"repro lint: {verdict} — {self.files_checked} file(s), "
+            f"{len(self.rules)} rule(s), {self.suppressed} suppressed, "
+            f"{len(self.baselined)} baselined"
+        )
+        return "\n".join(lines)
+
+
+class LintEngine:
+    """Discovers files, dispatches rules, applies suppressions and the
+    baseline, and aggregates a :class:`LintReport`."""
+
+    def __init__(self, rules: Iterable[Rule] | None = None, *,
+                 root: str | os.PathLike = ".",
+                 baseline: Baseline | None = None):
+        self.rules = list(rules) if rules is not None else all_rules()
+        self.root = os.fspath(root)
+        self.baseline = baseline if baseline is not None else Baseline()
+
+    # -- discovery -----------------------------------------------------------
+
+    def discover(self, paths: Iterable[str | os.PathLike]) -> list[str]:
+        """Python files under ``paths`` (files kept as-is, directories
+        walked recursively), repo-relative, sorted, ``__pycache__``
+        skipped."""
+        found: set[str] = set()
+        for path in paths:
+            path = os.path.join(self.root, os.fspath(path))
+            if os.path.isfile(path):
+                found.add(self._relpath(path))
+                continue
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for name in filenames:
+                    if name.endswith(".py"):
+                        found.add(self._relpath(os.path.join(dirpath, name)))
+        return sorted(found)
+
+    def _relpath(self, path: str) -> str:
+        rel = os.path.relpath(path, self.root)
+        return rel.replace(os.sep, "/")
+
+    # -- checking ------------------------------------------------------------
+
+    def check_source(self, rel_path: str, source: str
+                     ) -> tuple[list[Finding], int]:
+        """``(findings, suppressed_count)`` for one in-memory file."""
+        try:
+            ctx = FileContext.parse(rel_path, source)
+        except (SyntaxError, ValueError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            return [Finding(rule=PARSE_ERROR_RULE, path=rel_path,
+                            line=line, col=1,
+                            message=f"file does not parse: {exc.msg}"
+                            if isinstance(exc, SyntaxError)
+                            else f"file does not parse: {exc}")], 0
+        per_line, per_file = _parse_suppressions(source)
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if rule.applies_to(rel_path):
+                raw.extend(rule.check(ctx))
+        findings: list[Finding] = []
+        suppressed = 0
+        for f in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
+            disabled = per_line.get(f.line, set())
+            if (f.rule in per_file or "ALL" in per_file
+                    or f.rule in disabled or "ALL" in disabled):
+                suppressed += 1
+            else:
+                findings.append(f)
+        return findings, suppressed
+
+    def run(self, paths: Iterable[str | os.PathLike],
+            *, read: Callable[[str], str] | None = None) -> LintReport:
+        """Lint every file under ``paths`` against the baseline."""
+        report = LintReport(rules=[r.id for r in self.rules])
+        collected: list[Finding] = []
+        for rel in self.discover(paths):
+            if read is not None:
+                source = read(rel)
+            else:
+                with open(os.path.join(self.root, rel),
+                          encoding="utf-8") as f:
+                    source = f.read()
+            findings, suppressed = self.check_source(rel, source)
+            collected.extend(findings)
+            report.suppressed += suppressed
+            report.files_checked += 1
+        report.findings, report.baselined = self.baseline.split(collected)
+        return report

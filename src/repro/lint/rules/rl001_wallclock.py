@@ -1,0 +1,95 @@
+"""RL001 no-wallclock-or-rng: determinism of the measured core.
+
+The paper's metric — exact disk accesses per query — and the parallel
+builder's byte-identical guarantee both die the moment code in the
+measured core reads the wall clock or an unseeded RNG.  Everything
+under ``core/``, ``rtree/``, ``pipeline/`` and ``storage/`` must be a
+pure function of its inputs: clocks and randomness arrive as *injected
+parameters* (``clock=time.monotonic`` defaults, explicit ``seed=``
+arguments), never as ambient calls.
+
+Flagged: calls to ``time.time``/``time.time_ns``, any ``random.*``
+module-level function (global RNG state), argless ``random.Random()``,
+``os.urandom``, argless ``datetime.now()`` / ``datetime.utcnow``, any
+``numpy.random.*`` legacy global-state function, and argless
+``numpy.random.default_rng()``.
+
+Allowed: ``numpy.random.default_rng(seed)`` / ``random.Random(seed)``
+(seeded construction), ``datetime.now(tz)`` (explicit timezone —
+manifest timestamps), and banned functions *referenced* (not called)
+as parameter defaults — that is exactly the injection idiom
+(``def __init__(self, clock=time.monotonic)``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register, resolve_call_name
+
+__all__ = ["NoWallclockOrRng"]
+
+#: Nondeterministic no matter how they are called.
+EXACT_BANNED = {
+    "time.time": "reads the wall clock",
+    "time.time_ns": "reads the wall clock",
+    "os.urandom": "reads OS entropy",
+    "datetime.utcnow": "reads the wall clock",
+    "datetime.datetime.utcnow": "reads the wall clock",
+}
+
+#: Banned only when called with no arguments (the argful form is the
+#: injected/seeded idiom).
+ARGLESS_BANNED = {
+    "datetime.now": "reads the wall clock (pass an explicit tz upstream)",
+    "datetime.datetime.now": "reads the wall clock (pass an explicit tz "
+                             "upstream)",
+    "numpy.random.default_rng": "seeds from OS entropy",
+    "random.Random": "seeds from OS entropy",
+}
+
+#: Prefixes whose *other* members touch global RNG state.
+BANNED_PREFIXES = ("random.", "numpy.random.")
+
+#: Seeded-construction entry points exempt from the prefix ban.
+SEEDED_OK = {
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.SeedSequence",
+    "random.Random",
+}
+
+
+@register
+class NoWallclockOrRng(Rule):
+    id = "RL001"
+    name = "no-wallclock-or-rng"
+    invariant = ("code in the measured/replayed core is deterministic: "
+                 "clocks and RNGs are injected, never ambient")
+    path_fragments = ("repro/core/", "repro/rtree/", "repro/pipeline/",
+                      "repro/storage/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call_name(node.func, ctx.aliases)
+            if name is None:
+                continue
+            argless = not node.args and not node.keywords
+            if name in EXACT_BANNED:
+                why = EXACT_BANNED[name]
+            elif name in ARGLESS_BANNED and argless:
+                why = ARGLESS_BANNED[name]
+            elif (name.startswith(BANNED_PREFIXES)
+                    and name not in SEEDED_OK
+                    and name not in ARGLESS_BANNED):
+                why = "uses global RNG state"
+            else:
+                continue
+            yield self.finding(
+                ctx, node,
+                f"call to {name} {why}; inject a seeded rng / clock "
+                f"parameter instead",
+            )

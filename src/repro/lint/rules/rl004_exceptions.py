@@ -1,0 +1,89 @@
+"""RL004 exception-discipline: failures are typed, never swallowed.
+
+PRs 2-4 built a typed error taxonomy (``StoreError`` and subclasses,
+``ServeError``/``Overloaded``/``StoreUnavailable``, ``PoisonShard``,
+``ResumeMismatch``) precisely so callers can tell "retry this" from
+"refuse and keep the old generation".  A bare ``except:`` or a
+silently-passed ``except Exception:`` erases that information — in the
+durability and serving packages it can turn a torn page or a dead
+store into a silent wrong answer.
+
+Flagged, in ``storage/``, ``serve/`` and ``pipeline/``:
+
+* bare ``except:`` (catches ``KeyboardInterrupt``/``SystemExit`` too,
+  which breaks the kill matrix's process supervision);
+* ``except Exception:`` / ``except BaseException:`` whose body only
+  ``pass``es (a swallow — either narrow the type, re-raise one of the
+  typed taxonomy, or *record* the event so operators can see it);
+* ``raise Exception(...)`` / ``raise BaseException(...)`` — public
+  failure paths raise the typed taxonomy, not the root classes.
+
+Catching a *narrow* exception and passing (``except OSError: pass``
+around best-effort cleanup) stays legal: the type documents intent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register
+
+__all__ = ["ExceptionDiscipline"]
+
+BROAD = ("Exception", "BaseException")
+
+
+def _names_broad(annotation: ast.AST | None) -> bool:
+    """Does this except clause name Exception/BaseException?"""
+    if annotation is None:
+        return False
+    nodes = (annotation.elts if isinstance(annotation, ast.Tuple)
+             else [annotation])
+    return any(isinstance(n, ast.Name) and n.id in BROAD for n in nodes)
+
+
+def _swallows(body: list[ast.stmt]) -> bool:
+    """True if the handler body does nothing (pass / docstring / ...)."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant))
+        for stmt in body
+    )
+
+
+@register
+class ExceptionDiscipline(Rule):
+    id = "RL004"
+    name = "exception-discipline"
+    invariant = ("durability/serving/pipeline code never swallows broad "
+                 "exceptions and raises only the typed taxonomy")
+    path_fragments = ("repro/storage/", "repro/serve/", "repro/pipeline/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    yield self.finding(
+                        ctx, node,
+                        "bare except: catches SystemExit/KeyboardInterrupt "
+                        "and breaks supervision; name the exception type",
+                    )
+                elif _names_broad(node.type) and _swallows(node.body):
+                    yield self.finding(
+                        ctx, node,
+                        "except Exception with a pass body swallows the "
+                        "typed error taxonomy; narrow the type, re-raise, "
+                        "or record the failure",
+                    )
+            elif (isinstance(node, ast.Raise)
+                    and isinstance(node.exc, ast.Call)
+                    and isinstance(node.exc.func, ast.Name)
+                    and node.exc.func.id in BROAD):
+                yield self.finding(
+                    ctx, node,
+                    f"raise {node.exc.func.id}(...) bypasses the typed "
+                    f"error taxonomy; raise a StoreError/ServeError/"
+                    f"pipeline subclass instead",
+                )

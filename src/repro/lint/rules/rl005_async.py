@@ -1,0 +1,83 @@
+"""RL005 async-blocking: the serving event loop never blocks.
+
+PR 3's serving layer promises cooperative multitasking: deadlines are
+checked between node visits, admission control sheds load, and every
+slow operation (tree walks, fsck-verify on reload) runs in the
+executor via ``loop.run_in_executor``.  One synchronous ``open()`` or
+``time.sleep`` directly inside a coroutine freezes *every* in-flight
+request and silently voids the p99 SLO.
+
+Flagged, for ``async def`` bodies under ``serve/``: calls to
+``time.sleep``, the builtin ``open``, ``os.system``, any
+``subprocess.*`` entry point, and ``socket.create_connection``.
+
+Synchronous helper *functions* in the same files stay legal — the
+pattern is exactly to put blocking work in a sync method and dispatch
+it with ``run_in_executor`` (see ``QueryServer._reload_blocking``).
+Nested synchronous ``def``s inside a coroutine are treated as such
+helpers and not descended into.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import FileContext, Finding, Rule, register, resolve_call_name
+
+__all__ = ["AsyncBlocking"]
+
+BANNED = {
+    "time.sleep": "blocks the event loop; use await asyncio.sleep",
+    "open": "blocking file I/O in a coroutine; run it in the executor",
+    "os.system": "blocking subprocess in a coroutine; use "
+                 "asyncio.create_subprocess_exec",
+    "socket.create_connection": "blocking connect in a coroutine; use "
+                                "asyncio.open_connection",
+}
+
+SUBPROCESS_PREFIX = "subprocess."
+
+
+def _shallow_walk(stmts: list[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk statements without entering nested function/lambda scopes."""
+    stack: list[ast.AST] = list(stmts)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class AsyncBlocking(Rule):
+    id = "RL005"
+    name = "async-blocking"
+    invariant = ("coroutines in the serving layer never call blocking "
+                 "primitives; slow work goes through run_in_executor")
+    path_fragments = ("repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if not isinstance(func, ast.AsyncFunctionDef):
+                continue
+            for node in _shallow_walk(func.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = resolve_call_name(node.func, ctx.aliases)
+                if name is None:
+                    continue
+                if name in BANNED:
+                    why = BANNED[name]
+                elif name.startswith(SUBPROCESS_PREFIX):
+                    why = ("blocking subprocess in a coroutine; use "
+                           "asyncio.create_subprocess_exec")
+                else:
+                    continue
+                yield self.finding(
+                    ctx, node,
+                    f"call to {name} in coroutine "
+                    f"{func.name!r}: {why}",
+                )

@@ -34,6 +34,11 @@ import os
 import subprocess
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .metrics import MetricsRegistry
+    from .spans import Tracer
 
 __all__ = [
     "MANIFEST_FORMAT",
@@ -66,7 +71,7 @@ def git_sha(cwd: str | os.PathLike | None = None) -> str | None:
     return sha if out.returncode == 0 and sha else None
 
 
-def _config_dict(config) -> dict:
+def _config_dict(config: object) -> dict:
     """An ExperimentConfig (or any dataclass/dict) as a JSON-able dict.
 
     Normalised through a JSON round trip so the in-memory manifest equals
@@ -104,9 +109,11 @@ class RunManifest:
             self.created_utc = datetime.now(timezone.utc).isoformat()
 
     @classmethod
-    def collect(cls, experiment: str, *, config=None,
+    def collect(cls, experiment: str, *, config: object = None,
                 argv: list[str] | None = None, duration_s: float = 0.0,
-                tracer=None, registry=None, outputs: dict | None = None,
+                tracer: "Tracer | None" = None,
+                registry: "MetricsRegistry | None" = None,
+                outputs: dict | None = None,
                 extra: dict | None = None) -> "RunManifest":
         """Assemble a manifest from live telemetry objects."""
         return cls(

@@ -20,7 +20,13 @@ Design rules
 from __future__ import annotations
 
 import math
-from typing import Iterator
+from typing import Iterator, Sequence, TypeVar, Union
+
+#: Any concrete instrument (they share the name/labels/kind shape but
+#: no base class — __slots__ classes stay lean on the hot path).
+Metric = Union["Counter", "Gauge", "Histogram"]
+
+_M = TypeVar("_M", "Counter", "Gauge", "Histogram")
 
 __all__ = [
     "MetricsError",
@@ -32,7 +38,7 @@ __all__ = [
 ]
 
 
-def percentile(values, q: float) -> float:
+def percentile(values: Sequence[float], q: float) -> float:
     """Exact q-th percentile of ``values`` (linear interpolation).
 
     NaN when ``values`` is empty; shared by :class:`Histogram` and the
@@ -69,7 +75,7 @@ class Counter:
     kind = "counter"
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: dict[str, object]):
+    def __init__(self, name: str, labels: dict[str, object]) -> None:
         self.name = name
         self.labels = labels
         self.value = 0
@@ -104,7 +110,7 @@ class Gauge:
     kind = "gauge"
     __slots__ = ("name", "labels", "value")
 
-    def __init__(self, name: str, labels: dict[str, object]):
+    def __init__(self, name: str, labels: dict[str, object]) -> None:
         self.name = name
         self.labels = labels
         self.value: float | int | None = None
@@ -145,7 +151,7 @@ class Histogram:
     #: Percentiles included in every snapshot.
     SNAPSHOT_PERCENTILES = (50.0, 90.0, 99.0)
 
-    def __init__(self, name: str, labels: dict[str, object]):
+    def __init__(self, name: str, labels: dict[str, object]) -> None:
         self.name = name
         self.labels = labels
         self.values: list[float] = []
@@ -216,11 +222,12 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._metrics: dict[tuple[str, LabelKey], object] = {}
+        self._metrics: dict[tuple[str, LabelKey], Metric] = {}
 
     # -- get-or-create -------------------------------------------------------
 
-    def _get(self, cls, name: str, labels: dict[str, object]):
+    def _get(self, cls: type[_M], name: str,
+             labels: dict[str, object]) -> _M:
         if not name:
             raise MetricsError("metric name must be non-empty")
         key = (name, _label_key(labels))
@@ -235,15 +242,15 @@ class MetricsRegistry:
             )
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         """The counter for ``(name, labels)``, created on first use."""
         return self._get(Counter, name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         """The gauge for ``(name, labels)``, created on first use."""
         return self._get(Gauge, name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         """The histogram for ``(name, labels)``, created on first use."""
         return self._get(Histogram, name, labels)
 
@@ -259,7 +266,7 @@ class MetricsRegistry:
         """Sorted distinct metric names."""
         return sorted({name for name, _ in self._metrics})
 
-    def get(self, name: str, **labels):
+    def get(self, name: str, **labels: object) -> "Metric | None":
         """The existing metric for ``(name, labels)``, or ``None``."""
         return self._metrics.get((name, _label_key(labels)))
 

@@ -33,10 +33,20 @@ exit.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator
+from typing import ContextManager, Iterator, Protocol
 
 from .metrics import MetricsRegistry
-from .spans import Tracer
+from .spans import Span, Tracer
+
+
+class SupportsAsDict(Protocol):
+    """Duck type of ``IOStats`` (a name this module must never import:
+    the dependency arrow points storage -> obs, enforced by RL003)."""
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain ``{field: count}`` dict of the counters."""
+        ...
+
 
 __all__ = [
     "enable",
@@ -61,7 +71,7 @@ class _NullSpan:
     def __enter__(self) -> None:
         return None
 
-    def __exit__(self, *exc) -> bool:
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 
@@ -118,32 +128,33 @@ def registry() -> MetricsRegistry | None:
     return _stack[-1][1] if _stack else None
 
 
-def span(name: str, **labels):
+def span(name: str, **labels: object) -> ContextManager[Span | None]:
     """A timed region under the active tracer; no-op when disabled."""
     if not _stack:
         return _NULL_SPAN
     return _stack[-1][0].span(name, **labels)
 
 
-def inc(name: str, amount: int = 1, **labels) -> None:
+def inc(name: str, amount: int = 1, **labels: object) -> None:
     """Increment a counter in the active registry; no-op when disabled."""
     if _stack:
         _stack[-1][1].counter(name, **labels).inc(amount)
 
 
-def observe(name: str, value: float, **labels) -> None:
+def observe(name: str, value: float, **labels: object) -> None:
     """Observe into a histogram in the active registry; no-op when off."""
     if _stack:
         _stack[-1][1].histogram(name, **labels).observe(value)
 
 
-def set_gauge(name: str, value: float, **labels) -> None:
+def set_gauge(name: str, value: float, **labels: object) -> None:
     """Set a gauge in the active registry; no-op when disabled."""
     if _stack:
         _stack[-1][1].gauge(name, **labels).set(value)
 
 
-def record_iostats(stats, prefix: str, **labels) -> None:
+def record_iostats(stats: SupportsAsDict, prefix: str,
+                   **labels: object) -> None:
     """Fold an :class:`~repro.storage.counters.IOStats` total into the
     active registry as ``<prefix>.<field>`` counters.
 

@@ -29,7 +29,7 @@ __all__ = ["RollingWindow", "SloTarget", "SloReport"]
 class RollingWindow:
     """The most recent ``maxlen`` observations of a streaming quantity."""
 
-    def __init__(self, maxlen: int = 1024):
+    def __init__(self, maxlen: int = 1024) -> None:
         if maxlen < 1:
             raise ValueError(f"maxlen must be >= 1, got {maxlen}")
         self.maxlen = maxlen

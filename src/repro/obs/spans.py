@@ -125,7 +125,7 @@ class Tracer:
         self._next_index = 0
 
     @contextmanager
-    def span(self, name: str, **labels) -> Iterator[Span]:
+    def span(self, name: str, **labels: object) -> Iterator[Span]:
         """Time a region; nests under whatever span is currently open."""
         parent = self._stack[-1] if self._stack else None
         record = Span(

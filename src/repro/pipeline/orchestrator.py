@@ -37,6 +37,7 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -182,7 +183,12 @@ class _Supervisor:
     def __init__(self, staging: StagingDir, plan: BuildPlan,
                  checkpoint: CheckpointLog, *, workers: int,
                  heartbeat_s: float, deadline_s: float, max_attempts: int,
-                 fault: dict | None, throttle_s: float, poll_s: float):
+                 fault: dict | None, throttle_s: float, poll_s: float,
+                 wall_clock: Callable[[], float] = time.time):
+        # Injected wall clock: heartbeat files carry wall-clock mtimes,
+        # so calibrating against the monotonic clock needs one wall
+        # read — tests substitute a fake to drive staleness.
+        self.wall_clock = wall_clock
         self.staging = staging
         self.plan = plan
         self.checkpoint = checkpoint
@@ -295,7 +301,7 @@ class _Supervisor:
         ctx = multiprocessing.get_context(method)
         # Heartbeats are file mtimes (wall clock); supervision runs on
         # the monotonic clock.  Calibrate the offset once.
-        self._mtime_skew = time.time() - time.monotonic()
+        self._mtime_skew = self.wall_clock() - time.monotonic()
         pending = deque(pending_shards)
         running: dict[int, tuple] = {}
         try:

@@ -296,8 +296,11 @@ class QueryServer:
         if old_store is not store:
             try:
                 old_store.close()
-            except Exception:  # pragma: no cover - best-effort release
-                pass
+            except _STORE_FAILURES:  # pragma: no cover - best-effort release
+                # The old generation is already unreachable; a failed
+                # close only matters to operators, so count it rather
+                # than let it abort an otherwise-committed reload.
+                obs.inc("serve.reload.close_errors")
         return {
             "generation": self.generation,
             "path": path,

@@ -42,7 +42,7 @@ class CircuitBreaker:
     def __init__(self, *, failure_threshold: int = 5,
                  reset_timeout_s: float = 1.0,
                  half_open_successes: int = 2,
-                 clock: Callable[[], float] = time.monotonic):
+                 clock: Callable[[], float] = time.monotonic) -> None:
         if failure_threshold < 1:
             raise ValueError(
                 f"failure_threshold must be >= 1, got {failure_threshold}"

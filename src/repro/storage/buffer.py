@@ -198,7 +198,7 @@ class BufferPool(Generic[K, V]):
         stats: IOStats | None = None,
         policy: str | ReplacementPolicy = "lru",
         writeback: Callable[[K, V], None] | None = None,
-    ):
+    ) -> None:
         if capacity < 1:
             raise BufferError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity

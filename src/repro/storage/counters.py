@@ -19,6 +19,8 @@ components report into one place.  The attribute API (``stats.disk_reads
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..obs.metrics import Counter, MetricsRegistry
 
 __all__ = ["IOStats"]
@@ -54,11 +56,21 @@ class IOStats:
 
     __slots__ = ("registry", "prefix", "_counters", "_history")
 
+    if TYPE_CHECKING:
+        # The field accessors are generated properties (see the
+        # ``setattr`` loop below the class); declare them for type
+        # checkers, which cannot follow the loop.
+        disk_reads: int
+        disk_writes: int
+        buffer_hits: int
+        buffer_misses: int
+        evictions: int
+
     def __init__(self, disk_reads: int = 0, disk_writes: int = 0,
                  buffer_hits: int = 0, buffer_misses: int = 0,
                  evictions: int = 0, *,
                  registry: MetricsRegistry | None = None,
-                 prefix: str = "io"):
+                 prefix: str = "io") -> None:
         #: Backing registry; private per instance unless one is passed in.
         #: Two IOStats sharing a registry *and* prefix alias the same
         #: counters — that is the "one registry" aggregation mode.

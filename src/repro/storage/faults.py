@@ -30,9 +30,12 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from random import Random
-from typing import Callable, Iterable
+from typing import Callable, Iterable, TypeVar
+
+_T = TypeVar("_T")
 
 from ..obs import runtime as obs
+from .breaker import CircuitBreaker
 from .counters import IOStats
 from .store import PageStore, SimulatedCrash, StoreError
 
@@ -90,8 +93,8 @@ class RetryPolicy:
     def __post_init__(self) -> None:
         self._rng = Random(self.seed)
 
-    def run(self, fn: Callable[[], object],
-            on_retry: Callable[[BaseException], None] | None = None):
+    def run(self, fn: Callable[[], _T],
+            on_retry: Callable[[BaseException], None] | None = None) -> _T:
         """Call ``fn`` until it succeeds or the attempt budget is spent."""
         if self.attempts < 1:
             raise StoreError(f"retry attempts must be >= 1, got "
@@ -124,7 +127,8 @@ class CrashPlan:
     whole write before dying.
     """
 
-    def __init__(self, at_write: int, *, tear_bytes: int | None = None):
+    def __init__(self, at_write: int, *,
+                 tear_bytes: int | None = None) -> None:
         if at_write < 0:
             raise StoreError(f"at_write must be >= 0, got {at_write}")
         self.at_write = at_write
@@ -242,7 +246,8 @@ class FaultInjectingPageStore(PageStore):
 
     def __init__(self, inner: PageStore, plan: FaultPlan, *,
                  retry: RetryPolicy | None = None,
-                 stats: IOStats | None = None, breaker=None):
+                 stats: IOStats | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         super().__init__(inner.page_size,
                          stats if stats is not None else inner.stats,
                          retry=retry, breaker=breaker)
@@ -262,7 +267,7 @@ class FaultInjectingPageStore(PageStore):
     # ``PagedRTree.from_store`` and ``bulk_load`` work on a faulty store.
 
     @property
-    def path(self):
+    def path(self) -> str | None:
         return getattr(self.inner, "path", None)
 
     @property
@@ -270,7 +275,7 @@ class FaultInjectingPageStore(PageStore):
         return getattr(self.inner, "supports_tree_meta", False)
 
     @property
-    def tree_meta(self):
+    def tree_meta(self) -> dict | None:
         return getattr(self.inner, "tree_meta", None)
 
     def set_tree_meta(self, meta: dict) -> None:

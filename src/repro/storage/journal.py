@@ -56,7 +56,8 @@ class WriteJournal:
 
     def __init__(self, path: str | os.PathLike, page_size: int, *,
                  sync: bool = False,
-                 write_fn: Callable[[BinaryIO, bytes], None] | None = None):
+                 write_fn: Callable[[BinaryIO, bytes], None] | None = None
+                 ) -> None:
         self.path = os.fspath(path)
         self.page_size = page_size
         self.sync = sync

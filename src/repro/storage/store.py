@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import abc
 import os
-from typing import Iterator
+from typing import TYPE_CHECKING, BinaryIO, Callable, Iterator, TypeVar
 
 from ..obs import runtime as obs
 from .counters import IOStats
@@ -58,6 +58,12 @@ from .integrity import (
     verify_trailer,
 )
 from .journal import WriteJournal, journal_path
+
+if TYPE_CHECKING:  # retry/crash plans live in faults, which imports us
+    from .breaker import CircuitBreaker
+    from .faults import CrashPlan, RetryPolicy
+
+_T = TypeVar("_T")
 
 __all__ = [
     "StoreError",
@@ -117,7 +123,8 @@ class PageStore(abc.ABC):
     """
 
     def __init__(self, page_size: int, stats: IOStats | None = None, *,
-                 retry=None, breaker=None):
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         if page_size < 32:
             raise StoreError(f"page_size {page_size} is implausibly small")
         self.page_size = page_size
@@ -194,7 +201,7 @@ class PageStore(abc.ABC):
                 f"page {page_id}: {op} refused, circuit breaker is open"
             )
 
-    def _attempt(self, op):
+    def _attempt(self, op: Callable[[], _T]) -> _T:
         """Run one (possibly retried) operation, feeding the breaker."""
         if self.breaker is None:
             return op()
@@ -242,7 +249,7 @@ class PageStore(abc.ABC):
     def __enter__(self) -> "PageStore":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -250,7 +257,8 @@ class MemoryPageStore(PageStore):
     """In-memory page store (the default experiment backend)."""
 
     def __init__(self, page_size: int, stats: IOStats | None = None, *,
-                 retry=None, breaker=None):
+                 retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None) -> None:
         super().__init__(page_size, stats, retry=retry, breaker=breaker)
         self._pages: list[bytes | None] = []
 
@@ -310,8 +318,9 @@ class FilePageStore(PageStore):
     def __init__(self, path: str | os.PathLike, page_size: int,
                  stats: IOStats | None = None, *,
                  checksums: bool = False, journal: bool = False,
-                 sync: bool = False, retry=None, breaker=None,
-                 crash_plan=None):
+                 sync: bool = False, retry: RetryPolicy | None = None,
+                 breaker: CircuitBreaker | None = None,
+                 crash_plan: CrashPlan | None = None) -> None:
         super().__init__(page_size, stats, retry=retry, breaker=breaker)
         self._path = os.fspath(path)
         self.checksums = checksums
@@ -433,8 +442,9 @@ class FilePageStore(PageStore):
     @classmethod
     def open_existing(cls, path: str | os.PathLike,
                       stats: IOStats | None = None, *,
-                      sync: bool = False, retry=None,
-                      breaker=None) -> "FilePageStore":
+                      sync: bool = False, retry: RetryPolicy | None = None,
+                      breaker: CircuitBreaker | None = None
+                      ) -> "FilePageStore":
         """Open a durable store using only its superblock (self-describing:
         page size and durability flags come from the file itself)."""
         path = os.fspath(path)
@@ -507,7 +517,7 @@ class FilePageStore(PageStore):
                  if flags & bit]
         return "+".join(names) if names else "none"
 
-    def _physical_write(self, fileobj, data: bytes) -> None:
+    def _physical_write(self, fileobj: BinaryIO, data: bytes) -> None:
         """Every byte string headed to the OS funnels through here so a
         :class:`~repro.storage.faults.CrashPlan` can tear or abort it."""
         if self._crash_plan is None:

@@ -14,10 +14,14 @@ overlap, a batch of page fetches costs as much as its most-loaded disk, so
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from .counters import IOStats
 from .store import PageStore, StoreError
+
+if TYPE_CHECKING:
+    from .breaker import CircuitBreaker
+    from .faults import RetryPolicy
 
 __all__ = ["StripedPageStore"]
 
@@ -33,7 +37,8 @@ class StripedPageStore(PageStore):
 
     def __init__(self, disks: Sequence[PageStore],
                  stats: IOStats | None = None, *,
-                 retry=None, breaker=None):
+                 retry: "RetryPolicy | None" = None,
+                 breaker: "CircuitBreaker | None" = None) -> None:
         if not disks:
             raise StoreError("need at least one backing store")
         sizes = {d.page_size for d in disks}
