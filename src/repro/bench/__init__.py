@@ -1,0 +1,58 @@
+"""Performance-trajectory benchmark harness (``repro bench``).
+
+The paper's protocol is accesses-per-query; production claims need
+wall-clock throughput with attributed self-time.  This package runs a
+pinned scenario suite — bulk build, window-query sweeps at the paper's
+selectivities, point queries, kNN, cold-vs-warm buffer pool, and a
+serve-layer round-trip through the asyncio client — under the span
+tracer and metrics registry, then writes a schema-versioned
+``BENCH_<host-class>.json``: queries/sec, p50/p95/p99 latency,
+pages/bytes read, and read/decode/walk self-time per scenario, plus an
+environment fingerprint and per-scenario tolerance bands for regression
+gating.
+
+The committed ``BENCH_*.json`` at the repo root is the baseline every
+later perf PR diffs against (``repro report --diff``); the CI
+``bench-smoke`` job re-runs the quick suite and fails only outside the
+tolerance bands.  See ``docs/benchmarking.md``.
+"""
+
+from .report import (
+    diff_tables,
+    list_runs_table,
+    prune_runs,
+    render_manifest_text,
+    resolve_run_manifest,
+)
+from .runner import run_bench
+from .schema import (
+    BENCH_FORMAT,
+    BenchSchemaError,
+    default_bench_name,
+    environment_fingerprint,
+    host_class,
+    load_bench,
+    validate_bench,
+    write_bench,
+)
+from .scenarios import BenchConfig, ScenarioResult, SCENARIOS
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BenchConfig",
+    "BenchSchemaError",
+    "ScenarioResult",
+    "SCENARIOS",
+    "default_bench_name",
+    "diff_tables",
+    "environment_fingerprint",
+    "host_class",
+    "list_runs_table",
+    "load_bench",
+    "prune_runs",
+    "render_manifest_text",
+    "resolve_run_manifest",
+    "run_bench",
+    "validate_bench",
+    "write_bench",
+]

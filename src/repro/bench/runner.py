@@ -1,0 +1,151 @@
+"""Run the scenario suite and produce the bench document + run artefacts.
+
+One :func:`run_bench` invocation:
+
+1. builds the suite's tree in a throwaway work directory and runs every
+   scenario in pinned order, each under its own span tracer;
+2. assembles the ``repro-bench-v1`` document (scenario metrics plus the
+   environment fingerprint and default tolerance bands) and writes it to
+   ``BENCH_<host-class>.json`` (or ``--out``);
+3. files the run under ``results/runs/`` like any other experiment —
+   a run manifest, the merged span trace (``<stem>.trace.jsonl``, ready
+   for ``repro report --chrome-trace/--flamegraph``), and a copy of the
+   bench document (``<stem>.bench.json``) — so every benchmark is
+   re-renderable and diffable after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Sequence
+
+from .. import obs
+from ..obs.spans import Tracer
+from .scenarios import SCENARIOS, BenchConfig, ScenarioResult, SuiteContext
+from .schema import (
+    BENCH_FORMAT,
+    DEFAULT_TOLERANCE,
+    created_utc_now,
+    default_bench_name,
+    environment_fingerprint,
+    host_class,
+    write_bench,
+)
+
+__all__ = ["run_bench", "merge_tracers", "bench_doc_from_results"]
+
+
+def merge_tracers(tracers: Sequence[Tracer]) -> Tracer:
+    """One tracer holding every input tracer's spans, indices re-based.
+
+    The scenarios run sequentially on one clock, so re-basing each
+    tracer's start-order indices past the previous one's reconstructs a
+    stream with single-tracer invariants — summaries, self-times and
+    stack reconstruction all stay exact.
+    """
+    merged = Tracer()
+    base = 0
+    for tracer in tracers:
+        top = base
+        for span in sorted(tracer.spans, key=lambda s: s.index):
+            span.index += base
+            top = max(top, span.index)
+            merged.spans.append(span)
+        base = top + 1
+    merged._next_index = base
+    return merged
+
+
+def bench_doc_from_results(config: BenchConfig,
+                           results: Sequence[ScenarioResult],
+                           tolerance: dict | None = None) -> dict:
+    """Assemble (and normalise) the bench document for a finished suite."""
+    bands = dict(DEFAULT_TOLERANCE if tolerance is None else tolerance)
+    doc = {
+        "format": BENCH_FORMAT,
+        "created_utc": created_utc_now(),
+        "profile": config.profile,
+        "host_class": host_class(),
+        "environment": environment_fingerprint(),
+        "config": config.as_dict(),
+        "scenarios": {
+            result.name: {**result.as_dict(), "tolerance": dict(bands)}
+            for result in results
+        },
+    }
+    # A JSON round-trip so the in-memory doc equals the reloaded file.
+    return json.loads(json.dumps(doc))
+
+
+def run_bench(config: BenchConfig, *, out_path: str | None = None,
+              run_dir: str | None = None, write_run_files: bool = True,
+              argv: Sequence[str] | None = None,
+              scenario_names: Sequence[str] | None = None,
+              progress=None) -> tuple[dict, dict[str, str]]:
+    """Run the suite; returns ``(bench_doc, written_paths)``.
+
+    ``scenario_names`` filters the suite (the ``build`` scenario is
+    always included — every query scenario needs its tree).
+    ``progress`` is an optional ``callable(str)`` for per-scenario CLI
+    narration; ``write_run_files=False`` skips the ``results/runs/``
+    artefacts (used by tests that only want the document).
+    """
+    names = list(SCENARIOS) if scenario_names is None else [
+        n for n in SCENARIOS if n in set(scenario_names) or n == "build"
+    ]
+    unknown = (set(scenario_names or ()) - set(SCENARIOS))
+    if unknown:
+        raise ValueError(
+            f"unknown scenario(s) {sorted(unknown)}; "
+            f"available: {', '.join(SCENARIOS)}"
+        )
+    written: dict[str, str] = {}
+    start = time.time()
+    results: list[ScenarioResult] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
+        ctx = SuiteContext(config=config, workdir=workdir)
+        for name in names:
+            if progress is not None:
+                progress(f"[bench] {name} ...")
+            result = SCENARIOS[name](ctx)
+            results.append(result)
+            if progress is not None:
+                progress(
+                    f"[bench] {name}: {result.ops} op(s) in "
+                    f"{result.elapsed_s:.3f}s "
+                    f"({result.ops / result.elapsed_s:.1f}/s, "
+                    f"{result.pages_read} pages read)"
+                )
+        if ctx.tree is not None:
+            ctx.tree.store.close()
+    duration = time.time() - start
+
+    doc = bench_doc_from_results(config, results)
+    target = out_path if out_path is not None else default_bench_name()
+    written["bench"] = write_bench(doc, target)
+
+    if write_run_files:
+        merged = merge_tracers([r.tracer for r in results])
+        out_dir = run_dir if run_dir is not None else obs.DEFAULT_RUN_DIR
+        manifest = obs.RunManifest.collect(
+            "bench", config=config.as_dict(),
+            argv=list(argv) if argv else [], duration_s=duration,
+            tracer=merged, extra={"bench": doc},
+        )
+        stem = obs.unique_run_stem(manifest, out_dir)
+        written["trace_jsonl"] = obs.write_trace_jsonl(
+            merged, os.path.join(out_dir, f"{stem}.trace.jsonl")
+        )
+        written["bench_copy"] = write_bench(
+            doc, os.path.join(out_dir, f"{stem}.bench.json")
+        )
+        manifest.outputs.update({
+            "trace_jsonl": written["trace_jsonl"],
+            "bench_json": written["bench"],
+        })
+        written["manifest"] = obs.write_manifest(manifest, out_dir,
+                                                 stem=stem)
+    return doc, written

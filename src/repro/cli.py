@@ -38,6 +38,20 @@ Statically check the determinism/durability/async contracts::
     python -m repro lint
     python -m repro lint src/repro/serve --format json
 
+Run the pinned performance suite and diff against the committed
+baseline (see ``docs/benchmarking.md``)::
+
+    python -m repro bench --quick --out /tmp/bench.json
+    python -m repro report --diff BENCH_linux-x86_64.json /tmp/bench.json
+
+Re-render stored runs, export traces, enforce retention::
+
+    python -m repro report
+    python -m repro report bench-20260807T104411
+    python -m repro report bench-20260807T104411 --chrome-trace out.json
+    python -m repro report bench-20260807T104411 --flamegraph out.folded
+    python -m repro report --prune --keep 20
+
 List everything available::
 
     python -m repro list
@@ -167,19 +181,24 @@ def _build_parser() -> argparse.ArgumentParser:
                         choices=sorted(EXPERIMENTS) + ["list", "all",
                                                        "profile", "fsck",
                                                        "serve", "build",
-                                                       "lint"],
+                                                       "lint", "bench",
+                                                       "report"],
                         help="which table/figure to regenerate, "
                              "'profile <experiment>' for a telemetered run, "
                              "'fsck <tree-file>' to check a page file, "
                              "'serve <tree-file>' to serve queries from it, "
                              "'build <tree-file>' for a parallel, "
-                             "resumable bulk load into a durable file, or "
+                             "resumable bulk load into a durable file, "
                              "'lint [path]' to check the invariant "
-                             "contracts statically")
+                             "contracts statically, "
+                             "'bench' to run the pinned performance suite, "
+                             "or 'report [run]' to re-render, diff or "
+                             "prune stored runs")
     parser.add_argument("target", nargs="?", default=None,
                         help="experiment to profile (with 'profile'), "
                              "tree file (with 'fsck' / 'serve' / 'build'), "
-                             "or path to check (with 'lint'; default src)")
+                             "path to check (with 'lint'; default src), "
+                             "or run stem / manifest path (with 'report')")
     parser.add_argument("--meta", default=None, metavar="PATH",
                         help="fsck/serve: tree meta sidecar for plain "
                              "page files")
@@ -251,8 +270,37 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="lint: record the findings as a run manifest "
                              f"under {obs.DEFAULT_RUN_DIR} so lint results "
                              "live beside benchmark runs")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="bench: write the bench document here "
+                             "(default: BENCH_<host-class>.json)")
+    parser.add_argument("--scenario", action="append", default=None,
+                        metavar="NAME", dest="scenarios",
+                        help="bench: run only this scenario (repeatable; "
+                             "'build' is always included)")
+    parser.add_argument("--diff", nargs=2, default=None,
+                        metavar=("A", "B"),
+                        help="report: delta table between two bench "
+                             "documents or two run manifests; exits 1 on "
+                             "tolerance-band crossings")
+    parser.add_argument("--chrome-trace", default=None, metavar="PATH",
+                        dest="chrome_trace",
+                        help="report: convert the run's span trace to "
+                             "Chrome trace-event JSON (load in "
+                             "chrome://tracing or Perfetto)")
+    parser.add_argument("--flamegraph", default=None, metavar="PATH",
+                        help="report: convert the run's span trace to "
+                             "collapsed-stack format (pipe to "
+                             "flamegraph.pl)")
+    parser.add_argument("--prune", action="store_true",
+                        help="report: delete the oldest run stems beyond "
+                             "--keep (whole runs at a time, every sibling "
+                             "artefact together)")
+    parser.add_argument("--keep", type=int, default=20,
+                        help="report --prune: run stems to retain "
+                             "(default 20)")
     parser.add_argument("--quick", action="store_true",
-                        help="small fast profile (same shapes, smaller cells)")
+                        help="small fast profile (same shapes, smaller "
+                             "cells); bench: the CI-sized suite profile")
     parser.add_argument("--queries", type=int, default=None,
                         help="override queries per cell (paper: 2000)")
     parser.add_argument("--seed", type=int, default=0,
@@ -403,14 +451,21 @@ def _open_tree(args: argparse.Namespace, parser: argparse.ArgumentParser):
     return PagedRTree.open(store, args.meta)
 
 
-def _run_serve(args: argparse.Namespace,
-               parser: argparse.ArgumentParser) -> int:
-    """``repro serve <tree-file>``: serve queries until interrupted."""
+def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
+               argv: list[str]) -> int:
+    """``repro serve <tree-file>``: serve queries until interrupted.
+
+    A graceful shutdown (SIGINT) snapshots the server's ``stats``
+    payload into a run manifest under the run directory, so every
+    serving session leaves the same lab-notebook record as a benchmark
+    or lint run.
+    """
     import asyncio
 
     from .fsck import read_quarantine
     from .serve import QueryServer
 
+    start = time.time()
     tree = _open_tree(args, parser)
     quarantine = None
     if args.quarantine is not None:
@@ -437,6 +492,15 @@ def _run_serve(args: argparse.Namespace,
         asyncio.run(_serve())
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
+    if not args.no_manifest:
+        run_dir = (args.run_dir if args.run_dir is not None
+                   else obs.DEFAULT_RUN_DIR)
+        manifest = obs.RunManifest.collect(
+            "serve", argv=argv, duration_s=time.time() - start,
+            extra={"serve": server.stats_snapshot()},
+        )
+        path = obs.write_manifest(manifest, run_dir)
+        print(f"wrote {path}", file=sys.stderr)
     return 0
 
 
@@ -558,6 +622,117 @@ def _run_build(args: argparse.Namespace, argv: list[str]) -> int:
     return 0
 
 
+def _run_bench_cmd(args: argparse.Namespace, argv: list[str]) -> int:
+    """``repro bench``: run the pinned suite, write the bench document.
+
+    ``--quick`` selects the CI-sized profile (the committed baseline is
+    quick-profile so the ``bench-smoke`` diff is like-for-like);
+    the default is the full paper-scale suite.  Exit code 0 unless a
+    scenario raises.
+    """
+    from dataclasses import replace
+
+    from .bench import BenchConfig, run_bench
+
+    config = BenchConfig.quick() if args.quick else BenchConfig.full()
+    if args.seed:
+        config = replace(config, seed=args.seed)
+    doc, written = run_bench(
+        config,
+        out_path=args.out,
+        run_dir=args.run_dir,
+        write_run_files=not args.no_manifest,
+        argv=argv,
+        scenario_names=args.scenarios,
+        progress=lambda line: print(line, file=sys.stderr, flush=True),
+    )
+    for key in sorted(written):
+        print(f"wrote {written[key]}")
+    table = Table(
+        title=f"bench [{doc['profile']}] on {doc['host_class']}",
+        columns=("scenario", "ops", "qps", "p50 ms", "p99 ms",
+                 "pages", "decode s", "walk s"),
+    )
+    for name, sc in doc["scenarios"].items():
+        table.add_row(
+            name, sc["ops"], round(sc["queries_per_s"], 1),
+            round(sc["latency_s"]["p50"] * 1e3, 3),
+            round(sc["latency_s"]["p99"] * 1e3, 3),
+            sc["io"]["pages_read"],
+            round(sc["self_time_s"]["decode"], 4),
+            round(sc["self_time_s"]["walk"], 4),
+        )
+    print(table.render())
+    return 0
+
+
+def _run_report(args: argparse.Namespace,
+                parser: argparse.ArgumentParser) -> int:
+    """``repro report``: the read side of the lab notebook.
+
+    With no target: list runs.  With a run stem or manifest path:
+    re-render it (``--chrome-trace``/``--flamegraph`` additionally
+    export its span trace).  ``--diff A B`` compares two stored
+    documents and exits 1 on tolerance-band crossings.  ``--prune
+    --keep N`` enforces retention.
+    """
+    from .bench import (
+        diff_tables,
+        list_runs_table,
+        prune_runs,
+        render_manifest_text,
+        resolve_run_manifest,
+    )
+
+    run_dir = (args.run_dir if args.run_dir is not None
+               else obs.DEFAULT_RUN_DIR)
+
+    if args.diff is not None:
+        table, crossings = diff_tables(*args.diff)
+        print(table.render())
+        for crossing in crossings:
+            print(f"CROSSED: {crossing}", file=sys.stderr)
+        return 1 if crossings else 0
+
+    if args.prune:
+        removed = prune_runs(run_dir, keep=args.keep)
+        for path in removed:
+            print(f"removed {path}")
+        print(f"{len(removed)} file(s) removed, "
+              f"{args.keep} newest run stem(s) kept")
+        return 0
+
+    if args.target is None:
+        print(list_runs_table(run_dir).render())
+        return 0
+
+    try:
+        manifest_path = resolve_run_manifest(run_dir, args.target)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    manifest = obs.load_manifest(manifest_path)
+    print(render_manifest_text(manifest))
+
+    if args.chrome_trace is not None or args.flamegraph is not None:
+        trace_path = (manifest.outputs or {}).get("trace_jsonl")
+        if not trace_path or not os.path.isfile(trace_path):
+            # Fall back to the sibling artefact next to the manifest.
+            sibling = manifest_path[: -len(".json")] + ".trace.jsonl"
+            trace_path = sibling if os.path.isfile(sibling) else None
+        if trace_path is None:
+            parser.error(f"{manifest_path} has no span trace to export "
+                         "(run was recorded without --trace-out or its "
+                         ".trace.jsonl was pruned)")
+        spans = obs.read_spans_jsonl(trace_path)
+        if args.chrome_trace is not None:
+            path = obs.write_chrome_trace(spans, args.chrome_trace)
+            print(f"wrote {path}")
+        if args.flamegraph is not None:
+            path = obs.write_folded(spans, args.flamegraph)
+            print(f"wrote {path}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
@@ -574,13 +749,20 @@ def main(argv: list[str] | None = None) -> int:
     if args.experiment == "serve":
         if args.target is None:
             parser.error("serve needs a tree file to serve")
-        return _run_serve(args, parser)
+        return _run_serve(args, parser, raw_argv)
     if args.experiment == "build":
         if args.target is None:
             parser.error("build needs an output tree file")
         return _run_build(args, raw_argv)
     if args.experiment == "lint":
         return _run_lint(args, raw_argv)
+    if args.experiment == "bench":
+        if args.target is not None:
+            parser.error("bench takes no positional target; use "
+                         "--scenario NAME to filter the suite")
+        return _run_bench_cmd(args, raw_argv)
+    if args.experiment == "report":
+        return _run_report(args, parser)
 
     profile_mode = args.experiment == "profile"
     if profile_mode:
@@ -592,7 +774,8 @@ def main(argv: list[str] | None = None) -> int:
         names = [args.target]
     elif args.target is not None:
         parser.error("a second positional argument is only valid with "
-                     "'profile', 'fsck', 'serve', 'build' or 'lint'")
+                     "'profile', 'fsck', 'serve', 'build', 'lint' or "
+                     "'report'")
     else:
         names = (sorted(EXPERIMENTS) if args.experiment == "all"
                  else [args.experiment])

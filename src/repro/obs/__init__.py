@@ -15,7 +15,9 @@ did, how long each phase ran) first-class:
   while telemetry is disabled (the default);
 * :mod:`~repro.obs.manifest` — one JSON record per experiment run
   (config, git SHA, timings, metric snapshot) under ``results/runs/``;
-* :mod:`~repro.obs.export` — file writers and path conventions.
+* :mod:`~repro.obs.export` — file writers and path conventions;
+* :mod:`~repro.obs.traceview` — span JSONL to Chrome trace-event JSON
+  and collapsed-stack flamegraph conversion (``repro report``).
 
 Quick use::
 
@@ -69,11 +71,20 @@ from .spans import (
     write_spans_jsonl,
 )
 from .export import (
+    RUN_EXTENSIONS,
     default_metrics_path,
     default_trace_path,
     unique_run_stem,
     write_metrics_json,
     write_trace_jsonl,
+)
+from .traceview import (
+    chrome_trace_doc,
+    chrome_trace_events,
+    concat_span_dicts,
+    folded_stacks,
+    write_chrome_trace,
+    write_folded,
 )
 
 __all__ = [
@@ -115,9 +126,17 @@ __all__ = [
     "write_manifest",
     "load_manifest",
     # export
+    "RUN_EXTENSIONS",
     "write_metrics_json",
     "write_trace_jsonl",
     "default_trace_path",
     "default_metrics_path",
     "unique_run_stem",
+    # trace visualisation
+    "chrome_trace_events",
+    "chrome_trace_doc",
+    "write_chrome_trace",
+    "folded_stacks",
+    "write_folded",
+    "concat_span_dicts",
 ]

@@ -16,6 +16,7 @@ from .metrics import MetricsRegistry
 from .spans import Tracer
 
 __all__ = [
+    "RUN_EXTENSIONS",
     "write_metrics_json",
     "write_trace_jsonl",
     "default_trace_path",
@@ -24,7 +25,14 @@ __all__ = [
 ]
 
 #: Extensions a run may produce; a stem is free only if all are free.
-_RUN_EXTENSIONS = (".json", ".trace.jsonl", ".metrics.json")
+#: ``.chrome.json``/``.folded`` are the trace-visualisation exports and
+#: ``.bench.json`` the benchmark document — reserving them here means a
+#: run's artefacts can never be torn across two stems.
+RUN_EXTENSIONS = (".json", ".trace.jsonl", ".metrics.json",
+                  ".chrome.json", ".folded", ".bench.json")
+
+#: Backwards-compatible alias (pre-report-CLI name).
+_RUN_EXTENSIONS = RUN_EXTENSIONS
 
 
 def unique_run_stem(manifest: RunManifest,

@@ -30,7 +30,11 @@ __all__ = [
 
 
 #: Coarse phase of each span-name prefix/suffix; see docs/observability.md.
-PHASES = ("sort", "tile", "pack", "query", "other")
+#: ``read``/``decode``/``walk`` split the query path three ways — raw page
+#: I/O, page-to-node decoding, and the in-memory tree walk — so the
+#: self-time tables answer the ROADMAP's "decode vs walk" question.
+PHASES = ("sort", "tile", "pack", "read", "decode", "walk", "query",
+          "other")
 
 #: Exact span-name -> phase assignments (checked before the rules below).
 _PHASE_EXACT = {
@@ -42,11 +46,14 @@ _PHASE_EXACT = {
     "bulk.external_load": "pack",
     "bulk.write_level": "pack",
     "pack.order": "pack",
+    "query.page_read": "read",
+    "query.page_decode": "decode",
+    "query.node_walk": "walk",
 }
 
 
 def phase_of(name: str) -> str:
-    """Coarse phase (``sort``/``tile``/``pack``/``query``/``other``)."""
+    """Coarse phase (one of :data:`PHASES`) of a span name."""
     exact = _PHASE_EXACT.get(name)
     if exact is not None:
         return exact

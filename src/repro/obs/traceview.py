@@ -1,0 +1,192 @@
+"""Trace visualisation: span JSONL -> Chrome trace / flamegraph.
+
+A span trace (``*.trace.jsonl``, one JSON object per finished span as
+written by :func:`repro.obs.spans.write_spans_jsonl`) is exact but
+unreadable at scale.  This module converts it into the two standard
+visual formats, with no dependencies beyond the standard library:
+
+* **Chrome trace-event JSON** (``repro report <run> --chrome-trace``):
+  a ``{"traceEvents": [...]}`` document of complete (``"ph": "X"``)
+  events that loads directly in ``chrome://tracing`` / Perfetto.
+  Timestamps are microseconds relative to the earliest span start, so
+  the viewer opens at t=0; nesting is positional (a child's interval
+  lies inside its parent's), which is exactly how the viewers stack
+  events on one thread track.
+* **Collapsed-stack ("folded") format** (``--flamegraph``): one line
+  per unique span path — ``root;child;leaf <self-µs>`` — consumable by
+  ``flamegraph.pl``, speedscope, or any FlameGraph-compatible tool.
+  Values are *self* time, so the flame widths never double-count
+  nested spans (same rule as :meth:`repro.obs.spans.Tracer.self_times`).
+
+Both converters consume plain span dicts (the JSONL schema), so they
+work offline on any stored run without reconstructing ``Span`` objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterable, Mapping, Sequence
+
+from .spans import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "chrome_trace_doc",
+    "write_chrome_trace",
+    "folded_stacks",
+    "write_folded",
+    "concat_span_dicts",
+]
+
+#: JSON keys every span record must carry for conversion.
+_REQUIRED_KEYS = ("name", "start", "duration_s")
+
+
+def _check_span(record: Mapping[str, Any]) -> None:
+    for key in _REQUIRED_KEYS:
+        if key not in record:
+            raise ValueError(
+                f"span record missing {key!r}: {dict(record)!r}"
+            )
+
+
+def concat_span_dicts(groups: Iterable[Sequence[Span]]
+                      ) -> list[dict[str, Any]]:
+    """Span dicts from several tracers as one coherent stream.
+
+    Each tracer numbers its spans from zero; concatenating raw dumps
+    would collide indices and break stack reconstruction.  Re-basing
+    every group's ``index`` past the previous group's keeps the
+    (index, depth) invariants of a single tracer — valid because the
+    groups ran sequentially on one clock, as the bench suite does.
+    """
+    out: list[dict[str, Any]] = []
+    base = 0
+    for group in groups:
+        top = base
+        for span in sorted(group, key=lambda s: s.index):
+            record = span.as_dict()
+            record["index"] = base + span.index
+            top = max(top, record["index"])
+            out.append(record)
+        base = top + 1
+    return out
+
+
+def chrome_trace_events(spans: Iterable[Mapping[str, Any]]
+                        ) -> list[dict[str, Any]]:
+    """Spans as Chrome complete (``"ph": "X"``) trace events.
+
+    Events are sorted by timestamp (ties broken longest-first so
+    parents precede their children), with ``ts``/``dur`` in integer
+    microseconds relative to the earliest span start.  The span's
+    coarse phase becomes the event category and its labels (plus CPU
+    time) land in ``args``.
+    """
+    records = list(spans)
+    for record in records:
+        _check_span(record)
+    if not records:
+        return []
+    t0 = min(float(r["start"]) for r in records)
+    events: list[dict[str, Any]] = []
+    for r in records:
+        args: dict[str, Any] = dict(r.get("labels") or {})
+        if "cpu_s" in r:
+            args["cpu_s"] = r["cpu_s"]
+        events.append({
+            "name": str(r["name"]),
+            "cat": str(r.get("phase", "other")),
+            "ph": "X",
+            "ts": round((float(r["start"]) - t0) * 1e6),
+            "dur": round(float(r["duration_s"]) * 1e6),
+            "pid": 1,
+            "tid": 1,
+            "args": args,
+        })
+    events.sort(key=lambda e: (e["ts"], -e["dur"]))
+    return events
+
+
+def chrome_trace_doc(spans: Iterable[Mapping[str, Any]]
+                     ) -> dict[str, Any]:
+    """The full ``chrome://tracing`` JSON document for a span list."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(spans: Iterable[Mapping[str, Any]],
+                       path: str | os.PathLike[str]) -> str:
+    """Write the Chrome trace JSON for ``spans``; returns the path."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(chrome_trace_doc(spans), f, indent=1, sort_keys=True)
+        f.write("\n")
+    return path
+
+
+def _ordered(records: list[Mapping[str, Any]]
+             ) -> list[Mapping[str, Any]]:
+    """Records in start order (``index`` when present, else ``start``)."""
+    if all("index" in r for r in records):
+        return sorted(records, key=lambda r: int(r["index"]))
+    return sorted(records, key=lambda r: float(r["start"]))
+
+
+def folded_stacks(spans: Iterable[Mapping[str, Any]]) -> dict[str, int]:
+    """Collapsed stacks: ``"a;b;c" -> self-time`` in integer microseconds.
+
+    Direct parentage is rebuilt the same way the tracer does — the
+    parent of a span is the most recent earlier-started span with
+    smaller ``depth`` — and each path accumulates the wall time its
+    spans did *not* spend in children, so the totals over all lines sum
+    to the traced wall time (clamped at zero against clock jitter).
+    """
+    records = [r for r in (list(spans)) if r.get("duration_s") is not None]
+    for record in records:
+        _check_span(record)
+    ordered = _ordered(records)
+    child_time: dict[int, float] = {}
+    paths: dict[int, str] = {}
+    # Stack of (position-in-ordered, depth) for open ancestor spans.
+    stack: list[tuple[int, int]] = []
+    for pos, r in enumerate(ordered):
+        depth = int(r.get("depth", 0))
+        while stack and stack[-1][1] >= depth:
+            stack.pop()
+        name = str(r["name"])
+        if stack:
+            parent_pos = stack[-1][0]
+            child_time[parent_pos] = (
+                child_time.get(parent_pos, 0.0) + float(r["duration_s"])
+            )
+            paths[pos] = f"{paths[parent_pos]};{name}"
+        else:
+            paths[pos] = name
+        stack.append((pos, depth))
+    out: dict[str, int] = {}
+    for pos, r in enumerate(ordered):
+        self_s = float(r["duration_s"]) - child_time.get(pos, 0.0)
+        out[paths[pos]] = out.get(paths[pos], 0) + max(
+            0, round(self_s * 1e6)
+        )
+    return out
+
+
+def write_folded(spans: Iterable[Mapping[str, Any]],
+                 path: str | os.PathLike[str]) -> str:
+    """Write collapsed-stack lines for ``spans``; returns the path."""
+    path = os.fspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as f:
+        for stack_path, micros in sorted(folded_stacks(spans).items()):
+            f.write(f"{stack_path} {micros}\n")
+    return path

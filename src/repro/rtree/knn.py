@@ -20,6 +20,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.geometry import GeometryError
+from ..obs import runtime as obs
 from .paged import PagedSearcher
 
 __all__ = ["knn"]
@@ -57,16 +58,19 @@ def knn(searcher: PagedSearcher, point: Sequence[float], k: int
     heap: list[tuple[float, int, int, int]] = [
         (0.0, next(counter), 0, tree.root_page)
     ]
-    while heap and len(results) < k:
-        dist, _, kind, payload = heapq.heappop(heap)
-        if kind == 1:
-            results.append((payload, dist))
-            continue
-        node = searcher.buffer.get(payload)
-        dists = _min_dists(node.rects.los, node.rects.his, q)
-        child_kind = 1 if node.is_leaf else 0
-        for d, child in zip(dists, node.children):
-            heapq.heappush(
-                heap, (float(d), next(counter), child_kind, int(child))
-            )
+    # The walk span nests the buffer's read/decode spans, so kNN reports
+    # the same decode-vs-walk self-time split as region queries.
+    with obs.span("query.knn"), obs.span("query.node_walk"):
+        while heap and len(results) < k:
+            dist, _, kind, payload = heapq.heappop(heap)
+            if kind == 1:
+                results.append((payload, dist))
+                continue
+            node = searcher.buffer.get(payload)
+            dists = _min_dists(node.rects.los, node.rects.his, q)
+            child_kind = 1 if node.is_leaf else 0
+            for d, child in zip(dists, node.children):
+                heapq.heappush(
+                    heap, (float(d), next(counter), child_kind, int(child))
+                )
     return results

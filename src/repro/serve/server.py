@@ -145,6 +145,14 @@ class QueryServer:
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple | None = None
 
+    def stats_snapshot(self) -> dict:
+        """The ``stats`` payload as a plain dict, callable off-protocol.
+
+        Graceful shutdown files this into a run manifest so a serving
+        session leaves the same lab-notebook trail as a benchmark run.
+        """
+        return stats_payload(self)
+
     # -- request handling --------------------------------------------------
 
     async def handle_request(self, req: Request) -> Response:

@@ -1,0 +1,163 @@
+"""The ``repro bench`` suite: schema, scenarios, runner (``repro.bench``)."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.bench import (
+    BENCH_FORMAT,
+    BenchConfig,
+    BenchSchemaError,
+    SCENARIOS,
+    default_bench_name,
+    environment_fingerprint,
+    host_class,
+    load_bench,
+    run_bench,
+    validate_bench,
+    write_bench,
+)
+
+#: A deliberately tiny config so the full suite runs in seconds.
+MICRO = replace(BenchConfig.quick(), size=800, queries=25, buffer_pages=32,
+                knn_queries=8, knn_k=5, serve_queries=8)
+
+
+@pytest.fixture(scope="module")
+def bench_run(tmp_path_factory):
+    """One micro-suite run shared by every assertion in this module."""
+    td = tmp_path_factory.mktemp("bench")
+    doc, written = run_bench(
+        MICRO,
+        out_path=str(td / "bench.json"),
+        run_dir=str(td / "runs"),
+        argv=["bench", "--quick"],
+    )
+    return doc, written, td
+
+
+class TestSchema:
+    def test_host_class_and_default_name(self):
+        hc = host_class()
+        assert "-" in hc
+        assert default_bench_name() == f"BENCH_{hc}.json"
+
+    def test_environment_fingerprint_keys(self):
+        env = environment_fingerprint()
+        assert set(env) >= {"git_sha", "python", "platform", "machine",
+                            "cpu_count"}
+
+    def test_non_dict_rejected(self):
+        assert validate_bench([1, 2]) == [
+            "document is list, expected object"
+        ]
+
+    def test_wrong_format_reported(self):
+        errors = validate_bench({"format": "bogus-v0"})
+        assert any("bogus-v0" in e for e in errors)
+
+    def test_scenario_violations_reported(self, bench_run):
+        doc, _, _ = bench_run
+        import copy
+
+        bad = copy.deepcopy(doc)
+        sc = bad["scenarios"]["window_1pct"]
+        del sc["latency_s"]["p99"]
+        sc["ops"] = 0
+        sc["io"]["pages_read"] = "many"
+        errors = validate_bench(bad)
+        assert any("latency_s: missing key 'p99'" in e for e in errors)
+        assert any("ops" in e for e in errors)
+        assert any("pages_read" in e for e in errors)
+
+    def test_write_refuses_invalid(self, tmp_path):
+        with pytest.raises(BenchSchemaError):
+            write_bench({"format": BENCH_FORMAT}, tmp_path / "x.json")
+
+    def test_load_validates(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"format": "repro-bench-v1"}')
+        with pytest.raises(BenchSchemaError, match="scenarios"):
+            load_bench(path)
+
+
+class TestSuiteRun:
+    def test_document_is_schema_valid_and_reloads_identically(
+            self, bench_run):
+        doc, written, _ = bench_run
+        assert validate_bench(doc) == []
+        assert load_bench(written["bench"]) == doc
+
+    def test_all_pinned_scenarios_present(self, bench_run):
+        doc, _, _ = bench_run
+        assert list(doc["scenarios"]) == list(SCENARIOS)
+        assert len(doc["scenarios"]) >= 5
+
+    def test_every_scenario_reports_the_headline_numbers(self, bench_run):
+        doc, _, _ = bench_run
+        for name, sc in doc["scenarios"].items():
+            assert sc["queries_per_s"] > 0, name
+            assert sc["latency_s"]["p50"] <= sc["latency_s"]["p99"], name
+            assert sc["latency_s"]["p99"] <= sc["latency_s"]["max"], name
+            assert set(sc["self_time_s"]) == {"read", "decode", "walk",
+                                              "other"}
+            assert sc["tolerance"]  # bands travel with the baseline
+
+    def test_query_scenarios_attribute_decode_and_walk_time(
+            self, bench_run):
+        doc, _, _ = bench_run
+        cold = doc["scenarios"]["window_1pct"]
+        assert cold["self_time_s"]["decode"] > 0
+        assert cold["self_time_s"]["walk"] > 0
+        assert cold["io"]["pages_read"] > 0
+        assert cold["mean_accesses"] == pytest.approx(
+            cold["io"]["pages_read"] / cold["ops"])
+
+    def test_warm_run_reads_no_pages(self, bench_run):
+        doc, _, _ = bench_run
+        warm = doc["scenarios"]["window_1pct_warm"]
+        assert warm["io"]["pages_read"] == 0
+        assert warm["io"]["buffer_hits"] > 0
+
+    def test_serve_roundtrip_went_over_the_wire(self, bench_run):
+        doc, _, _ = bench_run
+        serve = doc["scenarios"]["serve_roundtrip"]
+        assert serve["ops"] == MICRO.serve_queries
+        assert serve["transport"] == "asyncio-ndjson"
+
+    def test_run_artefacts_share_one_stem(self, bench_run):
+        _, written, _ = bench_run
+        import os
+
+        stems = {os.path.basename(written[k]).split(".")[0]
+                 for k in ("manifest", "trace_jsonl", "bench_copy")}
+        assert len(stems) == 1
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError, match="no_such"):
+            run_bench(MICRO, scenario_names=["no_such"],
+                      write_run_files=False)
+
+    def test_scenario_filter_always_includes_build(self, tmp_path):
+        doc, _ = run_bench(
+            replace(MICRO, queries=10),
+            out_path=str(tmp_path / "b.json"),
+            scenario_names=["point"],
+            write_run_files=False,
+        )
+        assert list(doc["scenarios"]) == ["build", "point"]
+
+
+class TestDeterministicIO:
+    def test_pages_read_identical_across_runs(self, bench_run, tmp_path):
+        """The regression gate's foundation: access counts are exact."""
+        doc_a, _, _ = bench_run
+        doc_b, _ = run_bench(
+            MICRO,
+            out_path=str(tmp_path / "b.json"),
+            scenario_names=["window_1pct", "point"],
+            write_run_files=False,
+        )
+        for name in ("window_1pct", "point"):
+            assert (doc_a["scenarios"][name]["io"]["pages_read"] ==
+                    doc_b["scenarios"][name]["io"]["pages_read"]), name

@@ -55,6 +55,64 @@ class TestRollingWindow:
             RollingWindow(maxlen=0)
 
 
+def _reference_percentile(values, q):
+    """Straightforward linear-interpolation percentile (numpy's default
+    'linear' method), written independently of the implementation."""
+    ordered = sorted(values)
+    if not ordered:
+        return math.nan
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = math.floor(rank)
+    hi = math.ceil(rank)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class TestRollingWindowPercentileEdgeCounts:
+    """The bench harness leans on these percentiles; pin the edges."""
+
+    QS = (0.0, 1.0, 25.0, 50.0, 75.0, 99.0, 100.0)
+
+    def _window_with(self, values, maxlen=8):
+        window = RollingWindow(maxlen=maxlen)
+        for v in values:
+            window.observe(v)
+        return window
+
+    def test_empty_is_nan_at_every_q(self):
+        window = self._window_with([])
+        for q in self.QS:
+            assert math.isnan(window.percentile(q))
+
+    def test_single_sample_is_every_percentile(self):
+        window = self._window_with([7.5])
+        for q in self.QS:
+            assert window.percentile(q) == 7.5
+
+    def test_two_samples_interpolate_linearly(self):
+        window = self._window_with([10.0, 20.0])
+        for q in self.QS:
+            assert window.percentile(q) == pytest.approx(
+                _reference_percentile([10.0, 20.0], q))
+        assert window.percentile(50.0) == pytest.approx(15.0)
+
+    def test_exactly_full_window_matches_reference(self):
+        values = [5.0, 1.0, 4.0, 2.0, 8.0, 3.0, 7.0, 6.0]
+        window = self._window_with(values, maxlen=len(values))
+        for q in self.QS:
+            assert window.percentile(q) == pytest.approx(
+                _reference_percentile(values, q))
+
+    def test_overfull_window_matches_reference_on_the_survivors(self):
+        maxlen = 4
+        values = [float(v) for v in (9, 9, 9, 1, 2, 3, 4)]
+        window = self._window_with(values, maxlen=maxlen)
+        survivors = values[-maxlen:]
+        for q in self.QS:
+            assert window.percentile(q) == pytest.approx(
+                _reference_percentile(survivors, q))
+
+
 class TestSloTarget:
     def test_empty_samples_vacuously_ok(self):
         report = SloTarget(p50_s=0.001, p99_s=0.01).evaluate([])

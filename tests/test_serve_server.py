@@ -295,3 +295,52 @@ class TestHealthEndpoints:
             await server.aclose()
 
         run(scenario())
+
+
+class TestStatsSnapshotAndShutdownManifest:
+    def test_snapshot_matches_the_on_wire_stats_payload(self, rng):
+        _, tree = _build(rng, n=500)
+
+        async def scenario():
+            server = QueryServer(tree)
+            for i in range(3):
+                await server.handle_request(Request(
+                    op="search", id=i + 1,
+                    rect=[[0.1, 0.1], [0.2, 0.2]]))
+            resp = await server.handle_request(Request(op="stats", id=9))
+            snapshot = server.stats_snapshot()
+            # The off-protocol snapshot is the same payload shutdown
+            # files into the run manifest.
+            assert snapshot.keys() == resp.data.keys()
+            assert snapshot["requests_total"] >= 3
+            assert snapshot["ready"] is True
+            await server.aclose()
+
+        run(scenario())
+
+    def test_graceful_serve_shutdown_writes_a_run_manifest(
+            self, rng, tmp_path, monkeypatch, capsys):
+        import json
+
+        from repro.serve import server as server_mod
+
+        store = _durable_store(tmp_path)
+        _build(rng, n=400, store=store)
+        store.close()
+        run_dir = tmp_path / "runs"
+
+        async def _interrupted(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(server_mod.QueryServer, "serve_forever",
+                            _interrupted)
+        code = cli_main(["serve", str(tmp_path / "tree.pages"),
+                         "--port", "0", "--run-dir", str(run_dir)])
+        capsys.readouterr()
+        assert code == 0
+        (manifest_path,) = run_dir.glob("serve-*.json")
+        with open(manifest_path) as f:
+            manifest = json.load(f)
+        snapshot = manifest["extra"]["serve"]
+        assert snapshot["ready"] is True
+        assert "admission" in snapshot and "breaker" in snapshot

@@ -1,0 +1,145 @@
+"""Chrome-trace and flamegraph conversion (``repro.obs.traceview``)."""
+
+import json
+import time
+
+import pytest
+
+from repro.obs import (
+    Tracer,
+    chrome_trace_doc,
+    chrome_trace_events,
+    concat_span_dicts,
+    folded_stacks,
+    read_spans_jsonl,
+    write_chrome_trace,
+    write_folded,
+    write_trace_jsonl,
+)
+
+
+def _nested_tracer():
+    """A tracer with a known a > b > c / a > d shape."""
+    tracer = Tracer()
+    with tracer.span("a"):
+        with tracer.span("b"):
+            with tracer.span("c"):
+                time.sleep(0.002)
+        with tracer.span("d"):
+            time.sleep(0.001)
+    return tracer
+
+
+def _dicts(tracer):
+    return [s.as_dict() for s in tracer.spans]
+
+
+class TestChromeTrace:
+    def test_complete_events_with_monotonic_timestamps(self):
+        events = chrome_trace_events(_dicts(_nested_tracer()))
+        assert [e["name"] for e in events] == ["a", "b", "c", "d"]
+        assert all(e["ph"] == "X" for e in events)
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+        assert ts[0] == 0  # rebased to the earliest start
+        assert all(isinstance(e["ts"], int) and isinstance(e["dur"], int)
+                   for e in events)
+        assert all(e["dur"] >= 0 for e in events)
+
+    def test_nesting_preserved_as_interval_containment(self):
+        events = {e["name"]: e for e in
+                  chrome_trace_events(_dicts(_nested_tracer()))}
+
+        def contains(outer, inner):
+            return (outer["ts"] <= inner["ts"] and
+                    inner["ts"] + inner["dur"] <=
+                    outer["ts"] + outer["dur"])
+
+        assert contains(events["a"], events["b"])
+        assert contains(events["b"], events["c"])
+        assert contains(events["a"], events["d"])
+        # Siblings b and d do not overlap.
+        assert events["d"]["ts"] >= events["b"]["ts"] + events["b"]["dur"]
+
+    def test_phase_becomes_category_and_labels_become_args(self):
+        tracer = Tracer()
+        with tracer.span("query.page_decode", page=7):
+            pass
+        (event,) = chrome_trace_events(_dicts(tracer))
+        assert event["cat"] == "decode"
+        assert event["args"]["page"] == 7
+        assert "cpu_s" in event["args"]
+
+    def test_document_shape_and_empty_input(self):
+        doc = chrome_trace_doc([])
+        assert doc == {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def test_missing_required_key_is_an_error(self):
+        with pytest.raises(ValueError, match="duration_s"):
+            chrome_trace_events([{"name": "x", "start": 0.0}])
+
+    def test_written_file_is_valid_trace_json(self, tmp_path):
+        path = write_chrome_trace(_dicts(_nested_tracer()),
+                                  tmp_path / "t.chrome.json")
+        with open(path) as f:
+            doc = json.load(f)
+        assert len(doc["traceEvents"]) == 4
+        assert all(set(e) >= {"name", "cat", "ph", "ts", "dur", "pid",
+                              "tid", "args"} for e in doc["traceEvents"])
+
+
+class TestFoldedStacks:
+    def test_paths_reconstruct_the_nesting(self):
+        stacks = folded_stacks(_dicts(_nested_tracer()))
+        # d is a's child (depth 1), not b's.
+        assert set(stacks) == {"a", "a;b", "a;b;c", "a;d"}
+
+    def test_self_times_sum_to_total_wall_time(self):
+        tracer = _nested_tracer()
+        stacks = folded_stacks(_dicts(tracer))
+        total_us = sum(stacks.values())
+        (root,) = [s for s in tracer.spans if s.name == "a"]
+        assert total_us == pytest.approx(root.duration * 1e6, rel=0.01,
+                                         abs=10)
+
+    def test_repeated_paths_accumulate(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("loop"):
+                time.sleep(0.001)
+        stacks = folded_stacks(_dicts(tracer))
+        assert set(stacks) == {"loop"}
+        assert stacks["loop"] >= 2500  # three ~1ms spans on one line
+
+    def test_written_lines_are_flamegraph_consumable(self, tmp_path):
+        path = write_folded(_dicts(_nested_tracer()), tmp_path / "t.folded")
+        with open(path) as f:
+            lines = f.read().splitlines()
+        assert lines
+        for line in lines:
+            stack_path, value = line.rsplit(" ", 1)
+            assert stack_path and value.isdigit()
+
+
+class TestJsonlRoundTrip:
+    def test_written_trace_feeds_both_converters(self, tmp_path):
+        tracer = _nested_tracer()
+        trace = write_trace_jsonl(tracer, tmp_path / "t.trace.jsonl")
+        spans = read_spans_jsonl(trace)
+        assert len(spans) == 4
+        direct = chrome_trace_events(_dicts(tracer))
+        via_file = chrome_trace_events(spans)
+        assert via_file == direct
+        assert folded_stacks(spans) == folded_stacks(_dicts(tracer))
+
+
+class TestConcatSpanDicts:
+    def test_indices_rebased_across_tracers(self):
+        tracers = [_nested_tracer(), _nested_tracer()]
+        merged = concat_span_dicts([t.spans for t in tracers])
+        indices = [r["index"] for r in merged]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+        # Stack reconstruction still sees two independent roots.
+        stacks = folded_stacks(merged)
+        assert "a" in stacks and "a;b;c" in stacks
