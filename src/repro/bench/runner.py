@@ -24,7 +24,13 @@ from typing import Sequence
 
 from .. import obs
 from ..obs.spans import Tracer
-from .scenarios import SCENARIOS, BenchConfig, ScenarioResult, SuiteContext
+from .scenarios import (
+    EXTRA_SCENARIOS,
+    SCENARIOS,
+    BenchConfig,
+    ScenarioResult,
+    SuiteContext,
+)
 from .schema import (
     BENCH_FORMAT,
     DEFAULT_TOLERANCE,
@@ -84,33 +90,42 @@ def run_bench(config: BenchConfig, *, out_path: str | None = None,
               run_dir: str | None = None, write_run_files: bool = True,
               argv: Sequence[str] | None = None,
               scenario_names: Sequence[str] | None = None,
+              serve_workers: int = 0,
               progress=None) -> tuple[dict, dict[str, str]]:
     """Run the suite; returns ``(bench_doc, written_paths)``.
 
     ``scenario_names`` filters the suite (the ``build`` scenario is
     always included — every query scenario needs its tree).
+    ``serve_workers > 0`` opts in to the ``serve_pool`` scenario with
+    that many worker processes; it is appended *after* the pinned suite
+    so the baseline entries keep their like-for-like order.
     ``progress`` is an optional ``callable(str)`` for per-scenario CLI
     narration; ``write_run_files=False`` skips the ``results/runs/``
     artefacts (used by tests that only want the document).
     """
-    names = list(SCENARIOS) if scenario_names is None else [
-        n for n in SCENARIOS if n in set(scenario_names) or n == "build"
+    available = {**SCENARIOS, **EXTRA_SCENARIOS}
+    requested = None if scenario_names is None else set(scenario_names)
+    names = list(SCENARIOS) if requested is None else [
+        n for n in SCENARIOS if n in requested or n == "build"
     ]
-    unknown = (set(scenario_names or ()) - set(SCENARIOS))
+    if serve_workers > 0 or (requested and "serve_pool" in requested):
+        names.append("serve_pool")
+    unknown = (requested or set()) - set(available)
     if unknown:
         raise ValueError(
             f"unknown scenario(s) {sorted(unknown)}; "
-            f"available: {', '.join(SCENARIOS)}"
+            f"available: {', '.join(available)}"
         )
     written: dict[str, str] = {}
     start = time.time()
     results: list[ScenarioResult] = []
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as workdir:
-        ctx = SuiteContext(config=config, workdir=workdir)
+        ctx = SuiteContext(config=config, workdir=workdir,
+                           serve_workers=max(serve_workers, 0))
         for name in names:
             if progress is not None:
                 progress(f"[bench] {name} ...")
-            result = SCENARIOS[name](ctx)
+            result = available[name](ctx)
             results.append(result)
             if progress is not None:
                 progress(

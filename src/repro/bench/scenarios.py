@@ -25,6 +25,18 @@ Scenario list (the committed BENCH baseline carries one entry each):
 ``serve_roundtrip``
     The same region queries through the asyncio NDJSON server and
     client: wire protocol + admission + executor dispatch included.
+
+One *opt-in* scenario lives outside the pinned suite (and therefore
+outside the committed baseline and its diff bands):
+
+``serve_pool``
+    The 1% window workload driven by concurrent clients against the
+    same server twice — in-process, then with a ``--workers`` pool of
+    crash-isolated mmap-sharing worker processes — reporting both
+    throughputs and their ratio.  Opt in with ``repro bench --workers
+    N``; it never runs by default because its numbers are only
+    meaningful on multi-core hosts and a new scenario would break the
+    baseline diff's like-for-like guarantee.
 """
 
 from __future__ import annotations
@@ -50,7 +62,8 @@ from ..storage.integrity import TRAILER_SIZE
 from ..storage.page import required_page_size
 from ..storage.store import FilePageStore
 
-__all__ = ["BenchConfig", "ScenarioResult", "SuiteContext", "SCENARIOS"]
+__all__ = ["BenchConfig", "ScenarioResult", "SuiteContext", "SCENARIOS",
+           "EXTRA_SCENARIOS"]
 
 
 @dataclass(frozen=True)
@@ -158,6 +171,11 @@ class SuiteContext:
     config: BenchConfig
     workdir: str
     tree: PagedRTree | None = None
+    #: Worker processes for the opt-in ``serve_pool`` scenario.  Not a
+    #: :class:`BenchConfig` field on purpose: config is committed into
+    #: the bench document and must stay identical between a run and its
+    #: baseline for the diff bands to apply.
+    serve_workers: int = 0
 
     @property
     def built_tree(self) -> PagedRTree:
@@ -358,6 +376,95 @@ def scenario_serve_roundtrip(ctx: SuiteContext) -> ScenarioResult:
     )
 
 
+def scenario_serve_pool(ctx: SuiteContext) -> ScenarioResult:
+    """Concurrent 1% window load: in-process vs the worker-process pool.
+
+    Drives ``2 * workers`` concurrent clients through the same query
+    list against (a) a plain in-process server and (b) a server with a
+    ``workers``-process pool sharing the tree file via mmap, and
+    reports both throughputs.  The pool's latencies are the scenario's
+    headline numbers; ``extra`` carries the in-process baseline and the
+    speedup ratio.  Single-core hosts legitimately see ratios <= 1 —
+    that is a fact about the host, not a regression, which is one more
+    reason this scenario stays outside the banded baseline.
+    """
+    from ..serve.client import QueryClient
+    from ..serve.server import QueryServer
+
+    config = ctx.config
+    tree = ctx.built_tree
+    workers = max(ctx.serve_workers, 1)
+    clients = workers * 2
+    ops = list(region_queries(REGION_SIDE_1PCT, config.serve_queries,
+                              seed=config.seed * 1000 + 31))
+    shards = [ops[i::clients] for i in range(clients)]
+
+    async def _one_client(host: str, port: int, rects: list[Rect],
+                          latencies: list[float]) -> None:
+        client = await QueryClient.connect(host, port)
+        try:
+            for rect in rects:
+                t0 = time.perf_counter()
+                resp = await client.search(rect)
+                resp.raise_for_error()
+                latencies.append(time.perf_counter() - t0)
+        finally:
+            await client.aclose()
+
+    async def _drive(server: "QueryServer") -> tuple[list[float], float]:
+        host, port = await server.start("127.0.0.1", 0)
+        try:
+            latencies: list[float] = []
+            t_start = time.perf_counter()
+            await asyncio.gather(*(
+                _one_client(host, port, shard, latencies)
+                for shard in shards if shard))
+            return latencies, time.perf_counter() - t_start
+        finally:
+            await server.aclose()
+
+    def _run(n_workers: int) -> tuple[list[float], float, "QueryServer"]:
+        server = QueryServer(
+            tree, buffer_pages=config.buffer_pages,
+            default_deadline_s=60.0, max_deadline_s=60.0,
+            max_inflight=max(clients, 8), max_queue=max(clients * 2, 16),
+            workers=n_workers,
+        )
+        latencies, elapsed = asyncio.run(_drive(server))
+        return latencies, elapsed, server
+
+    tracer = Tracer()
+    with obs.telemetry(tracer, MetricsRegistry()):
+        with obs.span("bench.serve_pool"):
+            _, base_elapsed, _ = _run(0)
+            latencies, elapsed, server = _run(workers)
+    if server.pool_start_error is not None:
+        raise RuntimeError(
+            f"serve_pool could not start its worker pool: "
+            f"{server.pool_start_error}")
+    base_qps = len(ops) / base_elapsed if base_elapsed > 0 else 0.0
+    pool_qps = len(ops) / elapsed if elapsed > 0 else 0.0
+    return ScenarioResult(
+        name="serve_pool",
+        description=(f"region queries (1% of space), {clients} concurrent "
+                     f"clients: {workers}-process mmap pool vs in-process"),
+        ops=len(ops), elapsed_s=elapsed, latencies_s=latencies,
+        pages_read=0,  # worker-process reads are not in this searcher
+        bytes_read=0,
+        buffer_hits=0, buffer_misses=0,
+        tracer=tracer,
+        extra={
+            "transport": "asyncio-ndjson",
+            "workers": workers,
+            "concurrent_clients": clients,
+            "inprocess_qps": base_qps,
+            "pool_qps": pool_qps,
+            "pool_speedup": (pool_qps / base_qps) if base_qps else 0.0,
+            "pool_fallbacks": server.pool_fallbacks,
+        },
+    )
+
+
 #: Suite order matters: ``build`` creates the tree, ``serve_roundtrip``
 #: attaches a breaker to the shared store so it runs last.
 SCENARIOS: dict[str, Callable[[SuiteContext], ScenarioResult]] = {
@@ -368,4 +475,10 @@ SCENARIOS: dict[str, Callable[[SuiteContext], ScenarioResult]] = {
     "knn": scenario_knn,
     "window_1pct_warm": scenario_window_1pct_warm,
     "serve_roundtrip": scenario_serve_roundtrip,
+}
+
+#: Opt-in scenarios, excluded from the pinned suite and its committed
+#: baseline (``repro bench --workers N`` adds ``serve_pool``).
+EXTRA_SCENARIOS: dict[str, Callable[[SuiteContext], ScenarioResult]] = {
+    "serve_pool": scenario_serve_pool,
 }

@@ -228,14 +228,22 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="serve: accept 'reload' admin requests that "
                              "fsck-verify a new tree file and cut over to "
                              "it with zero downtime")
+    parser.add_argument("--scatter", action="store_true",
+                        help="serve: with --workers, fan each query out "
+                             "across the root's subtrees (per-shard "
+                             "degradation: a lost shard yields "
+                             "partial=true, never a wrong answer)")
     parser.add_argument("--size", type=int, default=100_000,
                         help="build: number of uniform points to load "
                              "(default 100000; deterministic in --seed)")
     parser.add_argument("--capacity", type=int, default=100,
                         help="build: entries per node (default 100)")
-    parser.add_argument("--workers", type=int, default=2,
+    parser.add_argument("--workers", type=int, default=None,
                         help="build: worker processes; 0 runs shards "
-                             "inline (default 2)")
+                             "inline (default 2). serve/bench: "
+                             "crash-isolated query worker processes "
+                             "sharing the tree read-only via mmap; 0 "
+                             "serves in-process (default 0)")
     parser.add_argument("--staging", default=None, metavar="DIR",
                         help="build: staging directory for shard runs and "
                              "checkpoints (default: <tree-file>.staging)")
@@ -470,6 +478,7 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
     quarantine = None
     if args.quarantine is not None:
         quarantine = read_quarantine(args.quarantine)
+    workers = args.workers if args.workers is not None else 0
     server = QueryServer(
         tree,
         buffer_pages=args.buffer_pages,
@@ -478,13 +487,25 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
         default_deadline_s=args.deadline_s,
         quarantine=quarantine,
         allow_reload=args.allow_reload,
+        workers=workers,
+        scatter=args.scatter,
     )
 
     async def _serve() -> None:
         host, port = await server.start(args.host, args.port)
+        pool_note = ""
+        if workers:
+            if server.pool is not None:
+                pool_note = (f", {server.pool.workers_live}/{workers} "
+                             f"worker process(es)"
+                             + (", scatter" if args.scatter else ""))
+            else:
+                pool_note = (f", in-process fallback "
+                             f"({server.pool_start_error})")
         print(f"serving {args.target} on {host}:{port} "
               f"({len(tree)} records, height {tree.height}, "
-              f"{len(server.quarantine)} quarantined page(s))",
+              f"{len(server.quarantine)} quarantined page(s)"
+              f"{pool_note})",
               flush=True)
         await server.serve_forever()
 
@@ -563,6 +584,9 @@ def _run_build(args: argparse.Namespace, argv: list[str]) -> int:
     from .storage.store import FilePageStore
 
     start = time.time()
+    # --workers is shared with serve/bench; the build default is 2.
+    if args.workers is None:
+        args.workers = 2
     points = uniform_points(args.size, seed=args.seed)
     page_size = required_page_size(args.capacity, points.ndim) + TRAILER_SIZE
     staging = (args.staging if args.staging is not None
@@ -644,6 +668,7 @@ def _run_bench_cmd(args: argparse.Namespace, argv: list[str]) -> int:
         write_run_files=not args.no_manifest,
         argv=argv,
         scenario_names=args.scenarios,
+        serve_workers=args.workers if args.workers is not None else 0,
         progress=lambda line: print(line, file=sys.stderr, flush=True),
     )
     for key in sorted(written):

@@ -10,15 +10,18 @@ that only appear on macOS/Windows), and module-level ``lambda``s
 (unpicklable the moment one lands in a spec or is handed to
 ``Process(target=...)``).
 
-Flagged, for ``pipeline/worker.py``: module-level assignments whose
-value is a mutable container (list/dict/set/bytearray literal or
-constructor, ``collections`` mutables), and ``lambda`` expressions in
-module-level statements.
+Flagged, for ``pipeline/worker.py`` and the serving pool's
+spawn-crossing modules (``serve/pool.py``, ``serve/supervisor.py``,
+whose ``worker_main`` and :class:`TreeSpec` are shipped to child
+processes the same way): module-level assignments whose value is a
+mutable container (list/dict/set/bytearray literal or constructor,
+``collections`` mutables), and ``lambda`` expressions in module-level
+statements.
 
 Immutable module constants (``DONE_FORMAT = "..."``, tuples,
-``frozenset``) and state created *inside* ``run_shard`` stay legal —
-per-shard state belongs in function scope, where every attempt starts
-fresh.
+``frozenset``) and state created *inside* ``run_shard`` /
+``worker_main`` stay legal — per-shard state belongs in function
+scope, where every attempt starts fresh.
 """
 
 from __future__ import annotations
@@ -53,9 +56,10 @@ def _target_name(node: ast.Assign | ast.AnnAssign) -> str:
 class WorkerPicklability(Rule):
     id = "RL006"
     name = "worker-picklability"
-    invariant = ("pipeline/worker.py holds no module-global mutable "
-                 "state and nothing unpicklable under spawn")
-    path_fragments = ("repro/pipeline/worker.py",)
+    invariant = ("spawn-crossing worker modules hold no module-global "
+                 "mutable state and nothing unpicklable under spawn")
+    path_fragments = ("repro/pipeline/worker.py", "repro/serve/pool.py",
+                      "repro/serve/supervisor.py")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for stmt in ctx.tree.body:

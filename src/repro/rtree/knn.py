@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Sequence
+from typing import Callable, Container, Sequence
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..core.geometry import GeometryError
 from ..obs import runtime as obs
 from .paged import PagedSearcher
 
-__all__ = ["knn"]
+__all__ = ["knn", "knn_detailed", "KnnResult"]
 
 
 def _min_dists(los: np.ndarray, his: np.ndarray, point: np.ndarray
@@ -35,6 +35,25 @@ def _min_dists(los: np.ndarray, his: np.ndarray, point: np.ndarray
     return np.sqrt((delta * delta).sum(axis=1))
 
 
+class KnnResult:
+    """Outcome of one (possibly degraded) kNN search.
+
+    Mirrors :class:`~repro.rtree.paged.SearchResult`: ``partial=True``
+    means at least one node was skipped (quarantined or unreadable in
+    degraded mode), so ``neighbours`` may under-report — the true k-th
+    neighbour could have lived in a skipped subtree — but every pair
+    returned is a real indexed rectangle at its true distance.
+    """
+
+    __slots__ = ("neighbours", "partial", "skipped_subtrees")
+
+    def __init__(self, neighbours: list[tuple[int, float]],
+                 partial: bool, skipped_subtrees: int):
+        self.neighbours = neighbours
+        self.partial = partial
+        self.skipped_subtrees = skipped_subtrees
+
+
 def knn(searcher: PagedSearcher, point: Sequence[float], k: int
         ) -> list[tuple[int, float]]:
     """The ``k`` data rectangles nearest to ``point``.
@@ -42,6 +61,31 @@ def knn(searcher: PagedSearcher, point: Sequence[float], k: int
     Returns ``(data_id, distance)`` pairs in non-decreasing distance order.
     Distance is Euclidean point-to-rectangle (zero inside a rectangle).
     Page fetches are charged to the searcher's stats like any query.
+    """
+    return knn_detailed(searcher, point, k).neighbours
+
+
+def knn_detailed(
+    searcher: PagedSearcher,
+    point: Sequence[float],
+    k: int,
+    *,
+    check: Callable[[], None] | None = None,
+    quarantined: Container[int] | None = None,
+    degraded: bool = False,
+    on_page_error: Callable[[int, Exception], None] | None = None,
+    root_page: int | None = None,
+) -> KnnResult:
+    """kNN with the serving-layer hooks of
+    :meth:`~repro.rtree.paged.PagedSearcher.search_detailed`.
+
+    ``check`` runs between heap expansions (cooperative deadline
+    cancellation); ``quarantined`` subtrees are skipped without I/O;
+    ``degraded=True`` absorbs page failures as skipped subtrees instead
+    of failing the query, reporting each through ``on_page_error``;
+    ``root_page`` starts the walk at a subtree instead of the tree root
+    (scatter-gather dispatch) — the result is then the subtree-local
+    top-k, which the gatherer merges.
     """
     if k < 1:
         raise GeometryError(f"k must be >= 1, got {k}")
@@ -53,10 +97,12 @@ def knn(searcher: PagedSearcher, point: Sequence[float], k: int
         )
 
     results: list[tuple[int, float]] = []
+    skipped = 0
     counter = itertools.count()  # tie-breaker: heap never compares payloads
     # Heap entries: (distance, seq, kind, payload); kind 0 = node, 1 = object.
     heap: list[tuple[float, int, int, int]] = [
-        (0.0, next(counter), 0, tree.root_page)
+        (0.0, next(counter), 0,
+         tree.root_page if root_page is None else root_page)
     ]
     # The walk span nests the buffer's read/decode spans, so kNN reports
     # the same decode-vs-walk self-time split as region queries.
@@ -66,11 +112,24 @@ def knn(searcher: PagedSearcher, point: Sequence[float], k: int
             if kind == 1:
                 results.append((payload, dist))
                 continue
-            node = searcher.buffer.get(payload)
+            if check is not None:
+                check()
+            if quarantined is not None and payload in quarantined:
+                skipped += 1
+                continue
+            try:
+                node = searcher.buffer.get(payload)
+            except searcher.DEGRADED_ERRORS as exc:
+                if not degraded:
+                    raise
+                skipped += 1
+                if on_page_error is not None:
+                    on_page_error(payload, exc)
+                continue
             dists = _min_dists(node.rects.los, node.rects.his, q)
             child_kind = 1 if node.is_leaf else 0
             for d, child in zip(dists, node.children):
                 heapq.heappush(
                     heap, (float(d), next(counter), child_kind, int(child))
                 )
-    return results
+    return KnnResult(results, skipped > 0, skipped)

@@ -8,7 +8,7 @@ never silently wrong.
 
 * :mod:`~repro.serve.protocol` — newline-JSON wire format and the typed
   error taxonomy (``BadRequest``, ``DeadlineExceeded``, ``Overloaded``,
-  ``StoreUnavailable``, ``ReloadRejected``);
+  ``StoreUnavailable``, ``ReloadRejected``, ``WorkerLost``);
 * :mod:`~repro.serve.deadline` — per-request deadlines with an
   injectable clock, propagated into the paged search loop as a
   cooperative cancellation hook;
@@ -19,9 +19,14 @@ never silently wrong.
   runtime page quarantine, health endpoints, and zero-downtime
   generation cutover via the ``reload`` admin op;
 * :mod:`~repro.serve.client` — :class:`QueryClient` for tests, tools
-  and the chaos soak;
+  and the chaos soak, with opt-in seeded reconnect-with-backoff;
 * :mod:`~repro.serve.health` — ``healthz``/``readyz``/``stats`` payload
-  builders.
+  builders;
+* :mod:`~repro.serve.pool` + :mod:`~repro.serve.supervisor` —
+  :class:`WorkerPool`: supervised, crash-isolated worker processes
+  sharing generation files read-only via ``mmap``, with at-most-once
+  re-dispatch, exponential-backoff restarts, flap-detection degradation
+  and scatter-gather subtree fan-out.
 
 Start one from a durable tree file with ``python -m repro serve
 tree.pages``; see ``docs/serving.md`` for the protocol and failure
@@ -32,6 +37,7 @@ from .admission import AdmissionController
 from .client import QueryClient
 from .deadline import Deadline
 from .health import healthz_payload, readyz_payload, stats_payload, store_health
+from .pool import PoolUnavailable, TreeSpec, WorkerPool
 from .protocol import (
     ADMIN_OPS,
     ERROR_TYPES,
@@ -46,6 +52,7 @@ from .protocol import (
     Response,
     ServeError,
     StoreUnavailable,
+    WorkerLost,
     decode_request,
     decode_response,
     encode_request,
@@ -54,6 +61,7 @@ from .protocol import (
     rect_to_wire,
 )
 from .server import QueryServer
+from .supervisor import FlapDetector, RestartBackoff, WorkerState
 
 __all__ = [
     # protocol
@@ -67,6 +75,7 @@ __all__ = [
     "Overloaded",
     "StoreUnavailable",
     "ReloadRejected",
+    "WorkerLost",
     "ERROR_TYPES",
     "Request",
     "Response",
@@ -81,6 +90,13 @@ __all__ = [
     "AdmissionController",
     "QueryServer",
     "QueryClient",
+    # multi-process pool
+    "WorkerPool",
+    "TreeSpec",
+    "PoolUnavailable",
+    "RestartBackoff",
+    "FlapDetector",
+    "WorkerState",
     # health
     "healthz_payload",
     "readyz_payload",

@@ -10,12 +10,22 @@ several clients for parallel load, as the chaos tests do::
             ids = resp.ids          # sorted; subset-of-truth if partial
         else:
             resp.raise_for_error()  # typed: DeadlineExceeded, Overloaded...
+
+Pass ``reconnect=RetryPolicy(...)`` to survive server restarts: a
+dropped connection is re-dialled with the policy's bounded, seeded
+full-jitter backoff (the same :class:`~repro.storage.faults.RetryPolicy`
+the storage layer uses, so a fleet of clients reconnecting to a
+restarted server does not stampede it in lockstep), and the in-flight
+request is retransmitted **once** — safe for every query op because they
+are read-only.  A ``reload`` is never auto-retried across a reconnect:
+the cutover may already have committed, and re-sending it would advance
+the generation twice.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from ..core.geometry import Rect
 from .protocol import (
@@ -27,6 +37,9 @@ from .protocol import (
     rect_to_wire,
 )
 
+if TYPE_CHECKING:
+    from ..storage.faults import RetryPolicy
+
 __all__ = ["QueryClient"]
 
 
@@ -34,17 +47,31 @@ class QueryClient:
     """One connection to a :class:`~repro.serve.server.QueryServer`."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter, *,
+                 host: str | None = None, port: int | None = None,
+                 reconnect: "RetryPolicy | None" = None):
         self._reader = reader
         self._writer = writer
         self._lock = asyncio.Lock()
         self._next_id = 0
+        self._host = host
+        self._port = port
+        self._reconnect = reconnect
+        #: Successful re-dials since :meth:`connect`.
+        self.reconnects_total = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "QueryClient":
-        """Open a connection to a running server."""
+    async def connect(cls, host: str, port: int, *,
+                      reconnect: "RetryPolicy | None" = None
+                      ) -> "QueryClient":
+        """Open a connection to a running server.
+
+        ``reconnect`` enables transparent re-dial-and-retry on dropped
+        connections (see the module docstring for its semantics).
+        """
         reader, writer = await asyncio.open_connection(host, port)
-        return cls(reader, writer)
+        return cls(reader, writer, host=host, port=port,
+                   reconnect=reconnect)
 
     async def request(self, req: Request) -> Response:
         """Send one request and await its matching response.
@@ -58,16 +85,55 @@ class QueryClient:
             if req.id == 0:
                 self._next_id += 1
                 req.id = self._next_id
-            self._writer.write(encode_request(req))
-            await self._writer.drain()
-            line = await self._reader.readline()
-        if not line:
-            raise ServeError("server closed the connection")
+            line = await self._send_once(req)
+            if not line and self._reconnect is not None:
+                await self._redial()
+                if req.op == "reload":
+                    raise ServeError(
+                        "connection lost during 'reload'; reconnected "
+                        "but not auto-retrying a generation cutover — "
+                        "check the server's generation before re-sending")
+                line = await self._send_once(req)
+            if not line:
+                raise ServeError("server closed the connection")
         resp = decode_response(line)
         if resp.id != req.id:
             raise ServeError(
                 f"response id {resp.id} does not match request id {req.id}")
         return resp
+
+    async def _send_once(self, req: Request) -> bytes:
+        """One write + readline; a dead connection reads as ``b""``."""
+        try:
+            self._writer.write(encode_request(req))
+            await self._writer.drain()
+            return await self._reader.readline()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            return b""
+
+    async def _redial(self) -> None:
+        """Reconnect with the policy's seeded full-jitter schedule."""
+        policy = self._reconnect
+        if policy is None or self._host is None or self._port is None:
+            raise ServeError("server closed the connection")
+        last_exc: OSError | None = None
+        # Try immediately, then once per backoff delay in the schedule.
+        attempts = [0.0]
+        attempts.extend(policy.delays())
+        for delay in attempts:
+            if delay > 0:
+                await asyncio.sleep(delay)
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self._host, self._port)
+            except OSError as exc:
+                last_exc = exc
+                continue
+            self.reconnects_total += 1
+            return
+        raise ServeError(
+            f"reconnect to {self._host}:{self._port} failed after "
+            f"{len(attempts)} attempts: {last_exc}")
 
     # -- convenience wrappers ---------------------------------------------
 
@@ -90,6 +156,14 @@ class QueryClient:
         wire = rect_to_wire(rect) if isinstance(rect, Rect) else rect
         return await self.request(
             Request(op="count", rect=wire, deadline_s=deadline_s))
+
+    async def knn(self, point: Sequence[float], k: int,
+                  deadline_s: float | None = None) -> Response:
+        """k nearest neighbours of ``point``: ``ids`` in non-decreasing
+        distance order with a parallel ``distances`` list."""
+        return await self.request(
+            Request(op="knn", point=list(point), k=k,
+                    deadline_s=deadline_s))
 
     async def healthz(self) -> dict:
         """The server's liveness/operational snapshot."""

@@ -6,10 +6,17 @@ Three views, all JSON-able and all built from live server state:
   breaker state, admission counters, journal-recovery status, quarantine
   size, rolling latency percentiles, per-error-code counts.
 * ``readyz`` — the load-balancer answer.  A server is *ready* when its
-  tree is attached and the circuit breaker is not open; an open breaker
+  tree is attached, the circuit breaker is not open, and it is not
+  draining its worker pool for a generation reload; an open breaker
   means new traffic would be served heavily degraded, so the server asks
   to be drained while still answering in-flight clients.
 * ``stats`` — the fuller numeric dump (health + per-store I/O counters).
+
+Servers running a multi-process pool additionally report a ``pool``
+block (``workers_live``/``workers_total``, per-worker state, restart and
+requeue counters, the flap-circuit state and the last restart reason),
+so an operator can see a crash-looping worker before it becomes an
+availability problem.
 
 The helpers duck-type the store so wrapped stores (fault injection,
 striping) report the innermost real device's recovery/corruption counters.
@@ -55,6 +62,24 @@ def store_health(store) -> dict:
     return out
 
 
+def _pool_block(server) -> dict | None:
+    """The worker-pool health block, or ``None`` for in-process servers."""
+    pool = getattr(server, "pool", None)
+    if pool is not None:
+        block = pool.snapshot()
+        block["enabled"] = True
+        block["fallbacks"] = getattr(server, "pool_fallbacks", 0)
+        return block
+    if getattr(server, "workers", 0):
+        return {
+            "enabled": False,
+            "workers_total": server.workers,
+            "workers_live": 0,
+            "reason": getattr(server, "pool_start_error", None),
+        }
+    return None
+
+
 def _latency_block(server) -> dict:
     latency = server.latency.summary()
     slo: SloTarget | None = server.slo
@@ -93,16 +118,23 @@ def healthz_payload(server) -> dict:
             "reload_enabled": server.allow_reload,
         },
     }
+    pool = _pool_block(server)
+    if pool is not None:
+        payload["pool"] = pool
     payload.update(_latency_block(server))
     return payload
 
 
 def readyz_payload(server) -> dict:
-    """Readiness: drain while the breaker is open, serve otherwise."""
+    """Readiness: drain while the breaker is open or a reload is
+    draining the worker pool, serve otherwise."""
     breaker = server.breaker.snapshot()
     store = store_health(server.tree.store)
+    pool = getattr(server, "pool", None)
+    draining = bool(getattr(server, "reload_draining", False)
+                    or (pool is not None and pool.draining))
     payload = {
-        "ready": breaker["state"] != "open",
+        "ready": breaker["state"] != "open" and not draining,
         "breaker": breaker,
         "journal": {
             "recovered": store["journal_recovered"],
@@ -110,14 +142,30 @@ def readyz_payload(server) -> dict:
             "recovered_pages": store["recovered_pages"],
         },
     }
+    pool_block = _pool_block(server)
+    if pool_block is not None:
+        payload["pool"] = {
+            "enabled": pool_block["enabled"],
+            "workers_live": pool_block["workers_live"],
+            "workers_total": pool_block["workers_total"],
+            "degraded": pool_block.get("degraded", False),
+            "draining": draining,
+            "last_restart_reason":
+                pool_block.get("last_restart_reason"),
+        }
     payload.update(_latency_block(server))
     if not payload["ready"]:
-        payload["reason"] = "circuit breaker is open"
+        payload["reason"] = ("reload drain in progress" if draining
+                             else "circuit breaker is open")
     return payload
 
 
 def stats_payload(server) -> dict:
     """The full numeric dump: healthz plus readiness and shed/trip detail."""
     payload = healthz_payload(server)
-    payload["ready"] = server.breaker.snapshot()["state"] != "open"
+    pool = getattr(server, "pool", None)
+    draining = bool(getattr(server, "reload_draining", False)
+                    or (pool is not None and pool.draining))
+    payload["ready"] = (server.breaker.snapshot()["state"] != "open"
+                        and not draining)
     return payload

@@ -1,0 +1,860 @@
+"""Supervised worker-process pool: crash-isolated query execution.
+
+One wedged or segfaulting worker must never take the serving process —
+or a correct answer — with it.  :class:`WorkerPool` runs queries in
+``N`` child processes, each of which opens the *same* generation page
+file read-only through :class:`~repro.storage.mmap_store.MmapPageStore`,
+so the OS page cache holds one copy of every hot page no matter how many
+workers serve it, and no worker can scribble on the tree no matter how
+it dies.
+
+The contract is the server's, extended across process boundaries: every
+response is **exact**, **explicitly partial** (a subset of the truth,
+flagged), or a **typed error** — never silently wrong.
+
+* A worker death with requests in flight re-dispatches each of them to a
+  live sibling **at most once**; a request that loses its worker twice
+  fails with the typed :class:`~repro.serve.protocol.WorkerLost` (these
+  are read-only queries, so the retry is always safe and never observed
+  a partial execution).
+* A request that exceeds its deadline plus a grace period on a worker is
+  evidence the worker is *wedged* (healthy workers cancel cooperatively
+  between node visits, well inside the grace): the supervisor kills the
+  worker and the request fails ``DeadlineExceeded`` — late answers are
+  never written.
+* Dead workers restart under a seeded exponential
+  :class:`~repro.serve.supervisor.RestartBackoff`; a
+  :class:`~repro.serve.supervisor.FlapDetector` watching the death rate
+  trips the pool into **degraded** mode instead of crash-looping, after
+  which :meth:`WorkerPool.execute` raises :class:`PoolUnavailable` and
+  the server falls back to in-process serving — slower, but correct and
+  alive.
+* :meth:`WorkerPool.remap` extends zero-downtime reload to the pool:
+  the pool drains (in-flight requests finish; new ones fall back
+  in-process against the *new* generation), every worker re-opens the
+  new generation file, and the pool rejoins — clients never see the
+  cutover, only the ``generation`` counter moving.
+* :meth:`WorkerPool.scatter` fans one query out across the root's
+  subtrees with per-shard deadlines (the multi-disk
+  :class:`~repro.storage.striped.StripedPageStore` layout's
+  shared-nothing future-work section, served for real): a shard whose
+  worker dies twice degrades *that shard only* — the merged response
+  comes back ``partial=true`` with the lost subtrees counted in
+  ``unreachable_subtrees``.
+
+Everything a child process touches lives at module top level
+(:func:`worker_main`, :class:`TreeSpec`) and is picklable, so the pool
+works identically under ``fork`` and ``spawn`` start methods.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Sequence
+
+from ..core.geometry import GeometryError
+from ..obs import runtime as obs
+from ..storage.store import StoreError
+from .deadline import Deadline
+from .protocol import (
+    ERROR_TYPES,
+    BadRequest,
+    DeadlineExceeded,
+    ServeError,
+    WorkerLost,
+    rect_from_wire,
+)
+from .supervisor import FlapDetector, RestartBackoff, WorkerState
+
+__all__ = ["TreeSpec", "WorkerPool", "PoolUnavailable", "worker_main"]
+
+
+class PoolUnavailable(Exception):
+    """The pool cannot take this request (not started, draining for a
+    reload, flap-tripped into degraded mode, or no live workers).
+
+    Deliberately *not* a :class:`~repro.serve.protocol.ServeError`: it
+    never reaches the wire.  The server catches it and serves the
+    request in-process instead — pool unavailability degrades latency,
+    not correctness or availability.
+    """
+
+
+# -- worker-side ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TreeSpec:
+    """Everything a worker process needs to open one tree generation.
+
+    Plain data (picklable under ``spawn``): file paths — several paths
+    mean a round-robin stripe recomposed with
+    :class:`~repro.storage.striped.StripedPageStore` — plus the tree
+    header, since a worker must never trust an unverified file to
+    describe itself beyond what the superblock already commits.
+    """
+
+    paths: tuple[str, ...]
+    page_size: int | None
+    meta: dict  # root_page / height / ndim / capacity / size
+    buffer_pages: int
+    generation: int
+    verify: bool = True
+
+    @classmethod
+    def for_tree(cls, tree: Any, *, buffer_pages: int,
+                 generation: int) -> "TreeSpec | None":
+        """Build a spec for a live server tree, or ``None`` when the
+        tree is not file-backed (memory stores cannot be re-opened by
+        another process)."""
+        paths = _backing_paths(tree.store)
+        if paths is None:
+            return None
+        meta = {
+            "root_page": tree.root_page,
+            "height": tree.height,
+            "ndim": tree.ndim,
+            "capacity": tree.capacity,
+            "size": len(tree),
+        }
+        return cls(paths=tuple(paths), page_size=tree.store.page_size,
+                   meta=meta, buffer_pages=buffer_pages,
+                   generation=generation)
+
+
+def _backing_paths(store: Any) -> list[str] | None:
+    """File path(s) behind a (possibly wrapped) store, else ``None``."""
+    seen: set[int] = set()
+    while store is not None and id(store) not in seen:
+        seen.add(id(store))
+        disk_paths = getattr(store, "disk_paths", None)
+        if callable(disk_paths):
+            return disk_paths()
+        path = getattr(store, "path", None)
+        if path is not None:
+            return [str(path)]
+        store = getattr(store, "inner", None)
+    return None
+
+
+def _open_spec(spec: TreeSpec) -> tuple[Any, Any]:
+    """(searcher, store) for one generation, opened read-only via mmap."""
+    from ..rtree.paged import PagedRTree
+    from ..storage.mmap_store import MmapPageStore
+    from ..storage.striped import StripedPageStore
+
+    if len(spec.paths) == 1:
+        store: Any = MmapPageStore(spec.paths[0], spec.page_size,
+                                   verify=spec.verify)
+    else:
+        disks = [MmapPageStore(p, spec.page_size, verify=spec.verify)
+                 for p in spec.paths]
+        store = StripedPageStore(disks)
+    meta = spec.meta
+    tree = PagedRTree(store, int(meta["root_page"]),
+                      height=int(meta["height"]), ndim=int(meta["ndim"]),
+                      capacity=int(meta["capacity"]),
+                      size=int(meta["size"]))
+    return tree.searcher(spec.buffer_pages), store
+
+
+def _run_query(searcher: Any, payload: dict,
+               quarantine: set[int]) -> dict:
+    """Execute one query payload against a worker-local searcher."""
+    from ..rtree.knn import knn_detailed
+
+    op = payload["op"]
+    deadline = Deadline.after(float(payload["budget_s"]))
+    degraded = bool(payload.get("degraded", True))
+    degraded_pages = 0
+
+    def note(page_id: int, exc: Exception) -> None:
+        nonlocal degraded_pages
+        degraded_pages += 1
+        if type(exc).__name__ in ("IntegrityError", "ChecksumError",
+                                  "PageFormatError"):
+            quarantine.add(page_id)
+
+    if op == "knn":
+        point = payload["point"]
+        res = knn_detailed(searcher, [float(x) for x in point],
+                           int(payload["k"]), check=deadline.check,
+                           quarantined=quarantine, degraded=degraded,
+                           on_page_error=note,
+                           root_page=payload.get("root_page"))
+        return {
+            "ids": [int(i) for i, _ in res.neighbours],
+            "distances": [float(d) for _, d in res.neighbours],
+            "count": len(res.neighbours),
+            "partial": res.partial,
+            "unreachable": res.skipped_subtrees,
+            "degraded_pages": degraded_pages,
+        }
+    rect = rect_from_wire(payload["rect"])
+    result = searcher.search_detailed(
+        rect, check=deadline.check, quarantined=quarantine,
+        degraded=degraded, on_page_error=note,
+        root_page=payload.get("root_page"),
+    )
+    ids = sorted(int(x) for x in result.ids)
+    out = {
+        "count": len(ids),
+        "partial": result.partial,
+        "unreachable": result.skipped_subtrees,
+        "degraded_pages": degraded_pages,
+    }
+    if op != "count":
+        out["ids"] = ids
+    return out
+
+
+def worker_main(conn: Any, spec: TreeSpec) -> None:
+    """Child-process entry point: serve query messages until told to stop.
+
+    Protocol (tuples over the duplex pipe)::
+
+        parent -> ("search", req_id, payload) | ("remap", spec) | ("stop",)
+        child  -> ("ready", pid, generation)
+                | ("result", req_id, result) | ("error", req_id, code, msg)
+                | ("remapped", generation) | ("remap_failed", message)
+
+    A query failure answers a typed error and the worker lives on; only
+    a genuine crash (signal, unhandled corruption of the process itself)
+    drops the pipe, which is exactly the signal the supervisor watches.
+    """
+    searcher, store = _open_spec(spec)
+    quarantine: set[int] = set()
+    conn.send(("ready", os.getpid(), spec.generation))
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            kind = msg[0]
+            if kind == "stop":
+                break
+            if kind == "remap":
+                new_spec = msg[1]
+                try:
+                    new_searcher, new_store = _open_spec(new_spec)
+                except Exception as exc:
+                    conn.send(("remap_failed",
+                               f"{type(exc).__name__}: {exc}"))
+                    continue
+                old_store = store
+                searcher, store, spec = new_searcher, new_store, new_spec
+                quarantine = set()
+                try:
+                    old_store.close()
+                except (StoreError, OSError):
+                    # Releasing the dead generation is best-effort; the
+                    # new one is already serving.
+                    pass
+                conn.send(("remapped", new_spec.generation))
+                continue
+            if kind == "search":
+                req_id, payload = msg[1], msg[2]
+                try:
+                    result = _run_query(searcher, payload, quarantine)
+                except ServeError as exc:
+                    conn.send(("error", req_id, exc.code, str(exc)))
+                except GeometryError as exc:
+                    conn.send(("error", req_id, BadRequest.code, str(exc)))
+                except Exception as exc:
+                    # Absorb per-request failures as typed errors so one
+                    # malformed request cannot kill a healthy worker.
+                    conn.send(("error", req_id, "StoreUnavailable",
+                               f"{type(exc).__name__}: {exc}"))
+                else:
+                    conn.send(("result", req_id, result))
+    finally:
+        try:
+            store.close()
+        except (StoreError, OSError):
+            pass  # process is exiting anyway
+        conn.close()
+
+
+# -- parent-side ----------------------------------------------------------
+
+
+class _Inflight:
+    """One dispatched request, from send until its future resolves."""
+
+    __slots__ = ("req_id", "payload", "future", "worker", "attempts")
+
+    def __init__(self, req_id: int, payload: dict,
+                 future: "asyncio.Future[dict]", worker: int) -> None:
+        self.req_id = req_id
+        self.payload = payload
+        self.future = future
+        self.worker = worker
+        self.attempts = 0
+
+
+class _Worker:
+    """Parent-side bookkeeping for one child process."""
+
+    __slots__ = ("index", "proc", "conn", "reader", "state", "generation",
+                 "backoff", "remap_future", "pid", "restarts")
+
+    def __init__(self, index: int, backoff: RestartBackoff) -> None:
+        self.index = index
+        self.proc: Any = None
+        self.conn: Any = None
+        self.reader: threading.Thread | None = None
+        self.state = WorkerState.STOPPED
+        self.generation = 0
+        self.backoff = backoff
+        self.remap_future: "asyncio.Future[int] | None" = None
+        self.pid: int | None = None
+        self.restarts = 0
+
+    @property
+    def live(self) -> bool:
+        return self.state == WorkerState.READY
+
+
+class WorkerPool:
+    """Supervised pool of crash-isolated query worker processes."""
+
+    def __init__(
+        self,
+        spec: TreeSpec,
+        size: int,
+        *,
+        grace_s: float = 1.0,
+        probation_s: float = 2.0,
+        start_timeout_s: float = 15.0,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        flap_threshold: int = 6,
+        flap_window_s: float = 30.0,
+        seed: int = 0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"pool size must be >= 1, got {size}")
+        self.spec = spec
+        self.size = size
+        self.grace_s = grace_s
+        self.probation_s = probation_s
+        self.start_timeout_s = start_timeout_s
+        self.clock = clock
+        self.flap = FlapDetector(flap_threshold, flap_window_s)
+        self._workers = [
+            _Worker(i, RestartBackoff(backoff_base_s, 2.0, backoff_max_s,
+                                      seed=seed + i))
+            for i in range(size)
+        ]
+        self._inflight: dict[int, _Inflight] = {}
+        self._req_ids: Iterator[int] = itertools.count(1)
+        self._rr = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+        self._started = False
+        self._closing = False
+        self._draining = False
+        self.restarts_total = 0
+        self.requeues_total = 0
+        self.worker_lost_total = 0
+        self.hung_kills_total = 0
+        self.last_restart_reason: str | None = None
+        self._state_waiters: list[asyncio.Future[None]] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> int:
+        """Spawn all workers; returns how many became ready in time.
+
+        Workers that miss the start timeout are left to the supervisor
+        (they either turn up late or die and restart); a pool where
+        *none* come up raises :class:`PoolUnavailable` so the caller
+        can fall back to in-process serving with a clear reason.
+        """
+        self._loop = asyncio.get_running_loop()
+        self._started = True
+        for worker in self._workers:
+            self._spawn(worker)
+        deadline = Deadline.after(self.start_timeout_s, self.clock)
+        while not deadline.expired():
+            if self.workers_live == self.size:
+                break
+            await self._state_changed(deadline.remaining())
+        live = self.workers_live
+        if live == 0:
+            await self.aclose()
+            raise PoolUnavailable(
+                f"no worker became ready within {self.start_timeout_s}s")
+        self._set_gauges()
+        return live
+
+    def _spawn(self, worker: _Worker) -> None:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        proc = self._ctx.Process(
+            target=worker_main, args=(child_conn, self.spec),
+            name=f"repro-serve-worker-{worker.index}", daemon=True)
+        proc.start()
+        child_conn.close()
+        worker.proc = proc
+        worker.conn = parent_conn
+        worker.state = WorkerState.STARTING
+        worker.generation = 0
+        worker.pid = proc.pid
+        reader = threading.Thread(
+            target=self._reader, args=(worker.index, parent_conn, proc),
+            name=f"repro-pool-reader-{worker.index}", daemon=True)
+        worker.reader = reader
+        reader.start()
+
+    def _reader(self, index: int, conn: Any, proc: Any) -> None:
+        """Per-worker pipe reader (thread): forward into the event loop."""
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            if not self._post(self._on_message, index, msg):
+                return
+        proc.join(timeout=5.0)
+        self._post(self._on_worker_exit, index, proc)
+
+    def _post(self, fn: Callable[..., None], *args: Any) -> bool:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return False
+        try:
+            loop.call_soon_threadsafe(fn, *args)
+        except RuntimeError:
+            return False  # loop shut down mid-call
+        return True
+
+    async def aclose(self) -> None:
+        """Stop every worker and fail whatever is still in flight."""
+        if self._closing:
+            return
+        self._closing = True
+        for worker in self._workers:
+            if worker.conn is not None:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass  # already dead is fine here
+        for rec in list(self._inflight.values()):
+            if not rec.future.done():
+                rec.future.set_exception(
+                    PoolUnavailable("pool is shutting down"))
+        self._inflight.clear()
+        await asyncio.get_running_loop().run_in_executor(
+            None, self._join_all)
+        for worker in self._workers:
+            if worker.conn is not None:
+                worker.conn.close()
+                worker.conn = None
+            worker.state = WorkerState.STOPPED
+        self._wake_state_waiters()
+        self._set_gauges()
+
+    def _join_all(self) -> None:
+        for worker in self._workers:
+            proc = worker.proc
+            if proc is None:
+                continue
+            proc.join(timeout=2.0)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=2.0)
+
+    # -- supervision -------------------------------------------------------
+
+    def _on_message(self, index: int, msg: tuple) -> None:
+        worker = self._workers[index]
+        kind = msg[0]
+        if kind == "ready":
+            worker.state = WorkerState.READY
+            worker.generation = int(msg[2])
+            self._wake_state_waiters()
+            self._set_gauges()
+            if self._loop is not None:
+                pid = worker.pid
+                self._loop.call_later(self.probation_s,
+                                      self._end_probation, index, pid)
+            return
+        if kind == "result" or kind == "error":
+            rec = self._inflight.pop(int(msg[1]), None)
+            if rec is None or rec.future.done():
+                return  # late answer for a timed-out request: drop it
+            if kind == "result":
+                rec.future.set_result(msg[2])
+            else:
+                exc_type = ERROR_TYPES.get(msg[2], ServeError)
+                rec.future.set_exception(exc_type(msg[3]))
+            return
+        if kind == "remapped":
+            worker.generation = int(msg[1])
+            if worker.remap_future is not None \
+                    and not worker.remap_future.done():
+                worker.remap_future.set_result(worker.generation)
+            return
+        if kind == "remap_failed":
+            if worker.remap_future is not None \
+                    and not worker.remap_future.done():
+                worker.remap_future.set_exception(
+                    PoolUnavailable(f"worker {index} remap failed: "
+                                    f"{msg[1]}"))
+            return
+
+    def _end_probation(self, index: int, pid: int | None) -> None:
+        worker = self._workers[index]
+        if worker.live and worker.pid == pid:
+            worker.backoff.reset()
+
+    def _on_worker_exit(self, index: int, proc: Any) -> None:
+        """The reader saw EOF and the process is (nearly) gone."""
+        worker = self._workers[index]
+        if worker.proc is not proc:
+            return  # stale event from a previous incarnation
+        was_stopping = self._closing
+        worker.state = WorkerState.STOPPED
+        exitcode = proc.exitcode
+        if worker.remap_future is not None and not worker.remap_future.done():
+            worker.remap_future.set_exception(
+                PoolUnavailable(f"worker {index} died during remap"))
+        self._wake_state_waiters()
+        if was_stopping:
+            self._set_gauges()
+            return
+        obs.inc("serve.pool.worker_deaths")
+        self.last_restart_reason = (
+            f"worker {index} (pid {worker.pid}) exited with code "
+            f"{exitcode}")
+        self._redispatch_from(index)
+        now = self.clock()
+        if self.flap.record(now):
+            self._degrade(now)
+            return
+        worker.state = WorkerState.RESTARTING
+        delay = worker.backoff.next_delay()
+        if self._loop is not None:
+            self._loop.call_later(delay, self._restart, index, proc)
+        self._set_gauges()
+
+    def _restart(self, index: int, old_proc: Any) -> None:
+        worker = self._workers[index]
+        if self._closing or self.flap.tripped:
+            return
+        if worker.proc is not old_proc:
+            return  # already respawned
+        worker.restarts += 1
+        self.restarts_total += 1
+        obs.inc("serve.pool.restarts")
+        self._spawn(worker)
+
+    def _redispatch_from(self, index: int) -> None:
+        """At-most-once re-dispatch of a dead worker's in-flight work."""
+        lost = [rec for rec in self._inflight.values()
+                if rec.worker == index]
+        for rec in lost:
+            if rec.future.done():
+                self._inflight.pop(rec.req_id, None)
+                continue
+            target = self._pick() if rec.attempts == 0 else None
+            if target is None:
+                self._inflight.pop(rec.req_id, None)
+                if rec.attempts > 0:
+                    self.worker_lost_total += 1
+                    obs.inc("serve.pool.worker_lost")
+                    rec.future.set_exception(WorkerLost(
+                        f"worker died executing request {rec.req_id} "
+                        f"after one re-dispatch; not retrying again"))
+                else:
+                    rec.future.set_exception(PoolUnavailable(
+                        "worker died and no live sibling can take the "
+                        "request"))
+                continue
+            rec.attempts += 1
+            rec.worker = target.index
+            self.requeues_total += 1
+            obs.inc("serve.pool.requeues")
+            try:
+                target.conn.send(("search", rec.req_id, rec.payload))
+            except (OSError, BrokenPipeError):
+                # The sibling is dying too; its own exit event will
+                # finish the job (and the attempt budget is now spent).
+                continue
+
+    def _degrade(self, now: float) -> None:
+        """Flap circuit tripped: stop restarting, fall back in-process."""
+        obs.inc("serve.pool.degraded")
+        self.last_restart_reason = (
+            f"{self.flap.in_window(now)} worker deaths in "
+            f"{self.flap.window_s}s — pool degraded to in-process serving")
+        for rec in list(self._inflight.values()):
+            if not rec.future.done():
+                rec.future.set_exception(
+                    PoolUnavailable("pool degraded (flapping workers)"))
+        self._inflight.clear()
+        for worker in self._workers:
+            if worker.conn is not None and worker.live:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass  # dying anyway
+        self._set_gauges()
+
+    # -- dispatch ----------------------------------------------------------
+
+    @property
+    def workers_live(self) -> int:
+        return sum(1 for w in self._workers if w.live)
+
+    @property
+    def degraded(self) -> bool:
+        return self.flap.tripped
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def generation(self) -> int:
+        return self.spec.generation
+
+    @property
+    def available(self) -> bool:
+        return (self._started and not self._closing and not self._draining
+                and not self.flap.tripped and self.workers_live > 0)
+
+    def _pick(self) -> _Worker | None:
+        """Next live worker, round-robin; ``None`` when none is live."""
+        for offset in range(len(self._workers)):
+            worker = self._workers[(self._rr + offset)
+                                   % len(self._workers)]
+            if worker.live:
+                self._rr = (self._rr + offset + 1) % len(self._workers)
+                return worker
+        return None
+
+    async def execute(self, payload: dict, deadline: Deadline) -> dict:
+        """Run one query payload on a worker; the full crash contract.
+
+        Returns the worker's result dict, or raises a typed
+        :class:`~repro.serve.protocol.ServeError`
+        (``DeadlineExceeded`` / ``WorkerLost`` / ...) or
+        :class:`PoolUnavailable` when the pool cannot serve at all.
+        """
+        if not self.available:
+            raise PoolUnavailable(self._unavailable_reason())
+        worker = self._pick()
+        if worker is None:
+            raise PoolUnavailable("no live workers")
+        if self._loop is None:
+            raise PoolUnavailable("pool not started")
+        req_id = next(self._req_ids)
+        future: "asyncio.Future[dict]" = self._loop.create_future()
+        rec = _Inflight(req_id, payload, future, worker.index)
+        self._inflight[req_id] = rec
+        try:
+            worker.conn.send(("search", req_id, payload))
+        except (OSError, BrokenPipeError):
+            # Death raced the dispatch; the exit handler re-dispatches.
+            pass
+        timeout = max(deadline.remaining(), 0.0) + self.grace_s
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), timeout)
+        except asyncio.TimeoutError:
+            # A healthy worker answers DeadlineExceeded itself well
+            # inside the grace; silence past deadline+grace means the
+            # worker is wedged.  Kill it — its other in-flight requests
+            # get the at-most-once re-dispatch.
+            self._inflight.pop(req_id, None)
+            if not future.done():
+                future.cancel()
+            self._kill_hung(rec.worker)
+            raise DeadlineExceeded(
+                f"request deadline exceeded and worker silent for "
+                f"{self.grace_s}s grace (worker killed)") from None
+
+    def _unavailable_reason(self) -> str:
+        if not self._started or self._closing:
+            return "pool is not running"
+        if self._draining:
+            return "pool is draining for a generation reload"
+        if self.flap.tripped:
+            return "pool degraded after flapping workers"
+        return "no live workers"
+
+    def _kill_hung(self, index: int) -> None:
+        worker = self._workers[index]
+        proc = worker.proc
+        if proc is None or not proc.is_alive():
+            return
+        self.hung_kills_total += 1
+        obs.inc("serve.pool.hung_kills")
+        self.last_restart_reason = (
+            f"worker {index} (pid {worker.pid}) killed: unresponsive "
+            f"past deadline grace")
+        proc.kill()  # reader sees EOF -> normal death path
+
+    async def scatter(self, payload: dict, deadline: Deadline,
+                      roots: Sequence[int]) -> dict:
+        """Fan one query out across subtree roots; merge with honesty.
+
+        Each subtree is an independent request with the full remaining
+        deadline; a subtree whose worker is lost (twice) or whose shard
+        is unreachable degrades to ``partial=true`` with that subtree
+        counted — the merged result under-reports, never fabricates.
+        ``DeadlineExceeded`` and :class:`PoolUnavailable` stay fatal:
+        the former because late answers are worthless, the latter so
+        the server's in-process fallback can still produce a *complete*
+        answer.
+        """
+        if not roots:
+            return await self.execute(payload, deadline)
+        tasks = [
+            asyncio.ensure_future(
+                self.execute(dict(payload, root_page=int(root)), deadline))
+            for root in roots
+        ]
+        outcomes = await asyncio.gather(*tasks, return_exceptions=True)
+        merged_ids: list[int] = []
+        pairs: list[tuple[float, int]] = []
+        count = 0
+        partial = False
+        unreachable = 0
+        degraded_pages = 0
+        for outcome in outcomes:
+            if isinstance(outcome, (DeadlineExceeded, PoolUnavailable)):
+                raise outcome
+            if isinstance(outcome, BaseException):
+                # WorkerLost (or another typed shard failure): that
+                # subtree is unreachable, the rest of the answer stands.
+                partial = True
+                unreachable += 1
+                obs.inc("serve.pool.scatter_shard_lost")
+                continue
+            partial = partial or bool(outcome.get("partial"))
+            unreachable += int(outcome.get("unreachable", 0))
+            degraded_pages += int(outcome.get("degraded_pages", 0))
+            count += int(outcome.get("count", 0))
+            if payload["op"] == "knn":
+                pairs.extend(zip(outcome.get("distances", ()),
+                                 outcome.get("ids", ())))
+            elif "ids" in outcome:
+                merged_ids.extend(outcome["ids"])
+        out: dict[str, Any] = {
+            "partial": partial,
+            "unreachable": unreachable,
+            "degraded_pages": degraded_pages,
+        }
+        if payload["op"] == "knn":
+            pairs.sort()
+            top = pairs[:int(payload["k"])]
+            out["ids"] = [int(i) for _, i in top]
+            out["distances"] = [float(d) for d, _ in top]
+            out["count"] = len(top)
+        else:
+            merged_ids.sort()
+            out["count"] = count
+            if payload["op"] != "count":
+                out["ids"] = merged_ids
+        return out
+
+    # -- generation reload -------------------------------------------------
+
+    async def remap(self, spec: TreeSpec) -> int:
+        """Graceful drain + cut every worker over to a new generation.
+
+        While draining, :meth:`execute` raises :class:`PoolUnavailable`
+        and the server answers in-process against the new generation —
+        zero downtime, just briefly single-process.  Returns how many
+        workers serve the new generation; workers that die mid-remap
+        restart straight into it (``self.spec`` is swapped first).
+        """
+        self._draining = True
+        obs.inc("serve.pool.remaps")
+        try:
+            pending = [rec.future for rec in self._inflight.values()]
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            self.spec = spec  # restarts from here on open the new gen
+            acks: list[asyncio.Future[int]] = []
+            if self._loop is None:
+                raise PoolUnavailable("pool not started")
+            for worker in self._workers:
+                if not worker.live or worker.conn is None:
+                    continue
+                worker.remap_future = self._loop.create_future()
+                acks.append(worker.remap_future)
+                try:
+                    worker.conn.send(("remap", spec))
+                except (OSError, BrokenPipeError):
+                    worker.remap_future.set_exception(
+                        PoolUnavailable("worker pipe closed mid-remap"))
+            results = await asyncio.gather(*acks, return_exceptions=True)
+            remapped = sum(1 for r in results
+                           if isinstance(r, int) and r == spec.generation)
+            self._set_gauges()
+            return remapped
+        finally:
+            self._draining = False
+            for worker in self._workers:
+                worker.remap_future = None
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Health-payload view of the pool (JSON-able)."""
+        return {
+            "workers_total": self.size,
+            "workers_live": self.workers_live,
+            "degraded": self.degraded,
+            "draining": self._draining,
+            "generation": self.generation,
+            "restarts_total": self.restarts_total,
+            "requeues_total": self.requeues_total,
+            "worker_lost_total": self.worker_lost_total,
+            "hung_kills_total": self.hung_kills_total,
+            "deaths_in_window": self.flap.in_window(self.clock()),
+            "last_restart_reason": self.last_restart_reason,
+            "workers": [
+                {"index": w.index, "state": w.state, "pid": w.pid,
+                 "generation": w.generation, "restarts": w.restarts}
+                for w in self._workers
+            ],
+        }
+
+    def _set_gauges(self) -> None:
+        obs.set_gauge("serve.pool.workers_live", float(self.workers_live))
+        obs.set_gauge("serve.pool.workers_total", float(self.size))
+        obs.set_gauge("serve.pool.degraded",
+                      1.0 if self.degraded else 0.0)
+
+    async def _state_changed(self, timeout: float) -> None:
+        """Wait (bounded) for any worker state transition."""
+        if self._loop is None or timeout <= 0:
+            return
+        waiter: asyncio.Future[None] = self._loop.create_future()
+        self._state_waiters.append(waiter)
+        try:
+            await asyncio.wait_for(waiter, timeout)
+        except asyncio.TimeoutError:
+            pass  # bounded wait; the caller re-checks state
+        finally:
+            if waiter in self._state_waiters:
+                self._state_waiters.remove(waiter)
+
+    def _wake_state_waiters(self) -> None:
+        waiters, self._state_waiters = self._state_waiters, []
+        for waiter in waiters:
+            if not waiter.done():
+                waiter.set_result(None)

@@ -22,17 +22,24 @@ Error response::
      "message": "..."}
 
 Operations: ``search`` (region query), ``point`` (point query), ``count``
-(match count only), ``healthz`` / ``readyz`` / ``stats`` (health payloads
-in ``data``), ``ping``, and the admin op ``reload`` (``path`` names a
-freshly built durable tree file; the server fsck-verifies it and swaps
-generations atomically — rejections come back as the typed
-``ReloadRejected`` error and the old generation keeps serving).
+(match count only), ``knn`` (``point`` + ``k``; ``ids`` come back in
+non-decreasing distance order with a parallel ``distances`` list),
+``healthz`` / ``readyz`` / ``stats`` (health payloads in ``data``),
+``ping``, and the admin op ``reload`` (``path`` names a freshly built
+durable tree file; the server fsck-verifies it and swaps generations
+atomically — rejections come back as the typed ``ReloadRejected`` error
+and the old generation keeps serving).
 
 ``partial=true`` marks a degraded read: some subtrees were unreachable
-(corrupt, quarantined, or behind an open circuit breaker) and were
-skipped, so ``ids`` is a subset of the true answer — degraded responses
-under-report, they never fabricate.  ``unreachable_subtrees`` counts the
-skipped subtrees.
+(corrupt, quarantined, behind an open circuit breaker, or lost with a
+crashed pool worker mid-scatter) and were skipped, so ``ids`` is a
+subset of the true answer — degraded responses under-report, they never
+fabricate.  ``unreachable_subtrees`` counts the skipped subtrees.
+
+``WorkerLost`` is the multi-process pool's honesty error: the worker
+executing the request died, the at-most-once re-dispatch was already
+spent, and the server refuses to guess — the client retries or gives
+up, but is never handed a silently wrong answer.
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ __all__ = [
     "Overloaded",
     "StoreUnavailable",
     "ReloadRejected",
+    "WorkerLost",
     "ERROR_TYPES",
     "Request",
     "Response",
@@ -66,7 +74,7 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 #: Operations that run a tree walk (deadline + admission controlled).
-QUERY_OPS = ("search", "point", "count")
+QUERY_OPS = ("search", "point", "count", "knn")
 #: Administrative operations (no tree walk; ``reload`` swaps generations).
 ADMIN_OPS = ("healthz", "readyz", "stats", "ping", "reload")
 #: All operations the server understands.
@@ -112,11 +120,20 @@ class ReloadRejected(ServeError):
     code = "ReloadRejected"
 
 
+class WorkerLost(ServeError):
+    """The pool worker executing this request died (crash or hang) and
+    the at-most-once re-dispatch budget was already spent.  The query
+    ran zero or one complete times — never partially answered — so
+    retrying is always safe for these read-only operations."""
+
+    code = "WorkerLost"
+
+
 #: Wire code -> exception class (for clients raising typed errors).
 ERROR_TYPES: dict[str, type[ServeError]] = {
     cls.code: cls
     for cls in (ServeError, BadRequest, DeadlineExceeded, Overloaded,
-                StoreUnavailable, ReloadRejected)
+                StoreUnavailable, ReloadRejected, WorkerLost)
 }
 
 
@@ -149,6 +166,8 @@ class Request:
     #: Relative deadline budget in seconds; the server clamps it to its
     #: ``max_deadline_s`` and applies its default when omitted.
     deadline_s: float | None = None
+    #: ``knn`` only: how many neighbours to return.
+    k: int | None = None
     #: ``reload`` only: filesystem path of the candidate tree file.
     path: str | None = None
 
@@ -161,6 +180,8 @@ class Response:
     ok: bool
     op: str = ""
     ids: list[int] | None = None
+    #: ``knn`` only: distances parallel to ``ids`` (non-decreasing).
+    distances: list[float] | None = None
     count: int | None = None
     partial: bool = False
     unreachable_subtrees: int = 0
@@ -216,17 +237,22 @@ def decode_request(line: bytes | str) -> Request:
                 f"deadline_s must be a positive number, got {deadline_s!r}",
                 req_id)
         deadline_s = float(deadline_s)
+    k = payload.get("k")
+    if k is not None:
+        if not isinstance(k, int) or isinstance(k, bool) or k < 1:
+            raise _bad_request(f"k must be a positive integer, got {k!r}",
+                               req_id)
     path = payload.get("path")
     if path is not None and not isinstance(path, str):
         raise _bad_request(f"path must be a string, got {path!r}", req_id)
     unknown = set(payload) - {"id", "op", "rect", "point", "deadline_s",
-                              "path"}
+                              "k", "path"}
     if unknown:
         raise _bad_request(f"unknown request fields {sorted(unknown)}",
                            req_id)
     return Request(op=op, id=req_id, rect=payload.get("rect"),
                    point=payload.get("point"), deadline_s=deadline_s,
-                   path=path)
+                   k=k, path=path)
 
 
 def _bad_request(message: str, req_id: int) -> BadRequest:

@@ -29,10 +29,20 @@ store misbehaves:
   in-flight walk); rejections are typed ``ReloadRejected`` errors and
   never disturb the serving generation.
 
+* started with ``workers=N``, queries execute in a supervised pool of
+  ``N`` crash-isolated worker *processes* (:mod:`repro.serve.pool`),
+  each mmapping the generation file read-only; a crashed or hung
+  worker is restarted with backoff, its in-flight requests are
+  re-dispatched at most once (typed ``WorkerLost`` after that), a
+  flapping pool degrades to in-process serving instead of
+  crash-looping, and ``reload`` drains + remaps the pool with zero
+  downtime.  ``scatter=True`` additionally fans each query out across
+  the root's subtrees with per-shard degradation.
+
 Concurrency model: asyncio handles sockets and admission; searches run
 on a small thread pool under one lock (the shared file handle and
-buffer pool are single-accessor), so queueing, shedding and deadline
-expiry overlap real work.
+buffer pool are single-accessor) or on the worker-process pool, so
+queueing, shedding and deadline expiry overlap real work.
 """
 
 from __future__ import annotations
@@ -47,7 +57,8 @@ from typing import Callable, Iterable
 from ..core.geometry import GeometryError, Rect
 from ..obs import runtime as obs
 from ..obs.slo import RollingWindow, SloTarget
-from ..rtree.paged import PagedRTree, SearchResult
+from ..rtree.knn import knn_detailed
+from ..rtree.paged import PagedRTree
 from ..storage.breaker import CircuitBreaker
 from ..storage.integrity import IntegrityError
 from ..storage.page import PageFormatError
@@ -55,6 +66,7 @@ from ..storage.store import StoreError
 from .admission import AdmissionController
 from .deadline import Deadline
 from .health import healthz_payload, readyz_payload, stats_payload
+from .pool import PoolUnavailable, TreeSpec, WorkerPool
 from .protocol import (
     PROTOCOL_VERSION,
     QUERY_OPS,
@@ -66,6 +78,7 @@ from .protocol import (
     decode_request,
     encode_response,
     rect_from_wire,
+    rect_to_wire,
 )
 
 __all__ = ["QueryServer"]
@@ -99,6 +112,9 @@ class QueryServer:
         latency_window: int = 1024,
         search_workers: int = 2,
         allow_reload: bool = False,
+        workers: int = 0,
+        scatter: bool = False,
+        pool_seed: int = 0,
     ):
         self.tree = tree
         self.clock = clock
@@ -144,6 +160,16 @@ class QueryServer:
         )
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple | None = None
+
+        # Multi-process pool (enabled with workers >= 1; see serve.pool).
+        self.workers = workers
+        self.scatter_enabled = scatter
+        self.pool_seed = pool_seed
+        self.pool: WorkerPool | None = None
+        self.pool_fallbacks = 0
+        self.pool_start_error: str | None = None
+        self.reload_draining = False
+        self._scatter_roots: tuple[int, ...] = ()
 
     def stats_snapshot(self) -> dict:
         """The ``stats`` payload as a plain dict, callable off-protocol.
@@ -193,17 +219,14 @@ class QueryServer:
                   else self.default_deadline_s)
         deadline = Deadline.after(min(budget, self.max_deadline_s),
                                   self.clock)
-        query = self._query_rect(req)
+        payload = self._query_payload(req)
 
         await self.admission.acquire()
         try:
             # Re-check after any queue wait: a request that expired while
             # queued must not start a tree walk.
             deadline.check("queued request")
-            loop = asyncio.get_running_loop()
-            result: SearchResult = await loop.run_in_executor(
-                self._executor, self._run_search, query, deadline
-            )
+            result = await self._dispatch_query(payload, deadline)
         finally:
             self.admission.release()
 
@@ -214,20 +237,51 @@ class QueryServer:
         elapsed = self.clock() - start
         self.latency.observe(elapsed)
         obs.observe("query.latency_s", elapsed)
-        if result.partial:
+        if result["partial"]:
             self.partial_total += 1
             obs.inc("serve.partial_responses")
 
         resp = Response(
             id=req.id, ok=True, op=req.op,
-            partial=result.partial,
-            unreachable_subtrees=result.skipped_subtrees,
+            partial=bool(result["partial"]),
+            unreachable_subtrees=int(result["unreachable"]),
             elapsed_s=elapsed,
-            count=int(result.ids.size),
+            count=int(result["count"]),
         )
         if req.op != "count":
-            resp.ids = sorted(int(x) for x in result.ids)
+            resp.ids = [int(x) for x in result.get("ids", ())]
+        if req.op == "knn":
+            resp.distances = [float(d) for d
+                              in result.get("distances", ())]
         return resp
+
+    async def _dispatch_query(self, payload: dict,
+                              deadline: Deadline) -> dict:
+        """Pool first when it is serving this generation; in-process
+        otherwise — pool unavailability costs latency, never answers."""
+        pool = self.pool
+        if (pool is not None and pool.available
+                and pool.generation == self.generation):
+            dispatch = dict(payload,
+                            budget_s=max(deadline.remaining(), 1e-3))
+            try:
+                if self.scatter_enabled and len(self._scatter_roots) > 1:
+                    result = await pool.scatter(dispatch, deadline,
+                                                self._scatter_roots)
+                else:
+                    result = await pool.execute(dispatch, deadline)
+            except PoolUnavailable:
+                self.pool_fallbacks += 1
+                obs.inc("serve.pool.fallbacks")
+            else:
+                hurt = int(result.get("degraded_pages", 0))
+                if hurt:
+                    self.degraded_reads += hurt
+                    obs.inc("serve.degraded_pages", hurt, fault="worker")
+                return result
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._executor, self._run_query_blocking, payload, deadline)
 
     # -- generation reload -------------------------------------------------
 
@@ -242,7 +296,31 @@ class QueryServer:
         loop = asyncio.get_running_loop()
         data = await loop.run_in_executor(
             self._executor, self._reload_blocking, req.path)
+        if self.pool is not None:
+            data["pool"] = await self._remap_pool()
         return Response(id=req.id, ok=True, op="reload", data=data)
+
+    async def _remap_pool(self) -> dict:
+        """Drain the pool and cut every worker over to the (already
+        swapped-in) new generation; in-process serving covers the drain
+        window, so clients only ever see the generation counter move."""
+        pool = self.pool
+        assert pool is not None
+        spec = TreeSpec.for_tree(self.tree,
+                                 buffer_pages=self.buffer_pages,
+                                 generation=self.generation)
+        if spec is None:  # new generation not file-backed: pool retires
+            await pool.aclose()
+            self.pool = None
+            self.pool_start_error = (
+                "reloaded tree is not file-backed; pool retired")
+            return {"remapped": 0, "retired": True}
+        self.reload_draining = True
+        try:
+            remapped = await pool.remap(spec)
+        finally:
+            self.reload_draining = False
+        return {"remapped": remapped, "workers_live": pool.workers_live}
 
     def _reload_blocking(self, path: str) -> dict:
         """Verify + open the candidate, then swap generations atomically.
@@ -300,6 +378,9 @@ class QueryServer:
             self.generation += 1
             self.generation_path = path
             self.reloads_total += 1
+            # Under the lock: the new store has no concurrent readers
+            # yet, so the uncounted root-node peek is race-free.
+            self._scatter_roots = self._subtree_roots()
         obs.inc("serve.reloads")
         if old_store is not store:
             try:
@@ -317,15 +398,64 @@ class QueryServer:
             "fsck": {"clean": True},
         }
 
-    def _run_search(self, query: Rect, deadline: Deadline) -> SearchResult:
+    def _run_query_blocking(self, payload: dict,
+                            deadline: Deadline) -> dict:
+        """In-process execution (no pool, or pool fallback)."""
         with self._search_lock:
-            return self.searcher.search_detailed(
-                query,
+            if payload["op"] == "knn":
+                res = knn_detailed(
+                    self.searcher, payload["point"], payload["k"],
+                    check=deadline.check,
+                    quarantined=self.quarantine,
+                    degraded=self.degraded,
+                    on_page_error=self._note_page_error,
+                )
+                return {
+                    "ids": [int(i) for i, _ in res.neighbours],
+                    "distances": [float(d) for _, d in res.neighbours],
+                    "count": len(res.neighbours),
+                    "partial": res.partial,
+                    "unreachable": res.skipped_subtrees,
+                }
+            result = self.searcher.search_detailed(
+                rect_from_wire(payload["rect"]),
                 check=deadline.check,
                 quarantined=self.quarantine,
                 degraded=self.degraded,
                 on_page_error=self._note_page_error,
             )
+            ids = sorted(int(x) for x in result.ids)
+            return {
+                "ids": ids,
+                "count": len(ids),
+                "partial": result.partial,
+                "unreachable": result.skipped_subtrees,
+            }
+
+    def _query_payload(self, req: Request) -> dict:
+        """Validate a query request into the worker-payload dict the
+        pool and the in-process path both execute."""
+        if req.op == "knn":
+            point = req.point
+            if not isinstance(point, (list, tuple)) or not point:
+                raise BadRequest(
+                    f"op 'knn' needs a point [x, y, ...], got {point!r}")
+            try:
+                coords = [float(x) for x in point]
+            except (TypeError, ValueError) as exc:
+                raise BadRequest(f"malformed point {point!r}: {exc}") \
+                    from None
+            if len(coords) != self.tree.ndim:
+                raise BadRequest(
+                    f"point has {len(coords)} dims, tree has "
+                    f"{self.tree.ndim}")
+            if req.k is None:
+                raise BadRequest("op 'knn' needs k >= 1")
+            return {"op": "knn", "point": coords, "k": int(req.k),
+                    "degraded": self.degraded}
+        rect = self._query_rect(req)
+        return {"op": req.op, "rect": rect_to_wire(rect),
+                "degraded": self.degraded}
 
     def _query_rect(self, req: Request) -> Rect:
         if req.op == "point":
@@ -363,11 +493,44 @@ class QueryServer:
     async def start(self, host: str = "127.0.0.1",
                     port: int = 0) -> tuple:
         """Bind and start accepting clients; returns ``(host, port)``."""
+        await self._start_pool()
         self._server = await asyncio.start_server(
             self._serve_client, host, port
         )
         self.address = self._server.sockets[0].getsockname()[:2]
         return self.address
+
+    async def _start_pool(self) -> None:
+        """Bring up the worker-process pool, or record why we could not
+        (serving then stays in-process — degraded latency, never down)."""
+        self._scatter_roots = self._subtree_roots()
+        if self.workers < 1 or self.pool is not None:
+            return
+        spec = TreeSpec.for_tree(self.tree,
+                                 buffer_pages=self.buffer_pages,
+                                 generation=self.generation)
+        if spec is None:
+            self.pool_start_error = (
+                "tree store is not file-backed; worker processes cannot "
+                "re-open it — serving in-process")
+            obs.inc("serve.pool.start_failures")
+            return
+        pool = WorkerPool(spec, self.workers, seed=self.pool_seed)
+        try:
+            await pool.start()
+        except PoolUnavailable as exc:
+            self.pool_start_error = str(exc)
+            obs.inc("serve.pool.start_failures")
+            return
+        self.pool = pool
+        self.pool_start_error = None
+
+    def _subtree_roots(self) -> tuple[int, ...]:
+        """Scatter shard roots: the root node's children (uncounted
+        read); empty when the root is a leaf."""
+        if not self.scatter_enabled or self.tree.height <= 1:
+            return ()
+        return tuple(int(c) for c in self.tree.root_node().children)
 
     async def serve_forever(self) -> None:
         """Block serving clients until cancelled (used by the CLI)."""
@@ -409,11 +572,14 @@ class QueryServer:
                 pass
 
     async def aclose(self) -> None:
-        """Stop accepting clients and release the search pool."""
+        """Stop accepting clients and release the search pools."""
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self.pool is not None:
+            await self.pool.aclose()
+            self.pool = None
         self._executor.shutdown(wait=True)
 
     async def __aenter__(self) -> "QueryServer":

@@ -14,7 +14,8 @@ from .faults import (
     flip_bit,
 )
 from .integrity import ChecksumError, IntegrityError, SuperblockError, crc32c
-from .journal import JournalError, WriteJournal, journal_path
+from .journal import JournalError, WriteJournal, journal_has_records, journal_path
+from .mmap_store import MmapPageStore
 from .page import NodePage, decode_node, encode_node, required_page_size
 from .store import (
     FilePageStore,
@@ -40,6 +41,7 @@ __all__ = [
     "PageStore",
     "MemoryPageStore",
     "FilePageStore",
+    "MmapPageStore",
     "StripedPageStore",
     "StoreError",
     "StoreUnavailable",
@@ -52,6 +54,7 @@ __all__ = [
     "JournalError",
     "WriteJournal",
     "journal_path",
+    "journal_has_records",
     "CrashPlan",
     "FaultPlan",
     "FaultInjectingPageStore",

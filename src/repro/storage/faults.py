@@ -115,6 +115,23 @@ class RetryPolicy:
                             else self.backoff_s, self.max_backoff_s)
         raise AssertionError("unreachable")  # pragma: no cover
 
+    def delays(self) -> "Iterable[float]":
+        """The policy's delay schedule as a lazy sequence, for callers
+        that cannot use :meth:`run` (e.g. async code that must ``await``
+        its sleeps).  Yields ``attempts - 1`` delays — one per permitted
+        retry — drawn from the same seeded jitter stream as :meth:`run`,
+        so a seeded policy's schedule stays reproducible either way.
+        """
+        delay = self.backoff_s
+        for _ in range(max(self.attempts - 1, 0)):
+            if delay > 0:
+                yield (self._rng.uniform(0.0, delay) if self.jitter
+                       else delay)
+            else:
+                yield 0.0
+            delay = min(delay * self.multiplier if delay > 0
+                        else self.backoff_s, self.max_backoff_s)
+
 
 class CrashPlan:
     """Crash at the Nth *physical file write*, optionally tearing it.

@@ -27,7 +27,8 @@ from typing import BinaryIO, Callable, Iterator
 
 from .integrity import crc32c
 
-__all__ = ["JournalError", "WriteJournal", "journal_path"]
+__all__ = ["JournalError", "WriteJournal", "journal_path",
+           "journal_has_records"]
 
 _FILE_MAGIC = 0x4C4E4A52   # "RJNL" little-endian
 _RECORD_MAGIC = 0x43524A52  # "RJRC" little-endian
@@ -43,6 +44,20 @@ class JournalError(RuntimeError):
 def journal_path(store_path: str | os.PathLike) -> str:
     """The journal sidecar for a page-store file."""
     return os.fspath(store_path) + ".journal"
+
+
+def journal_has_records(path: str | os.PathLike) -> bool:
+    """Does the journal at ``path`` hold unreplayed (or torn) records?
+
+    ``False`` for a missing or checkpointed (header-only) journal.
+    Read-only openers (:class:`~repro.storage.mmap_store.MmapPageStore`)
+    use this to refuse files that still need write-side recovery.
+    """
+    try:
+        size = os.path.getsize(os.fspath(path))
+    except OSError:
+        return False
+    return size > _FILE_HEADER.size
 
 
 class WriteJournal:

@@ -324,3 +324,28 @@ def test_rl006_permits_constants_and_function_scope_state(engine, source):
 def test_rl006_only_guards_the_worker_module(engine):
     assert findings_for(engine, "src/repro/pipeline/orchestrator.py",
                         "CACHE = {}\n", "RL006") == []
+
+
+@pytest.mark.parametrize("path", [
+    "src/repro/serve/pool.py",
+    "src/repro/serve/supervisor.py",
+])
+def test_rl006_guards_the_serving_pool_modules(engine, path):
+    # worker_main and TreeSpec cross the spawn boundary exactly like the
+    # build-shard worker, so the same no-module-global-mutables rule
+    # applies to the serving pool's modules.
+    found = findings_for(engine, path, "CACHE = {}\n", "RL006")
+    assert len(found) == 1
+    assert "spawn" in found[0].message
+    assert findings_for(engine, path, "QUERY_OPS = ('search',)\n",
+                        "RL006") == []
+
+
+def test_rl005_guards_the_serving_pool_module(engine):
+    # pool.py's coroutines run on the server's event loop; a blocking
+    # call there stalls every session, so RL005's serve/ scope covers it.
+    source = "import time\n\n\nasync def execute(self):\n    time.sleep(1)\n"
+    found = findings_for(engine, "src/repro/serve/pool.py", source,
+                        "RL005")
+    assert len(found) == 1
+    assert "time.sleep" in found[0].message

@@ -117,15 +117,15 @@ class TestServerSheddingEndToEnd:
         async def scenario():
             server = QueryServer(tree, buffer_pages=64, max_inflight=1,
                                  max_queue=1, default_deadline_s=30.0)
-            original = server._run_search
+            original = server._run_query_blocking
             first = threading.Event()
 
-            def gated(query, deadline):
+            def gated(payload, deadline):
                 first.set()
                 gate.wait(timeout=10.0)
-                return original(query, deadline)
+                return original(payload, deadline)
 
-            server._run_search = gated
+            server._run_query_blocking = gated
             host, port = await server.start()
             clients = [await QueryClient.connect(host, port)
                        for _ in range(4)]

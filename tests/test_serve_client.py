@@ -1,0 +1,172 @@
+"""Client reconnect-with-backoff: seeded full-jitter redial via
+RetryPolicy.delays(), one-shot retransmit for read-only queries, and the
+reload cutover that is never auto-retried."""
+
+import asyncio
+
+import pytest
+
+from repro import RectArray, SortTileRecursive, bulk_load
+from repro.core.geometry import Rect
+from repro.serve import QueryClient, QueryServer, ServeError
+from repro.storage import MemoryPageStore
+from repro.storage.faults import RetryPolicy
+
+CAPACITY = 25
+
+
+def _build(rng, n=800):
+    rects = RectArray.from_points(rng.random((n, 2)))
+    tree, _ = bulk_load(rects, SortTileRecursive(), capacity=CAPACITY,
+                        store=MemoryPageStore(4096))
+    return tree
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _policy():
+    # Zero backoff keeps the test instant; the schedule shape is
+    # covered separately below.
+    return RetryPolicy(attempts=5, backoff_s=0.0, jitter=True, seed=3)
+
+
+class TestRetryPolicyDelays:
+    def test_delays_yields_one_entry_per_permitted_retry(self):
+        policy = RetryPolicy(attempts=4, backoff_s=0.01, multiplier=2.0,
+                             max_backoff_s=0.04, jitter=False)
+        assert list(policy.delays()) == [0.01, 0.02, 0.04]
+
+    def test_jittered_schedule_is_seeded_and_bounded(self):
+        def fresh():
+            return RetryPolicy(attempts=6, backoff_s=0.01,
+                               multiplier=2.0, max_backoff_s=0.05,
+                               jitter=True, seed=9)
+        first = list(fresh().delays())
+        assert first == list(fresh().delays())  # reproducible
+        nominal = 0.01
+        for delay in first:
+            assert 0.0 <= delay <= nominal  # full jitter
+            nominal = min(nominal * 2.0, 0.05)
+
+    def test_delays_matches_the_run_schedule(self):
+        # run() and delays() must draw the same seeded stream, so a
+        # sync caller and an async caller back off identically.
+        slept = []
+        policy = RetryPolicy(attempts=4, backoff_s=0.01, jitter=True,
+                             seed=21, retryable=(KeyError,),
+                             sleep=slept.append)
+        calls = iter(range(4))
+
+        def flaky():
+            if next(calls) < 3:
+                raise KeyError("transient")
+            return "done"
+
+        assert policy.run(flaky) == "done"
+        twin = RetryPolicy(attempts=4, backoff_s=0.01, jitter=True,
+                           seed=21)
+        assert slept == list(twin.delays())
+
+    def test_single_attempt_policy_has_no_delays(self):
+        assert list(RetryPolicy(attempts=1).delays()) == []
+
+
+class TestReconnect:
+    def test_client_survives_a_server_restart(self, rng):
+        tree = _build(rng)
+        q = Rect((0.1, 0.1), (0.4, 0.4))
+        expected = sorted(int(x) for x in tree.searcher(128).search(q))
+
+        async def scenario():
+            first = QueryServer(tree, buffer_pages=32)
+            host, port = await first.start("127.0.0.1", 0)
+            client = await QueryClient.connect(
+                host, port, reconnect=_policy())
+            assert (await client.search(q)).raise_for_error().ids \
+                == expected
+            await first.aclose()
+            # Same port, new server process-equivalent: the next request
+            # finds a dead socket, redials, and retransmits once.
+            second = QueryServer(tree, buffer_pages=32)
+            await second.start(host, port)
+            try:
+                resp = (await client.search(q)).raise_for_error()
+                assert resp.ids == expected
+                assert client.reconnects_total == 1
+            finally:
+                await client.aclose()
+                await second.aclose()
+
+        run(scenario())
+
+    def test_without_reconnect_a_dead_server_is_a_typed_error(self, rng):
+        tree = _build(rng, n=300)
+        q = Rect((0.1, 0.1), (0.2, 0.2))
+
+        async def scenario():
+            server = QueryServer(tree, buffer_pages=32)
+            host, port = await server.start("127.0.0.1", 0)
+            client = await QueryClient.connect(host, port)
+            (await client.search(q)).raise_for_error()
+            await server.aclose()
+            with pytest.raises(ServeError, match="closed the connection"):
+                await client.search(q)
+            await client.aclose()
+
+        run(scenario())
+
+    def test_reconnect_gives_up_after_the_schedule(self, rng):
+        tree = _build(rng, n=300)
+
+        async def scenario():
+            server = QueryServer(tree, buffer_pages=32)
+            host, port = await server.start("127.0.0.1", 0)
+            client = await QueryClient.connect(
+                host, port, reconnect=_policy())
+            (await client.search(Rect((0.1, 0.1),
+                                      (0.2, 0.2)))).raise_for_error()
+            await server.aclose()  # nothing ever comes back on this port
+            with pytest.raises(ServeError, match="reconnect .* failed"):
+                await client.search(Rect((0.1, 0.1), (0.2, 0.2)))
+            await client.aclose()
+
+        run(scenario())
+
+    def test_reload_is_never_auto_retried_across_a_reconnect(
+            self, rng, monkeypatch):
+        tree = _build(rng, n=300)
+
+        async def scenario():
+            server = QueryServer(tree, buffer_pages=32,
+                                 allow_reload=True)
+            host, port = await server.start("127.0.0.1", 0)
+            client = await QueryClient.connect(
+                host, port, reconnect=_policy())
+            # The connection drops exactly when the reload is sent: the
+            # cutover may have committed server-side, so the client must
+            # reconnect but refuse to re-send the generation bump.
+            real_send = client._send_once
+            dropped = []
+
+            async def drop_reloads(req):
+                if req.op == "reload" and not dropped:
+                    dropped.append(req.id)
+                    return b""
+                return await real_send(req)
+
+            monkeypatch.setattr(client, "_send_once", drop_reloads)
+            with pytest.raises(ServeError,
+                               match="not auto-retrying a generation "
+                                     "cutover"):
+                await client.reload("/nonexistent/gen2.pages")
+            assert dropped  # the drop actually happened
+            assert client.reconnects_total == 1
+            # The connection is healthy again for ordinary queries.
+            (await client.search(Rect((0.1, 0.1),
+                                      (0.2, 0.2)))).raise_for_error()
+            await client.aclose()
+            await server.aclose()
+
+        run(scenario())

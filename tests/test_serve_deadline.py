@@ -147,14 +147,14 @@ class TestServerNeverAnswersLate:
             server = QueryServer(tree, buffer_pages=64, clock=clock)
             # Sabotage: the walk completes but the clock has already
             # passed the deadline when the result surfaces.
-            original = server._run_search
+            original = server._run_query_blocking
 
-            def late(query, deadline):
-                result = original(query, deadline)
+            def late(payload, deadline):
+                result = original(payload, deadline)
                 clock.advance(5.0)
                 return result
 
-            server._run_search = late
+            server._run_query_blocking = late
             resp = await server.handle_request(Request(
                 op="search", id=1, rect=[[0.4, 0.4], [0.5, 0.5]],
                 deadline_s=1.0))

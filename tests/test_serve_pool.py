@@ -1,0 +1,395 @@
+"""The supervised worker pool: supervision policy units (fake clock),
+pool answers against the oracle over real processes, crash recovery,
+flap degradation with in-process fallback, drain/remap, scatter, and the
+pool blocks of the health endpoints."""
+
+import asyncio
+import os
+import signal
+
+import pytest
+
+from repro import RectArray, SortTileRecursive, bulk_load
+from repro.queries import region_queries
+from repro.rtree.knn import knn
+from repro.serve import (
+    FlapDetector,
+    PoolUnavailable,
+    QueryClient,
+    QueryServer,
+    RestartBackoff,
+    TreeSpec,
+    WorkerPool,
+    WorkerState,
+)
+from repro.serve.deadline import Deadline
+from repro.serve.protocol import rect_to_wire
+from repro.storage import FilePageStore, MemoryPageStore
+from repro.storage.integrity import TRAILER_SIZE
+from repro.storage.page import required_page_size
+
+CAPACITY = 25
+NDIM = 2
+PAGE_SIZE = required_page_size(CAPACITY, NDIM) + TRAILER_SIZE
+
+
+def _build(rng, store=None, n=2_000):
+    rects = RectArray.from_points(rng.random((n, NDIM)))
+    tree, _ = bulk_load(rects, SortTileRecursive(), capacity=CAPACITY,
+                        store=store or MemoryPageStore(4096))
+    return rects, tree
+
+
+def _durable_tree(tmp_path, rng, name="tree.pages", n=2_000):
+    store = FilePageStore(tmp_path / name, PAGE_SIZE,
+                          checksums=True, journal=True)
+    _, tree = _build(rng, store=store, n=n)
+    return tree
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestRestartBackoff:
+    def test_first_death_is_free_then_exponential_capped(self):
+        backoff = RestartBackoff(base_s=0.05, multiplier=2.0, max_s=0.4,
+                                 seed=3)
+        assert backoff.next_delay() == 0.0
+        nominal = 0.05
+        for _ in range(8):
+            delay = backoff.next_delay()
+            assert nominal / 2.0 <= delay <= nominal
+            nominal = min(nominal * 2.0, 0.4)
+        assert backoff.deaths == 9
+
+    def test_seeded_schedule_is_reproducible(self):
+        a = [RestartBackoff(seed=11).next_delay() for _ in range(1)]
+        schedules = []
+        for _ in range(2):
+            backoff = RestartBackoff(seed=11)
+            schedules.append([backoff.next_delay() for _ in range(6)])
+        assert schedules[0] == schedules[1]
+        assert a[0] == 0.0
+
+    def test_reset_forgets_the_streak(self):
+        backoff = RestartBackoff(base_s=0.1, max_s=1.0, seed=0)
+        backoff.next_delay()
+        backoff.next_delay()
+        assert backoff.deaths == 2
+        backoff.reset()
+        assert backoff.deaths == 0
+        assert backoff.next_delay() == 0.0  # first death again
+
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ValueError):
+            RestartBackoff(base_s=-1.0)
+        with pytest.raises(ValueError):
+            RestartBackoff(multiplier=0.5)
+
+
+class TestFlapDetector:
+    def test_trips_at_threshold_within_window(self):
+        flap = FlapDetector(threshold=3, window_s=10.0)
+        assert flap.record(100.0) is False
+        assert flap.record(101.0) is False
+        assert flap.record(102.0) is True
+        assert flap.tripped
+
+    def test_old_deaths_age_out_of_the_window(self):
+        flap = FlapDetector(threshold=3, window_s=10.0)
+        flap.record(0.0)
+        flap.record(1.0)
+        # 11s later the first two are outside the window.
+        assert flap.in_window(11.5) == 0
+        assert flap.record(11.5) is False
+        assert not flap.tripped
+
+    def test_tripped_is_sticky_until_reset(self):
+        flap = FlapDetector(threshold=2, window_s=5.0)
+        flap.record(0.0)
+        assert flap.record(0.1) is True
+        # Far in the future, still tripped: rejoining multi-process mode
+        # takes an operator action, not quiet oscillation.
+        assert flap.record(1000.0) is True
+        flap.reset()
+        assert not flap.tripped
+        assert flap.record(1000.1) is False
+
+    def test_rejects_nonsense_parameters(self):
+        with pytest.raises(ValueError):
+            FlapDetector(threshold=0)
+        with pytest.raises(ValueError):
+            FlapDetector(window_s=0.0)
+
+
+class TestTreeSpec:
+    def test_memory_backed_tree_has_no_spec(self, rng):
+        _, tree = _build(rng, n=300)
+        assert TreeSpec.for_tree(tree, buffer_pages=32,
+                                 generation=1) is None
+
+    def test_durable_tree_spec_round_trips(self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng, n=600)
+        spec = TreeSpec.for_tree(tree, buffer_pages=32, generation=7)
+        assert spec is not None
+        assert spec.paths == (str(tmp_path / "tree.pages"),)
+        assert spec.generation == 7
+        assert spec.meta["root_page"] == tree.root_page
+        assert spec.meta["size"] == len(tree)
+        tree.store.close()
+
+
+def _payload(rect, budget_s=30.0):
+    return {"op": "search", "rect": rect_to_wire(rect),
+            "degraded": True, "budget_s": budget_s}
+
+
+class TestWorkerPoolDirect:
+    def test_pool_answers_match_the_oracle(self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng)
+        oracle = tree.searcher(256)
+        spec = TreeSpec.for_tree(tree, buffer_pages=64, generation=1)
+        queries = list(region_queries(0.05, 20, seed=5))
+
+        async def scenario():
+            pool = WorkerPool(spec, 2, seed=0)
+            assert await pool.start() == 2
+            try:
+                assert pool.generation == 1
+                for q in queries:
+                    result = await pool.execute(_payload(q),
+                                                Deadline.after(30.0))
+                    expected = sorted(int(x) for x in oracle.search(q))
+                    assert result["ids"] == expected
+                    assert not result["partial"]
+            finally:
+                await pool.aclose()
+            snap = pool.snapshot()
+            assert snap["workers_live"] == 0
+            assert all(w["state"] == WorkerState.STOPPED
+                       for w in snap["workers"])
+
+        run(scenario())
+        tree.store.close()
+
+    def test_sigkill_mid_traffic_recovers_to_full_strength(
+            self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng)
+        oracle = tree.searcher(256)
+        spec = TreeSpec.for_tree(tree, buffer_pages=64, generation=1)
+        queries = list(region_queries(0.05, 30, seed=6))
+
+        async def scenario():
+            pool = WorkerPool(spec, 2, seed=0)
+            await pool.start()
+            try:
+                victim = pool.snapshot()["workers"][0]["pid"]
+                os.kill(victim, signal.SIGKILL)
+                # Every in-flight and subsequent query still answers
+                # correctly (at-most-once requeue onto the live sibling).
+                for q in queries:
+                    result = await pool.execute(_payload(q),
+                                                Deadline.after(30.0))
+                    assert result["ids"] == sorted(
+                        int(x) for x in oracle.search(q))
+                deadline = Deadline.after(10.0)
+                while pool.workers_live < 2 and not deadline.expired():
+                    await asyncio.sleep(0.05)
+                assert pool.workers_live == 2
+                assert pool.restarts_total >= 1
+                assert pool.last_restart_reason is not None
+            finally:
+                await pool.aclose()
+
+        run(scenario())
+        tree.store.close()
+
+    def test_flapping_pool_degrades_instead_of_thrashing(
+            self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng, n=600)
+        spec = TreeSpec.for_tree(tree, buffer_pages=32, generation=1)
+
+        async def scenario():
+            pool = WorkerPool(spec, 2, seed=0, flap_threshold=3,
+                              flap_window_s=60.0, backoff_base_s=0.01,
+                              backoff_max_s=0.02)
+            await pool.start()
+            try:
+                deadline = Deadline.after(20.0)
+                while not pool.degraded and not deadline.expired():
+                    for worker in pool.snapshot()["workers"]:
+                        if worker["pid"] and worker["state"] == "ready":
+                            try:
+                                os.kill(worker["pid"], signal.SIGKILL)
+                            except ProcessLookupError:
+                                pass
+                    await asyncio.sleep(0.05)
+                assert pool.degraded
+                assert not pool.available
+                with pytest.raises(PoolUnavailable):
+                    await pool.execute(
+                        _payload(list(region_queries(0.05, 1, seed=1))[0]),
+                        Deadline.after(5.0))
+            finally:
+                await pool.aclose()
+
+        run(scenario())
+        tree.store.close()
+
+    def test_remap_moves_every_worker_to_the_new_generation(
+            self, tmp_path, rng):
+        import numpy as np
+        tree = _durable_tree(tmp_path, rng, n=800)
+        tree2 = _durable_tree(tmp_path, np.random.default_rng(99),
+                              name="gen2.pages", n=900)
+        oracle2 = tree2.searcher(256)
+        spec = TreeSpec.for_tree(tree, buffer_pages=32, generation=1)
+        spec2 = TreeSpec.for_tree(tree2, buffer_pages=32, generation=2)
+        queries = list(region_queries(0.05, 10, seed=8))
+
+        async def scenario():
+            pool = WorkerPool(spec, 2, seed=0)
+            await pool.start()
+            try:
+                remapped = await pool.remap(spec2)
+                assert remapped == 2
+                assert pool.generation == 2
+                assert not pool.draining
+                snap = pool.snapshot()
+                assert all(w["generation"] == 2
+                           for w in snap["workers"])
+                for q in queries:
+                    result = await pool.execute(_payload(q),
+                                                Deadline.after(30.0))
+                    assert result["ids"] == sorted(
+                        int(x) for x in oracle2.search(q))
+            finally:
+                await pool.aclose()
+
+        run(scenario())
+        tree.store.close()
+        tree2.store.close()
+
+    def test_execute_while_draining_is_pool_unavailable(
+            self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng, n=600)
+        spec = TreeSpec.for_tree(tree, buffer_pages=32, generation=1)
+
+        async def scenario():
+            pool = WorkerPool(spec, 1, seed=0)
+            await pool.start()
+            try:
+                pool._draining = True
+                with pytest.raises(PoolUnavailable):
+                    await pool.execute(
+                        _payload(list(region_queries(0.05, 1, seed=1))[0]),
+                        Deadline.after(5.0))
+            finally:
+                pool._draining = False
+                await pool.aclose()
+
+        run(scenario())
+        tree.store.close()
+
+
+class TestServerWithPool:
+    def test_pooled_server_matches_oracle_including_knn(
+            self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng)
+        oracle = tree.searcher(256)
+        queries = list(region_queries(0.05, 20, seed=9))
+
+        async def scenario():
+            async with QueryServer(tree, buffer_pages=64,
+                                   workers=2) as server:
+                assert server.pool is not None, server.pool_start_error
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    for q in queries:
+                        resp = (await client.search(q)).raise_for_error()
+                        assert resp.ids == sorted(
+                            int(x) for x in oracle.search(q))
+                        assert not resp.partial
+                    resp = (await client.knn([0.5, 0.5], 7)
+                            ).raise_for_error()
+                    expected = knn(oracle, [0.5, 0.5], 7)
+                    assert resp.ids == [i for i, _ in expected]
+                    assert resp.distances == pytest.approx(
+                        [d for _, d in expected])
+
+        run(scenario())
+        tree.store.close()
+
+    def test_scatter_mode_matches_oracle(self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng)
+        oracle = tree.searcher(256)
+        queries = list(region_queries(0.05, 15, seed=10))
+
+        async def scenario():
+            async with QueryServer(tree, buffer_pages=64, workers=3,
+                                   scatter=True) as server:
+                assert server.pool is not None, server.pool_start_error
+                assert len(server._scatter_roots) > 1
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    for q in queries:
+                        resp = (await client.search(q)).raise_for_error()
+                        assert resp.ids == sorted(
+                            int(x) for x in oracle.search(q))
+                    resp = (await client.knn([0.3, 0.7], 5)
+                            ).raise_for_error()
+                    assert resp.ids == [
+                        i for i, _ in knn(oracle, [0.3, 0.7], 5)]
+
+        run(scenario())
+        tree.store.close()
+
+    def test_memory_tree_falls_back_in_process_with_reason(self, rng):
+        _, tree = _build(rng, n=500)
+        oracle = tree.searcher(256)
+        q = list(region_queries(0.05, 1, seed=2))[0]
+
+        async def scenario():
+            async with QueryServer(tree, workers=2) as server:
+                assert server.pool is None
+                assert "file-backed" in server.pool_start_error
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    resp = (await client.search(q)).raise_for_error()
+                    assert resp.ids == sorted(
+                        int(x) for x in oracle.search(q))
+                    health = await client.healthz()
+                    assert health["pool"]["enabled"] is False
+                    assert "file-backed" in health["pool"]["reason"]
+                    ready = await client.readyz()
+                    assert ready["ready"] is True
+                    assert ready["pool"]["enabled"] is False
+
+        run(scenario())
+
+    def test_health_payloads_expose_pool_state(self, tmp_path, rng):
+        tree = _durable_tree(tmp_path, rng, n=800)
+
+        async def scenario():
+            async with QueryServer(tree, buffer_pages=64,
+                                   workers=2) as server:
+                host, port = server.address
+                async with await QueryClient.connect(host, port) as client:
+                    health = await client.healthz()
+                    pool = health["pool"]
+                    assert pool["enabled"] is True
+                    assert pool["workers_total"] == 2
+                    assert pool["workers_live"] == 2
+                    assert pool["degraded"] is False
+                    assert pool["generation"] == 1
+                    assert pool["restarts_total"] == 0
+                    assert {w["state"] for w in pool["workers"]} == {
+                        WorkerState.READY}
+                    ready = await client.readyz()
+                    assert ready["ready"] is True
+                    assert ready["pool"]["workers_live"] == 2
+                    assert ready["pool"]["draining"] is False
+
+        run(scenario())
+        tree.store.close()
