@@ -233,6 +233,17 @@ def _build_parser() -> argparse.ArgumentParser:
                              "across the root's subtrees (per-shard "
                              "degradation: a lost shard yields "
                              "partial=true, never a wrong answer)")
+    parser.add_argument("--ingest", action="store_true",
+                        help="serve: accept durable insert/delete writes "
+                             "(fsync'd WAL in <tree-file>.ingest/, acked "
+                             "before visible, packed-union-delta queries) "
+                             "and the 'merge' admin op that re-packs the "
+                             "WAL into a new generation with zero "
+                             "downtime")
+    parser.add_argument("--wal-limit-bytes", type=int, default=None,
+                        help="serve: with --ingest, un-merged WAL bytes "
+                             "before writes shed with IngestOverloaded "
+                             "(default 64 MiB)")
     parser.add_argument("--size", type=int, default=100_000,
                         help="build: number of uniform points to load "
                              "(default 100000; deterministic in --seed)")
@@ -474,11 +485,34 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
     from .serve import QueryServer
 
     start = time.time()
-    tree = _open_tree(args, parser)
+    ingest_state = None
+    if args.ingest:
+        # A committed merge may have moved the serving generation into
+        # the sidecar directory; serve that file, not the original.
+        from .ingest import DEFAULT_WAL_LIMIT, IngestState, resolve_current
+
+        current, _pointer = resolve_current(args.target)
+        opened = argparse.Namespace(**vars(args))
+        opened.target = current
+        tree = _open_tree(opened, parser)
+        ingest_state, _base = IngestState.open(
+            args.target, ndim=tree.ndim,
+            max_wal_bytes=(args.wal_limit_bytes
+                           if args.wal_limit_bytes is not None
+                           else DEFAULT_WAL_LIMIT))
+    else:
+        tree = _open_tree(args, parser)
     quarantine = None
     if args.quarantine is not None:
         quarantine = read_quarantine(args.quarantine)
     workers = args.workers if args.workers is not None else 0
+    if args.ingest and workers:
+        # Pool workers mmap the packed file and cannot see the delta;
+        # an ingest server answers in-process so reads never miss
+        # unmerged acked writes.
+        print("--ingest serves in-process; ignoring --workers",
+              file=sys.stderr)
+        workers = 0
     server = QueryServer(
         tree,
         buffer_pages=args.buffer_pages,
@@ -489,6 +523,7 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
         allow_reload=args.allow_reload,
         workers=workers,
         scatter=args.scatter,
+        ingest=ingest_state,
     )
 
     async def _serve() -> None:
@@ -502,10 +537,16 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
             else:
                 pool_note = (f", in-process fallback "
                              f"({server.pool_start_error})")
+        ingest_note = ""
+        if ingest_state is not None:
+            ingest_note = (f", ingest on (wal lsn "
+                           f"{ingest_state.wal.last_lsn}, "
+                           f"{len(ingest_state.live)} live delta "
+                           f"record(s))")
         print(f"serving {args.target} on {host}:{port} "
               f"({len(tree)} records, height {tree.height}, "
               f"{len(server.quarantine)} quarantined page(s)"
-              f"{pool_note})",
+              f"{pool_note}{ingest_note})",
               flush=True)
         await server.serve_forever()
 

@@ -14,6 +14,16 @@ trusted?*  It runs three phases, each strictly weaker failures short-cut:
    reference counts, record counts) plus reachability: a committed page
    no root-to-leaf path touches is reported as an orphan.
 
+When the file has a streaming-ingest sidecar directory
+(``<path>.ingest/``, see :mod:`repro.ingest`), a fourth phase verifies
+it: every WAL segment is parsed record by record (CRC per record, seal
+protocol, LSN monotonicity), classified ``sealed``/``active``/``torn``,
+and checked against the directory invariant that only the
+highest-numbered segment may be unsealed; the generation pointer, when
+present, must parse, pass its CRC and name an existing file.  A torn
+active tail is *reported but not an error* — it is exactly the un-acked
+partial line a crash legally leaves and the next open discards.
+
 The result is an :class:`FsckReport` — renderable for terminals,
 JSON-able for run manifests (the CLI embeds it under ``extra.fsck``).
 """
@@ -70,11 +80,17 @@ class FsckReport:
     fatal: str | None = None
     #: The committed tree header, when one exists.
     tree: dict | None = None
+    #: Damage found in the ingest sidecar (``<path>.ingest/``): corrupt
+    #: WAL records, seal-protocol violations, a bad generation pointer.
+    wal_errors: list[str] = field(default_factory=list)
+    #: Per-segment ingest summary, when a sidecar directory exists.
+    ingest: dict | None = None
 
     @property
     def error_count(self) -> int:
         return (len(self.checksum_errors) + len(self.decode_errors)
-                + len(self.structural_errors) + (1 if self.fatal else 0))
+                + len(self.structural_errors) + len(self.wal_errors)
+                + (1 if self.fatal else 0))
 
     @property
     def clean(self) -> bool:
@@ -97,6 +113,9 @@ class FsckReport:
             "bad_pages": list(self.bad_pages),
             "fatal": self.fatal,
             "tree": dict(self.tree) if self.tree is not None else None,
+            "wal_errors": list(self.wal_errors),
+            "ingest": dict(self.ingest) if self.ingest is not None
+            else None,
             "clean": self.clean,
         }
 
@@ -123,9 +142,23 @@ class FsckReport:
                 f"root page {self.tree['root_page']}, "
                 f"{self.tree['size']} records"
             )
+        if self.ingest is not None:
+            segments = self.ingest.get("segments", [])
+            lines.append(
+                f"  ingest: {len(segments)} WAL segment(s), "
+                f"{self.ingest.get('pending_ops', 0)} pending op(s), "
+                f"generation "
+                f"{self.ingest.get('generation') or 'unmerged'}"
+            )
+            for seg in segments:
+                lines.append(
+                    f"    wal-{seg['seq']:08d}: {seg['state']}, "
+                    f"{seg['ops']} op(s), last lsn {seg['last_lsn']}"
+                )
         for title, errors in (("checksum", self.checksum_errors),
                               ("decode", self.decode_errors),
-                              ("structural", self.structural_errors)):
+                              ("structural", self.structural_errors),
+                              ("wal", self.wal_errors)):
             for message in errors:
                 lines.append(f"  {title}: {message}")
         if (self.checksum_errors or self.decode_errors) \
@@ -155,7 +188,21 @@ def fsck(path: str | os.PathLike, *, meta_path: str | os.PathLike | None = None,
     is replayed first (the recovery is reported).  Plain page files need
     a ``meta_path`` sidecar (or an explicit ``page_size``) since nothing
     in the file describes it.
+
+    A streaming-ingest sidecar directory (``<path>.ingest/``) is
+    verified whenever one exists — even when the tree file itself is
+    damaged, since the WAL may be the only surviving copy of recent
+    writes.
     """
+    report = _fsck_store(path, meta_path=meta_path, page_size=page_size)
+    _check_ingest(os.fspath(path), report)
+    return report
+
+
+def _fsck_store(path: str | os.PathLike, *,
+                meta_path: str | os.PathLike | None = None,
+                page_size: int | None = None) -> FsckReport:
+    """Phases 1-3: the page store and the packed tree inside it."""
     path = os.fspath(path)
     report = FsckReport(path=path)
     if not os.path.exists(path):
@@ -257,6 +304,68 @@ def fsck(path: str | os.PathLike, *, meta_path: str | os.PathLike | None = None,
         except (StoreError, OSError):  # pragma: no cover
             pass
     return report
+
+
+def _check_ingest(path: str, report: FsckReport) -> None:
+    """Phase 4: verify the streaming-ingest sidecar, if present.
+
+    Fills ``report.ingest`` with a per-segment summary and appends to
+    ``report.wal_errors`` for every violation: a record failing its
+    CRC, damage before the torn tail, a broken seal, an unsealed
+    segment below the active one, or an unreadable generation pointer.
+    """
+    from .ingest.merge import read_pointer
+    from .ingest.wal import IngestError, WalCorrupt, WalSegment, \
+        ingest_dir, segment_seq
+
+    dir_path = ingest_dir(path)
+    if not os.path.isdir(dir_path):
+        return
+
+    summary: dict = {"dir": dir_path, "segments": [],
+                     "pending_ops": 0, "generation": None,
+                     "merged_seq": 0}
+    try:
+        pointer = read_pointer(dir_path)
+    except IngestError as exc:
+        report.wal_errors.append(str(exc))
+        pointer = None
+    if pointer is not None:
+        summary["generation"] = pointer.generation
+        summary["merged_seq"] = pointer.merged_seq
+        if not os.path.exists(pointer.path):
+            report.wal_errors.append(
+                f"generation pointer names missing file {pointer.path}")
+
+    found: list[tuple[int, str]] = []
+    for name in os.listdir(dir_path):
+        seq = segment_seq(name)
+        if seq is not None:
+            found.append((seq, os.path.join(dir_path, name)))
+    segments: list = []
+    for seq, seg_path in sorted(found):
+        try:
+            segment = WalSegment.load(seg_path)
+        except WalCorrupt as exc:
+            report.wal_errors.append(str(exc))
+            summary["segments"].append(
+                {"seq": seq, "state": "corrupt", "ops": 0,
+                 "last_lsn": 0, "bytes": os.path.getsize(seg_path)})
+            continue
+        segments.append(segment)
+        state = ("sealed" if segment.sealed
+                 else "active+torn" if segment.torn else "active")
+        summary["segments"].append(
+            {"seq": segment.seq, "state": state, "ops": len(segment.ops),
+             "last_lsn": segment.last_lsn, "bytes": segment.size_bytes})
+        if pointer is None or segment.seq > pointer.merged_seq:
+            summary["pending_ops"] += len(segment.ops)
+    for segment in segments[:-1]:
+        if not segment.sealed:
+            report.wal_errors.append(
+                f"{segment.path}: unsealed segment below the active one "
+                f"— the seal protocol was violated")
+    report.ingest = summary
 
 
 def write_quarantine(report: FsckReport, path: str | os.PathLike) -> str:

@@ -1,0 +1,153 @@
+"""Query overlay: packed base ∪ delta layers − tombstones.
+
+The serving contract of the ingest path in one line: a query answered
+through the overlay returns **exactly** what a from-scratch packed
+build of the current logical set would return.  The composition rule
+is last-writer-wins by layer order: the packed base is layer 0, frozen
+deltas (mid-merge snapshots) come next, and the live delta is last —
+an id mentioned by a later layer (upserted *or* tombstoned) shadows
+every earlier layer's answer for that id.
+
+Window and point queries run the base search through the full serving
+hook set (deadlines, quarantine, degraded reads) and union in each
+layer's R*-tree hits, dropping shadowed ids.  kNN over-fetches from
+the base (``k`` plus the total shadowed-id count bounds how many base
+neighbours can be invalidated), brute-forces the small deltas with the
+same vectorized MINDIST the paged walk uses, and merges by
+``(distance, id)`` — a total order, so overlay kNN is deterministic
+even under distance ties.
+
+Degradation composes honestly: ``partial`` / ``skipped_subtrees`` come
+from the base walk (deltas are in-memory and never degrade), so a
+partial overlay answer under-reports exactly like a partial base
+answer — it never fabricates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Container, Sequence
+
+from ..core.geometry import Rect
+from ..rtree.knn import KnnResult, knn_detailed
+from ..rtree.paged import PagedSearcher
+from .delta import DeltaTree
+
+__all__ = ["OverlayResult", "OverlaySearcher"]
+
+
+class OverlayResult:
+    """Outcome of one overlay window/point query.
+
+    ``ids`` is sorted ascending.  ``partial``/``skipped_subtrees``
+    mirror :class:`~repro.rtree.paged.SearchResult` and describe the
+    base-tree walk only.
+    """
+
+    __slots__ = ("ids", "partial", "skipped_subtrees")
+
+    def __init__(self, ids: list[int], partial: bool,
+                 skipped_subtrees: int):
+        self.ids = ids
+        self.partial = partial
+        self.skipped_subtrees = skipped_subtrees
+
+
+class OverlaySearcher:
+    """Compose a packed-tree searcher with ordered delta layers."""
+
+    def __init__(self, searcher: PagedSearcher,
+                 layers: Sequence[DeltaTree] = ()):
+        self.searcher = searcher
+        self.layers = tuple(layers)
+
+    def _shadowed(self) -> set[int]:
+        """Ids overridden by any layer (hidden from the base answer)."""
+        out: set[int] = set()
+        for layer in self.layers:
+            out |= layer.overridden
+        return out
+
+    def _shadowed_above(self, index: int) -> set[int]:
+        """Ids overridden by layers *after* ``index``."""
+        out: set[int] = set()
+        for layer in self.layers[index + 1:]:
+            out |= layer.overridden
+        return out
+
+    # -- window / point ----------------------------------------------------
+
+    def search_detailed(
+        self,
+        query: Rect,
+        *,
+        check: Callable[[], None] | None = None,
+        quarantined: Container[int] | None = None,
+        degraded: bool = False,
+        on_page_error: Callable[[int, Exception], None] | None = None,
+    ) -> OverlayResult:
+        """Window query over base ∪ layers − tombstones (sorted ids)."""
+        base = self.searcher.search_detailed(
+            query, check=check, quarantined=quarantined,
+            degraded=degraded, on_page_error=on_page_error)
+        shadowed = self._shadowed()
+        out = {int(i) for i in base.ids if int(i) not in shadowed}
+        for index, layer in enumerate(self.layers):
+            hidden = self._shadowed_above(index)
+            for data_id in layer.search(query):
+                if data_id not in hidden:
+                    out.add(int(data_id))
+        return OverlayResult(sorted(out), base.partial,
+                             base.skipped_subtrees)
+
+    def point_detailed(
+        self,
+        point: Sequence[float],
+        *,
+        check: Callable[[], None] | None = None,
+        quarantined: Container[int] | None = None,
+        degraded: bool = False,
+        on_page_error: Callable[[int, Exception], None] | None = None,
+    ) -> OverlayResult:
+        """Point query (degenerate-window) through the overlay."""
+        return self.search_detailed(
+            Rect.from_point(tuple(float(c) for c in point)),
+            check=check, quarantined=quarantined, degraded=degraded,
+            on_page_error=on_page_error)
+
+    # -- kNN ---------------------------------------------------------------
+
+    def knn_detailed(
+        self,
+        point: Sequence[float],
+        k: int,
+        *,
+        check: Callable[[], None] | None = None,
+        quarantined: Container[int] | None = None,
+        degraded: bool = False,
+        on_page_error: Callable[[int, Exception], None] | None = None,
+    ) -> KnnResult:
+        """k nearest neighbours over the overlay.
+
+        Neighbours come back ordered by ``(distance, id)`` — the same
+        answer, in the same order, a rebuilt packed tree would produce
+        once its heap-order ties are normalised the same way.
+        """
+        shadowed = self._shadowed()
+        base = knn_detailed(
+            self.searcher, point, k + len(shadowed),
+            check=check, quarantined=quarantined, degraded=degraded,
+            on_page_error=on_page_error)
+        merged: list[tuple[float, int]] = [
+            (float(dist), int(data_id))
+            for data_id, dist in base.neighbours
+            if int(data_id) not in shadowed
+        ]
+        for index, layer in enumerate(self.layers):
+            hidden = self._shadowed_above(index)
+            for data_id, dist in layer.knn_candidates(point,
+                                                      exclude=hidden):
+                merged.append((dist, data_id))
+        merged.sort()
+        neighbours = [(data_id, dist) for dist, data_id in merged[:k]]
+        return KnnResult(neighbours, base.partial,
+                         base.skipped_subtrees)

@@ -15,6 +15,7 @@ from . import (  # noqa: F401  (registration side effects)
     rl004_exceptions,
     rl005_async,
     rl006_pickle,
+    rl007_sealed_wal,
 )
 
 __all__ = [
@@ -24,4 +25,5 @@ __all__ = [
     "rl004_exceptions",
     "rl005_async",
     "rl006_pickle",
+    "rl007_sealed_wal",
 ]

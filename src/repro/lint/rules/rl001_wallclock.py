@@ -68,7 +68,7 @@ class NoWallclockOrRng(Rule):
     invariant = ("code in the measured/replayed core is deterministic: "
                  "clocks and RNGs are injected, never ambient")
     path_fragments = ("repro/core/", "repro/rtree/", "repro/pipeline/",
-                      "repro/storage/")
+                      "repro/storage/", "repro/ingest/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

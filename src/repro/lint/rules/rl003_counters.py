@@ -81,7 +81,8 @@ class CounterPurity(Rule):
     name = "counter-purity"
     invariant = ("repro.obs never imports repro.storage, and access "
                  "counters never move inside except handlers")
-    path_fragments = ("repro/obs/", "repro/rtree/", "repro/storage/")
+    path_fragments = ("repro/obs/", "repro/rtree/", "repro/storage/",
+                      "repro/ingest/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         if "repro/obs/" in ctx.path:

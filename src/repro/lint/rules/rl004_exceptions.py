@@ -59,7 +59,8 @@ class ExceptionDiscipline(Rule):
     name = "exception-discipline"
     invariant = ("durability/serving/pipeline code never swallows broad "
                  "exceptions and raises only the typed taxonomy")
-    path_fragments = ("repro/storage/", "repro/serve/", "repro/pipeline/")
+    path_fragments = ("repro/storage/", "repro/serve/", "repro/pipeline/",
+                      "repro/ingest/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

@@ -57,7 +57,7 @@ class AsyncBlocking(Rule):
     name = "async-blocking"
     invariant = ("coroutines in the serving layer never call blocking "
                  "primitives; slow work goes through run_in_executor")
-    path_fragments = ("repro/serve/",)
+    path_fragments = ("repro/serve/", "repro/ingest/")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         for func in ast.walk(ctx.tree):

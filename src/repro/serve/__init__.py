@@ -8,7 +8,8 @@ never silently wrong.
 
 * :mod:`~repro.serve.protocol` — newline-JSON wire format and the typed
   error taxonomy (``BadRequest``, ``DeadlineExceeded``, ``Overloaded``,
-  ``StoreUnavailable``, ``ReloadRejected``, ``WorkerLost``);
+  ``IngestOverloaded``, ``StoreUnavailable``, ``ReloadRejected``,
+  ``MergeFailed``, ``WorkerLost``);
 * :mod:`~repro.serve.deadline` — per-request deadlines with an
   injectable clock, propagated into the paged search loop as a
   cooperative cancellation hook;
@@ -28,6 +29,11 @@ never silently wrong.
   re-dispatch, exponential-backoff restarts, flap-detection degradation
   and scatter-gather subtree fan-out.
 
+Servers started with an :class:`~repro.ingest.state.IngestState` also
+accept durable ``insert``/``delete`` writes (acked after WAL fsync,
+served as packed ∪ delta − tombstones) and the ``merge`` admin op —
+see :mod:`repro.ingest` and ``docs/ingest.md``.
+
 Start one from a durable tree file with ``python -m repro serve
 tree.pages``; see ``docs/serving.md`` for the protocol and failure
 semantics.
@@ -44,8 +50,11 @@ from .protocol import (
     OPS,
     PROTOCOL_VERSION,
     QUERY_OPS,
+    WRITE_OPS,
     BadRequest,
     DeadlineExceeded,
+    IngestOverloaded,
+    MergeFailed,
     Overloaded,
     ReloadRejected,
     Request,
@@ -67,14 +76,17 @@ __all__ = [
     # protocol
     "PROTOCOL_VERSION",
     "QUERY_OPS",
+    "WRITE_OPS",
     "ADMIN_OPS",
     "OPS",
     "ServeError",
     "BadRequest",
     "DeadlineExceeded",
     "Overloaded",
+    "IngestOverloaded",
     "StoreUnavailable",
     "ReloadRejected",
+    "MergeFailed",
     "WorkerLost",
     "ERROR_TYPES",
     "Request",

@@ -17,9 +17,11 @@ full-jitter backoff (the same :class:`~repro.storage.faults.RetryPolicy`
 the storage layer uses, so a fleet of clients reconnecting to a
 restarted server does not stampede it in lockstep), and the in-flight
 request is retransmitted **once** — safe for every query op because they
-are read-only.  A ``reload`` is never auto-retried across a reconnect:
-the cutover may already have committed, and re-sending it would advance
-the generation twice.
+are read-only, and safe for ``insert``/``delete`` because writes are
+last-writer-wins upserts by unique id (re-sending one is idempotent).
+A ``reload`` or ``merge`` is never auto-retried across a reconnect: the
+cutover may already have committed, and re-sending it would advance the
+generation twice.
 """
 
 from __future__ import annotations
@@ -88,9 +90,9 @@ class QueryClient:
             line = await self._send_once(req)
             if not line and self._reconnect is not None:
                 await self._redial()
-                if req.op == "reload":
+                if req.op in ("reload", "merge"):
                     raise ServeError(
-                        "connection lost during 'reload'; reconnected "
+                        f"connection lost during {req.op!r}; reconnected "
                         "but not auto-retrying a generation cutover — "
                         "check the server's generation before re-sending")
                 line = await self._send_once(req)
@@ -164,6 +166,35 @@ class QueryClient:
         return await self.request(
             Request(op="knn", point=list(point), k=k,
                     deadline_s=deadline_s))
+
+    async def insert(self, data_id: int, rect: Rect | Sequence,
+                     deadline_s: float | None = None) -> Response:
+        """Durably upsert ``data_id`` to ``rect`` (last-writer-wins).
+
+        A success response means the write is fsync'd in the server's
+        WAL and visible to every subsequent query; ``data["lsn"]`` is
+        its log sequence number.  Typed ``IngestOverloaded`` means the
+        write was shed *before* anything was logged."""
+        wire = rect_to_wire(rect) if isinstance(rect, Rect) else rect
+        return await self.request(
+            Request(op="insert", data_id=int(data_id), rect=wire,
+                    deadline_s=deadline_s))
+
+    async def delete(self, data_id: int,
+                     deadline_s: float | None = None) -> Response:
+        """Durably delete ``data_id`` (idempotent; deleting an absent
+        id still acks — the tombstone is what is durable)."""
+        return await self.request(
+            Request(op="delete", data_id=int(data_id),
+                    deadline_s=deadline_s))
+
+    async def merge(self) -> dict:
+        """Drain the server's sealed WAL into a fresh packed generation
+        and cut over (zero downtime).  Returns the merge/cutover info;
+        typed ``MergeFailed`` when the re-pack failed with the old
+        generation still serving."""
+        resp = await self.request(Request(op="merge"))
+        return resp.raise_for_error().data
 
     async def healthz(self) -> dict:
         """The server's liveness/operational snapshot."""

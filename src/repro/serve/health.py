@@ -12,6 +12,13 @@ Three views, all JSON-able and all built from live server state:
   to be drained while still answering in-flight clients.
 * ``stats`` — the fuller numeric dump (health + per-store I/O counters).
 
+Ingest-enabled servers additionally report an ``ingest`` block: WAL
+depth and bound (the backpressure signal), live/frozen delta sizes,
+merge state and write counters in ``healthz``; a condensed
+``{overloaded, merging, wal_pending_bytes}`` view in ``readyz`` —
+informational only, since merges cut over with zero downtime and WAL
+backpressure sheds writes without touching read readiness.
+
 Servers running a multi-process pool additionally report a ``pool``
 block (``workers_live``/``workers_total``, per-worker state, restart and
 requeue counters, the flap-circuit state and the last restart reason),
@@ -80,6 +87,16 @@ def _pool_block(server) -> dict | None:
     return None
 
 
+def _ingest_block(server) -> dict | None:
+    """The full ingest snapshot, or ``None`` for read-only servers."""
+    ingest = getattr(server, "ingest", None)
+    if ingest is None:
+        return None
+    block = ingest.snapshot()
+    block["enabled"] = True
+    return block
+
+
 def _latency_block(server) -> dict:
     latency = server.latency.summary()
     slo: SloTarget | None = server.slo
@@ -121,6 +138,9 @@ def healthz_payload(server) -> dict:
     pool = _pool_block(server)
     if pool is not None:
         payload["pool"] = pool
+    ingest = _ingest_block(server)
+    if ingest is not None:
+        payload["ingest"] = ingest
     payload.update(_latency_block(server))
     return payload
 
@@ -152,6 +172,17 @@ def readyz_payload(server) -> dict:
             "draining": draining,
             "last_restart_reason":
                 pool_block.get("last_restart_reason"),
+        }
+    ingest = getattr(server, "ingest", None)
+    if ingest is not None:
+        # A merge never drains readiness (cutover is zero-downtime) and
+        # WAL backpressure sheds only writes, so reads stay ready; the
+        # block is informational for the balancer's write routing.
+        payload["ingest"] = {
+            "enabled": True,
+            "overloaded": ingest.overloaded,
+            "merging": ingest.merging,
+            "wal_pending_bytes": ingest.pending_bytes,
         }
     payload.update(_latency_block(server))
     if not payload["ready"]:

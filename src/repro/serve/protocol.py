@@ -30,6 +30,17 @@ durable tree file; the server fsck-verifies it and swaps generations
 atomically — rejections come back as the typed ``ReloadRejected`` error
 and the old generation keeps serving).
 
+Servers started with streaming ingest additionally accept the write ops
+``insert`` (``data_id`` + ``rect``, last-writer-wins upsert) and
+``delete`` (``data_id``), acked only after the op is fsync'd to the
+write-ahead log — the success ``data`` carries the assigned ``lsn`` —
+plus the admin op ``merge``, which drains the sealed WAL into a fresh
+packed generation and cuts over with zero downtime.  When the un-merged
+WAL exceeds its bound the server sheds writes with the typed
+``IngestOverloaded`` error *before* logging anything (reads are never
+shed); a failed merge comes back as ``MergeFailed`` with the old
+generation still serving.
+
 ``partial=true`` marks a degraded read: some subtrees were unreachable
 (corrupt, quarantined, behind an open circuit breaker, or lost with a
 crashed pool worker mid-scatter) and were skipped, so ``ids`` is a
@@ -52,13 +63,16 @@ from ..core.geometry import GeometryError, Rect
 __all__ = [
     "PROTOCOL_VERSION",
     "QUERY_OPS",
+    "WRITE_OPS",
     "OPS",
     "ServeError",
     "BadRequest",
     "DeadlineExceeded",
     "Overloaded",
+    "IngestOverloaded",
     "StoreUnavailable",
     "ReloadRejected",
+    "MergeFailed",
     "WorkerLost",
     "ERROR_TYPES",
     "Request",
@@ -75,10 +89,13 @@ PROTOCOL_VERSION = 1
 
 #: Operations that run a tree walk (deadline + admission controlled).
 QUERY_OPS = ("search", "point", "count", "knn")
-#: Administrative operations (no tree walk; ``reload`` swaps generations).
-ADMIN_OPS = ("healthz", "readyz", "stats", "ping", "reload")
+#: Write operations (ingest-enabled servers only; acked after WAL fsync).
+WRITE_OPS = ("insert", "delete")
+#: Administrative operations (no tree walk; ``reload`` swaps generations,
+#: ``merge`` drains the WAL into a new generation).
+ADMIN_OPS = ("healthz", "readyz", "stats", "ping", "reload", "merge")
 #: All operations the server understands.
-OPS = QUERY_OPS + ADMIN_OPS
+OPS = QUERY_OPS + WRITE_OPS + ADMIN_OPS
 
 
 class ServeError(Exception):
@@ -105,6 +122,14 @@ class Overloaded(ServeError):
     code = "Overloaded"
 
 
+class IngestOverloaded(ServeError):
+    """The un-merged write-ahead log reached its byte bound, so this
+    write was shed *before anything was logged* — nothing was acked and
+    nothing durable changed.  Run (or wait for) a merge and retry."""
+
+    code = "IngestOverloaded"
+
+
 class StoreUnavailable(ServeError):
     """The page store failed (I/O error, corruption, open breaker) and
     degraded reads were not allowed to absorb it."""
@@ -120,6 +145,14 @@ class ReloadRejected(ServeError):
     code = "ReloadRejected"
 
 
+class MergeFailed(ServeError):
+    """A ``merge`` admin op failed before its cutover committed.  The
+    old generation keeps serving, the WAL keeps its sealed segments,
+    and no acked write was lost — retrying the merge is always safe."""
+
+    code = "MergeFailed"
+
+
 class WorkerLost(ServeError):
     """The pool worker executing this request died (crash or hang) and
     the at-most-once re-dispatch budget was already spent.  The query
@@ -133,7 +166,8 @@ class WorkerLost(ServeError):
 ERROR_TYPES: dict[str, type[ServeError]] = {
     cls.code: cls
     for cls in (ServeError, BadRequest, DeadlineExceeded, Overloaded,
-                StoreUnavailable, ReloadRejected, WorkerLost)
+                IngestOverloaded, StoreUnavailable, ReloadRejected,
+                MergeFailed, WorkerLost)
 }
 
 
@@ -170,6 +204,8 @@ class Request:
     k: int | None = None
     #: ``reload`` only: filesystem path of the candidate tree file.
     path: str | None = None
+    #: ``insert``/``delete`` only: the record's unique integer id.
+    data_id: int | None = None
 
 
 @dataclass
@@ -245,14 +281,19 @@ def decode_request(line: bytes | str) -> Request:
     path = payload.get("path")
     if path is not None and not isinstance(path, str):
         raise _bad_request(f"path must be a string, got {path!r}", req_id)
+    data_id = payload.get("data_id")
+    if data_id is not None:
+        if not isinstance(data_id, int) or isinstance(data_id, bool):
+            raise _bad_request(
+                f"data_id must be an integer, got {data_id!r}", req_id)
     unknown = set(payload) - {"id", "op", "rect", "point", "deadline_s",
-                              "k", "path"}
+                              "k", "path", "data_id"}
     if unknown:
         raise _bad_request(f"unknown request fields {sorted(unknown)}",
                            req_id)
     return Request(op=op, id=req_id, rect=payload.get("rect"),
                    point=payload.get("point"), deadline_s=deadline_s,
-                   k=k, path=path)
+                   k=k, path=path, data_id=data_id)
 
 
 def _bad_request(message: str, req_id: int) -> BadRequest:

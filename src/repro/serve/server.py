@@ -29,6 +29,20 @@ store misbehaves:
   in-flight walk); rejections are typed ``ReloadRejected`` errors and
   never disturb the serving generation.
 
+* started with ``ingest=IngestState(...)``, the server accepts
+  ``insert``/``delete`` writes: each is fsync'd to the write-ahead log
+  *before* it is acked (the response carries the assigned LSN), then
+  applied to the in-memory delta layer under the search lock, so
+  read-your-writes holds immediately; queries answer over
+  ``packed ∪ delta − tombstones`` via
+  :class:`~repro.ingest.overlay.OverlaySearcher` — exactly what a
+  from-scratch rebuild would answer.  A bounded WAL sheds writes with
+  typed ``IngestOverloaded`` errors before logging anything, and the
+  ``merge`` admin op seals the active segment, re-packs the sealed ops
+  into a fresh generation in the background (kill-resumable at every
+  write boundary), and cuts over through the same zero-downtime swap
+  ``reload`` uses.
+
 * started with ``workers=N``, queries execute in a supervised pool of
   ``N`` crash-isolated worker *processes* (:mod:`repro.serve.pool`),
   each mmapping the generation file read-only; a crashed or hung
@@ -55,6 +69,9 @@ from threading import Lock
 from typing import Callable, Iterable
 
 from ..core.geometry import GeometryError, Rect
+from ..ingest.overlay import OverlaySearcher
+from ..ingest.state import IngestState
+from ..ingest.wal import IngestError
 from ..obs import runtime as obs
 from ..obs.slo import RollingWindow, SloTarget
 from ..rtree.knn import knn_detailed
@@ -70,7 +87,10 @@ from .pool import PoolUnavailable, TreeSpec, WorkerPool
 from .protocol import (
     PROTOCOL_VERSION,
     QUERY_OPS,
+    WRITE_OPS,
     BadRequest,
+    IngestOverloaded,
+    MergeFailed,
     ReloadRejected,
     Request,
     Response,
@@ -115,6 +135,7 @@ class QueryServer:
         workers: int = 0,
         scatter: bool = False,
         pool_seed: int = 0,
+        ingest: IngestState | None = None,
     ):
         self.tree = tree
         self.clock = clock
@@ -161,6 +182,15 @@ class QueryServer:
         self._server: asyncio.AbstractServer | None = None
         self.address: tuple | None = None
 
+        # Streaming ingest (enabled with ingest=IngestState; see
+        # repro.ingest).  Writes are serialized single-flight: one
+        # asyncio lock orders WAL appends, so LSNs ack in order.  The
+        # worker pool cannot see the in-memory delta, so an ingest
+        # server always answers in-process (workers is forced to 0 by
+        # the CLI; _dispatch_query also guards it).
+        self.ingest = ingest
+        self._write_lock = asyncio.Lock()
+
         # Multi-process pool (enabled with workers >= 1; see serve.pool).
         self.workers = workers
         self.scatter_enabled = scatter
@@ -201,6 +231,10 @@ class QueryServer:
                                 data=stats_payload(self))
             if req.op == "reload":
                 return await self._handle_reload(req)
+            if req.op == "merge":
+                return await self._handle_merge(req)
+            if req.op in WRITE_OPS:
+                return await self._handle_write(req)
             if req.op in QUERY_OPS:
                 return await self._handle_query(req)
             raise BadRequest(f"unknown op {req.op!r}")
@@ -208,6 +242,12 @@ class QueryServer:
             return self._error_response(req, exc.code, str(exc))
         except GeometryError as exc:
             return self._error_response(req, BadRequest.code, str(exc))
+        except IngestError as exc:
+            # The WAL refused or failed: nothing was acked, so report
+            # the storage layer honestly rather than a generic 500.
+            return self._error_response(
+                req, "StoreUnavailable",
+                f"{type(exc).__name__}: {exc}")
         except _STORE_FAILURES as exc:
             return self._error_response(
                 req, "StoreUnavailable",
@@ -258,9 +298,13 @@ class QueryServer:
     async def _dispatch_query(self, payload: dict,
                               deadline: Deadline) -> dict:
         """Pool first when it is serving this generation; in-process
-        otherwise — pool unavailability costs latency, never answers."""
+        otherwise — pool unavailability costs latency, never answers.
+
+        Ingest-enabled servers always answer in-process: pool workers
+        mmap the packed file and cannot see the in-memory delta, so an
+        answer from them would miss unmerged acked writes."""
         pool = self.pool
-        if (pool is not None and pool.available
+        if (self.ingest is None and pool is not None and pool.available
                 and pool.generation == self.generation):
             dispatch = dict(payload,
                             budget_s=max(deadline.remaining(), 1e-3))
@@ -282,6 +326,146 @@ class QueryServer:
         loop = asyncio.get_running_loop()
         return await loop.run_in_executor(
             self._executor, self._run_query_blocking, payload, deadline)
+
+    # -- streaming ingest --------------------------------------------------
+
+    async def _handle_write(self, req: Request) -> Response:
+        """One durable write: shed → WAL fsync → delta apply → ack.
+
+        The ack invariant: a success response exists *only after* the
+        op's WAL record is fsync'd, and the response's ``lsn`` is the
+        record's.  An error response means nothing durable changed
+        (shedding happens before any append; an append that raises
+        leaves at worst a torn tail the next open discards un-acked).
+        """
+        ingest = self.ingest
+        if ingest is None:
+            raise BadRequest(
+                f"op {req.op!r} needs an ingest-enabled server (start "
+                "it with --ingest)")
+        if req.data_id is None:
+            raise BadRequest(f"op {req.op!r} needs a data_id")
+        rect: Rect | None = None
+        if req.op == "insert":
+            if req.rect is None:
+                raise BadRequest("op 'insert' needs a rect "
+                                 "[[lo...], [hi...]]")
+            rect = rect_from_wire(req.rect)
+            if rect.ndim != self.tree.ndim:
+                raise BadRequest(
+                    f"rect has {rect.ndim} dims, tree has "
+                    f"{self.tree.ndim}")
+        start = self.clock()
+        async with self._write_lock:
+            # Backpressure *before* the append: a shed write never
+            # touches the log, so the error honestly means "not acked".
+            if ingest.overloaded:
+                ingest.writes_shed += 1
+                obs.inc("ingest.writes_shed")
+                raise IngestOverloaded(
+                    f"write-ahead log holds {ingest.pending_bytes} "
+                    f"unmerged bytes (bound {ingest.max_wal_bytes}); "
+                    "merge before writing more")
+            loop = asyncio.get_running_loop()
+            walop = await loop.run_in_executor(
+                self._executor, self._write_blocking, req.op,
+                req.data_id, rect)
+        elapsed = self.clock() - start
+        obs.inc("ingest.writes", op=req.op)
+        obs.observe("ingest.write_latency_s", elapsed)
+        return Response(id=req.id, ok=True, op=req.op, elapsed_s=elapsed,
+                        data={"lsn": walop.lsn,
+                              "generation": self.generation})
+
+    def _write_blocking(self, op: str, data_id: int, rect: Rect | None):
+        """Append (fsync) then make visible; runs on the executor."""
+        ingest = self.ingest
+        assert ingest is not None
+        walop = ingest.append(op, data_id, rect)
+        # Visibility is a separate step under the search lock: readers
+        # see each op atomically, and a crash between append and apply
+        # is indistinguishable from a crash just after ack — replay
+        # covers both.
+        with self._search_lock:
+            ingest.apply(walop)
+        return walop
+
+    async def _handle_merge(self, req: Request) -> Response:
+        """Drain the sealed WAL into a new packed generation.
+
+        Overlap-safe by construction: the seal happens under the write
+        lock (no append races the segment roll) and the freeze under
+        the search lock (no reader sees a half-frozen layer stack);
+        the re-pack itself runs without any lock while queries keep
+        answering over ``base ∪ frozen ∪ live``; the cutover reuses
+        the reload swap.  A failure before the pointer commit leaves
+        the old generation serving and raises typed ``MergeFailed``.
+        """
+        ingest = self.ingest
+        if ingest is None:
+            raise MergeFailed("this server has no ingest state (start "
+                              "it with --ingest)")
+        if ingest.merging:
+            raise MergeFailed("a merge is already in flight")
+        loop = asyncio.get_running_loop()
+        async with self._write_lock:
+            await loop.run_in_executor(self._executor,
+                                       self._begin_merge_blocking)
+        try:
+            report = await loop.run_in_executor(
+                self._executor, self._merge_blocking)
+        except IngestError as exc:
+            with self._search_lock:
+                ingest.abort_merge()
+            raise MergeFailed(str(exc)) from None
+        if report is None:
+            with self._search_lock:
+                ingest.abort_merge()
+            return Response(id=req.id, ok=True, op="merge",
+                            data={"merged": False,
+                                  "generation": self.generation})
+        data = await loop.run_in_executor(
+            self._executor, self._cutover_blocking, report)
+        if self.pool is not None:
+            data["pool"] = await self._remap_pool()
+        return Response(id=req.id, ok=True, op="merge", data=data)
+
+    def _begin_merge_blocking(self) -> None:
+        ingest = self.ingest
+        assert ingest is not None
+        with self._search_lock:
+            ingest.begin_merge()
+
+    def _merge_blocking(self):
+        from ..ingest.merge import merge_segments
+
+        ingest = self.ingest
+        assert ingest is not None
+        return merge_segments(ingest.tree_path)
+
+    def _cutover_blocking(self, report) -> dict:
+        """Swap in the merged generation and drop the frozen layers.
+
+        Reuses the reload path (fsck, open, swap under the search
+        lock); the frozen-layer drop happens under the same lock right
+        after the swap, so no query ever sees the new base *without*
+        the frozen deltas — between pointer-commit and this swap the
+        frozen upserts merely shadow identical base entries, which is
+        invisible.
+        """
+        ingest = self.ingest
+        assert ingest is not None
+        data = self._reload_blocking(report.path)
+        with self._search_lock:
+            ingest.finish_merge(report.merged_seq)
+        data["merged"] = True
+        data["merge"] = {
+            "ops_applied": report.ops_applied,
+            "segments": report.segments_merged,
+            "merged_lsn": report.merged_lsn,
+            "size": report.size,
+        }
+        return data
 
     # -- generation reload -------------------------------------------------
 
@@ -400,8 +584,45 @@ class QueryServer:
 
     def _run_query_blocking(self, payload: dict,
                             deadline: Deadline) -> dict:
-        """In-process execution (no pool, or pool fallback)."""
+        """In-process execution (no pool, or pool fallback).
+
+        With ingest enabled, queries answer through an
+        :class:`~repro.ingest.overlay.OverlaySearcher` composed fresh
+        per query (a tuple of references — cheap), so every acked write
+        up to this instant is visible."""
         with self._search_lock:
+            if self.ingest is not None:
+                overlay = OverlaySearcher(self.searcher,
+                                          self.ingest.layers())
+                if payload["op"] == "knn":
+                    res = overlay.knn_detailed(
+                        payload["point"], payload["k"],
+                        check=deadline.check,
+                        quarantined=self.quarantine,
+                        degraded=self.degraded,
+                        on_page_error=self._note_page_error,
+                    )
+                    return {
+                        "ids": [int(i) for i, _ in res.neighbours],
+                        "distances": [float(d)
+                                      for _, d in res.neighbours],
+                        "count": len(res.neighbours),
+                        "partial": res.partial,
+                        "unreachable": res.skipped_subtrees,
+                    }
+                oresult = overlay.search_detailed(
+                    rect_from_wire(payload["rect"]),
+                    check=deadline.check,
+                    quarantined=self.quarantine,
+                    degraded=self.degraded,
+                    on_page_error=self._note_page_error,
+                )
+                return {
+                    "ids": oresult.ids,
+                    "count": len(oresult.ids),
+                    "partial": oresult.partial,
+                    "unreachable": oresult.skipped_subtrees,
+                }
             if payload["op"] == "knn":
                 res = knn_detailed(
                     self.searcher, payload["point"], payload["k"],
@@ -581,6 +802,8 @@ class QueryServer:
             await self.pool.aclose()
             self.pool = None
         self._executor.shutdown(wait=True)
+        if self.ingest is not None:
+            self.ingest.close()
 
     async def __aenter__(self) -> "QueryServer":
         if self._server is None:

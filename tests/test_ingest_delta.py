@@ -1,0 +1,162 @@
+"""DeltaTree semantics: last-writer-wins upserts, tombstones, the bulk
+``insert_many``/``apply_many`` fast paths matching one-op application
+exactly, and the ``ingest.*`` metric counters."""
+
+import numpy as np
+import pytest
+
+from repro.core.geometry import GeometryError, Rect, RectArray
+from repro.ingest.delta import DeltaTree
+from repro.ingest.wal import IngestError, WalOp
+from repro.obs import runtime as obs
+
+NDIM = 2
+
+
+def _rect(i: int, size: float = 1.0) -> Rect:
+    return Rect((float(i), float(i)),
+                (float(i) + size, float(i) + size))
+
+
+def _random_rects(rng, n):
+    lo = rng.random((n, NDIM)) * 0.9
+    return RectArray(lo, lo + rng.random((n, NDIM)) * 0.1)
+
+
+class TestUpsertsAndTombstones:
+    def test_insert_get_len(self):
+        d = DeltaTree(NDIM)
+        d.insert(7, _rect(7))
+        assert len(d) == 1
+        assert d.get(7) == _rect(7)
+        assert d.overridden == {7}
+        assert not d.is_tombstoned(7)
+
+    def test_upsert_replaces_and_moves_in_index(self):
+        d = DeltaTree(NDIM)
+        d.insert(1, _rect(0))
+        d.insert(1, _rect(10))
+        assert len(d) == 1
+        assert d.get(1) == _rect(10)
+        assert d.search(_rect(0, 0.5)) == []
+        assert d.search(_rect(10, 0.5)) == [1]
+
+    def test_delete_tombstones_even_base_only_ids(self):
+        d = DeltaTree(NDIM)
+        assert d.delete(42) is False  # not in this layer, still marks
+        assert d.is_tombstoned(42)
+        assert d.overridden == {42}
+        d.insert(1, _rect(1))
+        assert d.delete(1) is True
+        assert len(d) == 0 and d.tombstone_count == 2
+        assert d.search(_rect(1, 0.5)) == []
+
+    def test_reinsert_clears_tombstone(self):
+        d = DeltaTree(NDIM)
+        d.delete(5)
+        d.insert(5, _rect(5))
+        assert not d.is_tombstoned(5)
+        assert d.get(5) == _rect(5)
+        assert d.overridden == {5}  # still shadows the base
+
+    def test_dimension_mismatch_rejected(self):
+        d = DeltaTree(2)
+        with pytest.raises(GeometryError):
+            d.insert(1, Rect((0.0,), (1.0,)))
+
+
+class TestBulkPaths:
+    def test_insert_many_matches_sequential(self, rng):
+        rects = _random_rects(rng, 100)
+        ids = list(range(100))
+        bulk = DeltaTree(NDIM)
+        bulk.insert_many(rects, ids)
+        slow = DeltaTree(NDIM)
+        for i, r in zip(ids, rects):
+            slow.insert(i, r)
+        assert len(bulk) == len(slow) == 100
+        for q in _random_rects(rng, 20):
+            assert sorted(bulk.search(q)) == sorted(slow.search(q))
+
+    def test_insert_many_with_duplicates_is_last_writer_wins(self):
+        d = DeltaTree(NDIM)
+        rects = RectArray.from_rects([_rect(0), _rect(5), _rect(9)])
+        d.insert_many(rects, [1, 2, 1])
+        assert len(d) == 2
+        assert d.get(1) == _rect(9)
+
+    def test_insert_many_over_existing_replaces(self):
+        d = DeltaTree(NDIM)
+        d.insert(3, _rect(0))
+        d.insert_many(RectArray.from_rects([_rect(8)]), [3])
+        assert d.get(3) == _rect(8)
+        assert d.search(_rect(0, 0.5)) == []
+
+    def test_insert_many_length_mismatch(self):
+        d = DeltaTree(NDIM)
+        with pytest.raises(IngestError):
+            d.insert_many(RectArray.from_rects([_rect(1)]), [1, 2])
+
+    def test_apply_many_equals_one_by_one(self, rng):
+        ops = []
+        lsn = 0
+        for i in range(120):
+            lsn += 1
+            roll = rng.random()
+            data_id = int(rng.integers(0, 40))
+            if roll < 0.7:
+                ops.append(WalOp(lsn, "insert", data_id, _rect(data_id)))
+            else:
+                ops.append(WalOp(lsn, "delete", data_id, None))
+        batched = DeltaTree(NDIM)
+        assert batched.apply_many(ops) == len(ops)
+        single = DeltaTree(NDIM)
+        for op in ops:
+            single.apply(op)
+        assert dict(batched.items()) == dict(single.items())
+        assert batched.tombstone_count == single.tombstone_count
+        assert batched.overridden == single.overridden
+        for q in _random_rects(rng, 20):
+            assert sorted(batched.search(q)) == sorted(single.search(q))
+
+    def test_apply_rejects_malformed_ops(self):
+        d = DeltaTree(NDIM)
+        with pytest.raises(IngestError):
+            d.apply(WalOp(1, "insert", 1, None))
+        with pytest.raises(IngestError):
+            d.apply(WalOp(1, "upsert", 1, _rect(1)))
+
+
+class TestKnnCandidates:
+    def test_distances_and_exclusion(self):
+        d = DeltaTree(NDIM)
+        d.insert(1, Rect((0.0, 0.0), (1.0, 1.0)))
+        d.insert(2, Rect((3.0, 0.0), (4.0, 1.0)))
+        got = dict(d.knn_candidates((0.5, 0.5)))
+        assert got[1] == 0.0         # containing rect is distance 0
+        assert got[2] == pytest.approx(2.5)
+        only = d.knn_candidates((0.5, 0.5), exclude={1})
+        assert [i for i, _ in only] == [2]
+
+    def test_empty_delta(self):
+        assert DeltaTree(NDIM).knn_candidates((0.0, 0.0)) == []
+
+    def test_point_dimension_mismatch(self):
+        d = DeltaTree(NDIM)
+        d.insert(1, _rect(1))
+        with pytest.raises(GeometryError):
+            d.knn_candidates((0.0, 0.0, 0.0))
+
+
+class TestMetrics:
+    def test_delta_ops_counters(self):
+        with obs.telemetry() as (_, registry):
+            d = DeltaTree(NDIM)
+            d.insert(1, _rect(1))
+            d.insert_many(
+                RectArray.from_rects([_rect(2), _rect(3)]), [2, 3])
+            d.delete(2)
+            ins = registry.counter("ingest.delta_ops", op="insert")
+            dels = registry.counter("ingest.delta_ops", op="delete")
+            assert ins.value == 3
+            assert dels.value == 1

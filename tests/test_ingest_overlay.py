@@ -1,0 +1,151 @@
+"""The overlay correctness contract: for any interleaving of inserts,
+upserts, and deletes, a query through ``packed base ∪ delta layers −
+tombstones`` returns exactly what a from-scratch packed rebuild of the
+final logical set returns — for window, point, and kNN queries, with
+one layer or a frozen+live stack."""
+
+import numpy as np
+
+from repro import RectArray, SortTileRecursive, bulk_load
+from repro.core.geometry import Rect
+from repro.ingest.delta import DeltaTree
+from repro.ingest.overlay import OverlaySearcher
+from repro.queries import point_queries, region_queries
+from repro.rtree.knn import knn_detailed
+from repro.storage import MemoryPageStore
+
+CAPACITY = 8
+NDIM = 2
+
+
+def _pack(entries: dict):
+    """From-scratch packed build of a logical ``{id: (lo, hi)}`` set."""
+    ids = np.array(sorted(entries), dtype=np.int64)
+    los = np.array([entries[int(i)][0] for i in ids], dtype=np.float64)
+    his = np.array([entries[int(i)][1] for i in ids], dtype=np.float64)
+    tree, _ = bulk_load(RectArray(los, his), SortTileRecursive(),
+                        data_ids=ids, capacity=CAPACITY,
+                        store=MemoryPageStore(4096))
+    return tree
+
+
+def _random_entries(rng, ids):
+    lo = rng.random((len(ids), NDIM)) * 0.9
+    hi = lo + rng.random((len(ids), NDIM)) * 0.1
+    return {int(i): (tuple(lo[k]), tuple(hi[k]))
+            for k, i in enumerate(ids)}
+
+
+def _apply_random_ops(rng, oracle, deltas, steps, next_id):
+    """Mutate the live (last) delta and the oracle dict in lockstep."""
+    live = deltas[-1]
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.45 or not oracle:
+            data_id = next_id
+            next_id += 1
+        else:
+            keys = sorted(oracle)
+            data_id = keys[int(rng.integers(0, len(keys)))]
+        if roll < 0.75 or not oracle:
+            lo = tuple(rng.random(NDIM) * 0.9)
+            hi = tuple(l + e for l, e in
+                       zip(lo, rng.random(NDIM) * 0.1))
+            live.insert(data_id, Rect(lo, hi))
+            oracle[data_id] = (lo, hi)
+        else:
+            live.delete(data_id)
+            oracle.pop(data_id, None)
+    return next_id
+
+
+def _assert_overlay_equals_rebuild(overlay, oracle, rng):
+    rebuilt = _pack(oracle)
+    oracle_searcher = rebuilt.searcher(64)
+    for q in region_queries(0.15, 25, seed=41):
+        got = overlay.search_detailed(q)
+        assert not got.partial
+        assert got.ids == sorted(
+            int(x) for x in oracle_searcher.search(q))
+    for p in point_queries(25, seed=42):
+        got = overlay.point_detailed(p.lo)
+        assert got.ids == sorted(
+            int(x) for x in oracle_searcher.point_query(p.lo))
+    for _ in range(10):
+        point = tuple(rng.random(NDIM))
+        k = int(rng.integers(1, 12))
+        got = overlay.knn_detailed(point, k)
+        want = knn_detailed(oracle_searcher, point, k)
+        # Both orders are normalised to (distance, id); random float
+        # coordinates make cross-boundary distance ties improbable.
+        assert (sorted((d, i) for i, d in got.neighbours)
+                == sorted((d, i) for i, d in want.neighbours))
+
+
+class TestSingleLayer:
+    def test_randomized_interleaving_matches_rebuild(self, rng):
+        oracle = _random_entries(rng, range(300))
+        base = _pack(oracle)
+        delta = DeltaTree(NDIM, capacity=8)
+        _apply_random_ops(rng, oracle, [delta], steps=250,
+                          next_id=10_000)
+        overlay = OverlaySearcher(base.searcher(64), (delta,))
+        _assert_overlay_equals_rebuild(overlay, oracle, rng)
+
+    def test_empty_delta_is_identity(self, rng):
+        oracle = _random_entries(rng, range(120))
+        base = _pack(oracle)
+        overlay = OverlaySearcher(base.searcher(64),
+                                  (DeltaTree(NDIM),))
+        _assert_overlay_equals_rebuild(overlay, oracle, rng)
+
+    def test_delete_everything_in_region(self, rng):
+        oracle = _random_entries(rng, range(100))
+        base = _pack(oracle)
+        delta = DeltaTree(NDIM)
+        victims = [i for i, (lo, hi) in oracle.items() if lo[0] < 0.5]
+        for data_id in victims:
+            delta.delete(data_id)
+            del oracle[data_id]
+        assert oracle, "test needs survivors"
+        overlay = OverlaySearcher(base.searcher(64), (delta,))
+        _assert_overlay_equals_rebuild(overlay, oracle, rng)
+        # A query fully inside the purged half-plane finds nothing new.
+        got = overlay.search_detailed(Rect((0.0, 0.0), (0.2, 1.0)))
+        assert all(i not in victims for i in got.ids)
+
+
+class TestFrozenPlusLive:
+    def test_mid_merge_layer_stack_matches_rebuild(self, rng):
+        """Simulate a merge in flight: ops land in a frozen layer, the
+        layer is frozen (as begin_merge does), and newer ops — some
+        shadowing frozen-layer ids — land in the live layer."""
+        oracle = _random_entries(rng, range(200))
+        base = _pack(oracle)
+        frozen = DeltaTree(NDIM, capacity=8)
+        next_id = _apply_random_ops(rng, oracle, [frozen], steps=120,
+                                    next_id=10_000)
+        live = DeltaTree(NDIM, capacity=8)
+        _apply_random_ops(rng, oracle, [frozen, live], steps=120,
+                          next_id=next_id)
+        overlay = OverlaySearcher(base.searcher(64), (frozen, live))
+        _assert_overlay_equals_rebuild(overlay, oracle, rng)
+
+    def test_live_layer_shadows_frozen(self, rng):
+        oracle = _random_entries(rng, range(50))
+        base = _pack(oracle)
+        frozen = DeltaTree(NDIM)
+        live = DeltaTree(NDIM)
+        # Frozen upserts id 1; live deletes it — the delete wins.
+        frozen.insert(1, Rect((0.1, 0.1), (0.2, 0.2)))
+        live.delete(1)
+        # Frozen deletes id 2; live re-inserts it — the insert wins.
+        frozen.delete(2)
+        live.insert(2, Rect((0.3, 0.3), (0.4, 0.4)))
+        oracle.pop(1, None)
+        oracle[2] = ((0.3, 0.3), (0.4, 0.4))
+        overlay = OverlaySearcher(base.searcher(64), (frozen, live))
+        everything = Rect((0.0, 0.0), (1.0, 1.0))
+        got = overlay.search_detailed(everything)
+        assert 1 not in got.ids and 2 in got.ids
+        _assert_overlay_equals_rebuild(overlay, oracle, rng)

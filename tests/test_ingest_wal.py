@@ -1,0 +1,287 @@
+"""WAL durability contract: round trips, torn-tail discard vs mid-file
+corruption, the seal protocol, and a kill-at-every-write matrix — after
+a simulated SIGKILL at any write boundary, with any tear length, a
+reopen must recover exactly the acked ops (no loss, no invention)."""
+
+import os
+
+import pytest
+
+from repro.core.geometry import Rect
+from repro.ingest.wal import (
+    IngestError,
+    WalCorrupt,
+    WalSegment,
+    WriteAheadLog,
+    _encode_record,
+    ingest_dir,
+    segment_name,
+    segment_seq,
+)
+from repro.storage.faults import CrashPlan
+from repro.storage.store import SimulatedCrash
+
+
+def _rect(i: int) -> Rect:
+    return Rect((float(i), float(i)), (float(i) + 1.0, float(i) + 1.0))
+
+
+def _ops(wal: WriteAheadLog):
+    return [(o.lsn, o.op, o.data_id, o.rect) for o in wal.iter_ops()]
+
+
+def _as_tuple(op):
+    return (op.lsn, op.op, op.data_id, op.rect)
+
+
+class TestRoundTrip:
+    def test_appends_survive_reopen(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            acked = [wal.append("insert", i, _rect(i)) for i in range(5)]
+            acked.append(wal.append("delete", 2, None))
+            assert [o.lsn for o in acked] == [1, 2, 3, 4, 5, 6]
+            assert wal.last_lsn == 6
+        with WriteAheadLog(d) as wal:
+            assert _ops(wal) == [_as_tuple(o) for o in acked]
+            assert wal.last_lsn == 6
+            # New appends continue the LSN sequence.
+            assert wal.append("insert", 99, _rect(99)).lsn == 7
+
+    def test_min_lsn_floors_assignment(self, tmp_path):
+        with WriteAheadLog(tmp_path / "t.ingest", min_lsn=100) as wal:
+            assert wal.append("insert", 1, _rect(1)).lsn == 101
+
+    def test_start_after_seq_skips_drained_segments(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            wal.append("insert", 1, _rect(1))
+            sealed = wal.seal_active()
+            assert sealed is not None and sealed.seq == 1
+            wal.append("insert", 2, _rect(2))
+        with WriteAheadLog(d, start_after_seq=1, min_lsn=1) as wal:
+            assert [op[2] for op in _ops(wal)] == [2]
+
+    def test_pending_accounting(self, tmp_path):
+        with WriteAheadLog(tmp_path / "t.ingest") as wal:
+            assert wal.pending_bytes == 0 and wal.pending_ops == 0
+            wal.append("insert", 1, _rect(1))
+            wal.append("delete", 1, None)
+            assert wal.pending_ops == 2
+            assert wal.pending_bytes == os.path.getsize(
+                wal.segments[0].path)
+
+    def test_bad_ops_rejected_without_logging(self, tmp_path):
+        with WriteAheadLog(tmp_path / "t.ingest") as wal:
+            with pytest.raises(IngestError):
+                wal.append("upsert", 1, _rect(1))
+            with pytest.raises(IngestError):
+                wal.append("insert", 1, None)
+            assert wal.pending_ops == 0
+
+
+class TestTornTailVsCorruption:
+    def test_torn_tail_is_discarded_and_truncated(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            acked = [wal.append("insert", i, _rect(i)) for i in range(3)]
+            path = wal.segments[0].path
+        clean_size = os.path.getsize(path)
+        with open(path, "ab") as f:
+            f.write(b'{"format": "repro-ingest-wal-v1", "op": "ins')
+        with WriteAheadLog(d) as wal:
+            assert _ops(wal) == [_as_tuple(o) for o in acked]
+            # The torn bytes are physically gone, not just skipped.
+            assert os.path.getsize(path) == clean_size
+            # And appending again produces a parseable segment.
+            wal.append("insert", 9, _rect(9))
+        seg = WalSegment.load(path)
+        assert [o.data_id for o in seg.ops] == [0, 1, 2, 9]
+
+    def test_mid_file_damage_raises_instead_of_dropping(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            for i in range(4):
+                wal.append("insert", i, _rect(i))
+            path = wal.segments[0].path
+        data = open(path, "rb").read()
+        lines = data.split(b"\n")
+        # Corrupt the *first* record: damage before the tail means acked
+        # writes may be missing, which must never be silent.
+        lines[0] = lines[0][:-1] + (b"0" if lines[0][-1:] != b"0"
+                                    else b"1")
+        with open(path, "wb") as f:
+            f.write(b"\n".join(lines))
+        with pytest.raises(WalCorrupt):
+            WriteAheadLog(d)
+
+    def test_lsn_regression_is_corruption(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        d.mkdir()
+        path = d / segment_name(1)
+        with open(path, "wb") as f:
+            f.write(_encode_record({"lsn": 2, "op": "delete", "id": 1}))
+            f.write(_encode_record({"lsn": 2, "op": "delete", "id": 2}))
+        with pytest.raises(WalCorrupt):
+            WalSegment.load(path)
+
+
+class TestSealProtocol:
+    def test_seal_closes_segment_and_rolls(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            wal.append("insert", 1, _rect(1))
+            wal.append("insert", 2, _rect(2))
+            sealed = wal.seal_active()
+            assert sealed is not None and sealed.sealed
+            assert wal.active_segment is None
+            wal.append("insert", 3, _rect(3))
+            active = wal.active_segment
+            assert active is not None and active.seq == 2
+        with WriteAheadLog(d) as wal:
+            assert [s.sealed for s in wal.segments] == [True, False]
+            assert wal.sealed_segments()[0].last_lsn == 2
+            assert [op[2] for op in _ops(wal)] == [1, 2, 3]
+
+    def test_seal_with_nothing_pending_is_a_noop(self, tmp_path):
+        with WriteAheadLog(tmp_path / "t.ingest") as wal:
+            assert wal.seal_active() is None
+
+    def test_record_after_seal_is_corruption(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            wal.append("insert", 1, _rect(1))
+            wal.seal_active()
+            path = wal.segments[0].path
+        with open(path, "ab") as f:
+            f.write(_encode_record({"lsn": 2, "op": "delete", "id": 1}))
+        with pytest.raises(WalCorrupt):
+            WalSegment.load(path)
+
+    def test_seal_miscount_is_corruption(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        d.mkdir()
+        path = d / segment_name(1)
+        with open(path, "wb") as f:
+            f.write(_encode_record({"lsn": 1, "op": "delete", "id": 7}))
+            f.write(_encode_record({"op": "seal", "count": 2,
+                                    "last_lsn": 1}))
+        with pytest.raises(WalCorrupt):
+            WalSegment.load(path)
+
+    def test_unsealed_segment_below_active_is_corruption(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            wal.append("insert", 1, _rect(1))
+            path = wal.segments[0].path
+        # Fabricate a higher segment while seq 1 is still unsealed.
+        with open(d / segment_name(2), "wb") as f:
+            f.write(open(path, "rb").read())
+        with pytest.raises(WalCorrupt):
+            WriteAheadLog(d)
+
+    def test_forget_through_deletes_files(self, tmp_path):
+        d = tmp_path / "t.ingest"
+        with WriteAheadLog(d) as wal:
+            wal.append("insert", 1, _rect(1))
+            wal.seal_active()
+            wal.append("insert", 2, _rect(2))
+            first = wal.segments[0].path
+            assert wal.forget_through(1) == 1
+            assert not os.path.exists(first)
+            assert [op[2] for op in _ops(wal)] == [2]
+            assert wal.forget_through(1) == 0  # idempotent
+
+
+class TestNaming:
+    def test_segment_name_round_trips(self):
+        assert segment_seq(segment_name(7)) == 7
+        assert segment_seq("wal-abc.log") is None
+        assert segment_seq("notawal") is None
+        assert ingest_dir("/x/tree.rt") == "/x/tree.rt.ingest"
+
+
+class TestKillAtEveryWrite:
+    """SIGKILL (via CrashPlan) at every physical write boundary, with
+    clean, 1-byte-torn, and fully-landed tears: reopening must recover
+    exactly the acked ops, and the log must keep working afterwards."""
+
+    #: The write script: five appends with a seal in the middle, so the
+    #: matrix covers crashes inside both segments *and* inside the seal
+    #: record itself.  Each step is exactly one physical write.
+    SCRIPT = (("insert", 1), ("insert", 2), ("delete", 1), "seal",
+              ("insert", 3), ("delete", 4))
+
+    def _run_script(self, wal):
+        """Run the script, returning ``(acked, inflight)``: the acked
+        ops, plus the op whose write the kill interrupted (``None``
+        when the kill hit the seal record instead)."""
+        acked = []
+        inflight = None
+        for step in self.SCRIPT:
+            try:
+                if step == "seal":
+                    wal.seal_active()
+                else:
+                    op, data_id = step
+                    rect = _rect(data_id) if op == "insert" else None
+                    acked.append(wal.append(op, data_id, rect))
+            except SimulatedCrash:
+                if step != "seal":
+                    op, data_id = step
+                    rect = _rect(data_id) if op == "insert" else None
+                    lsn = acked[-1].lsn + 1 if acked else 1
+                    inflight = (lsn, op, data_id, rect)
+                break
+        return acked, inflight
+
+    def test_acked_ops_always_survive(self, tmp_path):
+        n_writes = len(self.SCRIPT)
+        tears = (None, 1, 1 << 20)
+        for at_write in range(n_writes):
+            for tear in tears:
+                d = tmp_path / f"kill-{at_write}-{tear}"
+                wal = WriteAheadLog(
+                    d, crash_plan=CrashPlan(at_write,
+                                            tear_bytes=tear))
+                acked, inflight = self._run_script(wal)
+                wal.close()
+                # A crashed log refuses further appends until reopened.
+                with pytest.raises(IngestError):
+                    wal.append("insert", 99, _rect(99))
+
+                recovered = WriteAheadLog(d)
+                got = _ops(recovered)
+                expected = [_as_tuple(o) for o in acked]
+                if got != expected:
+                    # The only other legal outcome: the crash write's
+                    # bytes *all* landed, so the un-acked in-flight op
+                    # is durable — indistinguishable from a crash just
+                    # after the ack, and idempotent to keep.
+                    assert tear == 1 << 20 and inflight is not None \
+                        and got == expected + [inflight], \
+                        f"lost/invented ops at write {at_write}, " \
+                        f"tear {tear}"
+                # The log is fully usable after recovery.
+                nxt = recovered.append("insert", 50, _rect(50))
+                assert nxt.lsn == (got[-1][0] + 1 if got else 1)
+                recovered.close()
+                reread = WriteAheadLog(d)
+                assert _ops(reread)[-1] == _as_tuple(nxt)
+                reread.close()
+
+    def test_fully_landed_crash_write_is_kept(self, tmp_path):
+        """A tear longer than the record means the bytes all landed:
+        the op is durable even though the writer died before acking —
+        keeping it is correct (replay is idempotent) and required (we
+        cannot distinguish it from a crash just after the ack)."""
+        d = tmp_path / "t.ingest"
+        wal = WriteAheadLog(
+            d, crash_plan=CrashPlan(1, tear_bytes=1 << 20))
+        wal.append("insert", 1, _rect(1))
+        with pytest.raises(SimulatedCrash):
+            wal.append("insert", 2, _rect(2))
+        wal.close()
+        recovered = WriteAheadLog(d)
+        assert [op[2] for op in _ops(recovered)] == [1, 2]
+        recovered.close()
