@@ -277,6 +277,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="text", dest="lint_format",
                         help="lint: findings as an aligned text report "
                              "(default) or a JSON document")
+    parser.add_argument("--rules", default=None, metavar="RL00X[,RL00Y]",
+                        help="lint: run only these rule ids (comma-"
+                             "separated) — lets CI bisect a slow or "
+                             "noisy rule")
     parser.add_argument("--baseline", default=None, metavar="PATH",
                         help="lint: baseline file of grandfathered "
                              "findings (default: lint-baseline.json if "
@@ -569,11 +573,13 @@ def _run_serve(args: argparse.Namespace, parser: argparse.ArgumentParser,
 def _run_lint(args: argparse.Namespace, argv: list[str]) -> int:
     """``repro lint [path]``: statically check the invariant contracts.
 
-    Exit codes: 0 clean (every finding suppressed or baselined), 1 new
-    findings.  ``--manifest`` files the report as a run manifest so a
+    Exit codes: 0 clean (every finding suppressed or baselined, and no
+    baseline drift), 1 new findings or stale baseline entries, 2 usage
+    errors.  ``--manifest`` files the report as a run manifest so a
     directory of runs shows lint verdicts beside benchmark numbers.
     """
     from .lint import Baseline, DEFAULT_BASELINE, LintEngine
+    from .lint.engine import all_rules
 
     start = time.time()
     paths = [args.target if args.target is not None else "src"]
@@ -582,15 +588,29 @@ def _run_lint(args: argparse.Namespace, argv: list[str]) -> int:
         baseline_path = DEFAULT_BASELINE
     baseline = (Baseline.load(baseline_path) if baseline_path
                 else Baseline())
-    engine = LintEngine(baseline=baseline)
+    rules = None
+    if args.rules:
+        wanted = {part.strip().upper() for part in args.rules.split(",")
+                  if part.strip()}
+        by_id = {rule.id: rule for rule in all_rules()}
+        unknown = sorted(wanted - by_id.keys())
+        if unknown:
+            print(f"repro lint: unknown rule id(s): "
+                  f"{', '.join(unknown)} (known: "
+                  f"{', '.join(sorted(by_id))})", file=sys.stderr)
+            return 2
+        rules = [by_id[rule_id] for rule_id in sorted(wanted)]
+    engine = LintEngine(rules, baseline=baseline)
     report = engine.run(paths)
 
     if args.write_baseline:
         out = (args.baseline if args.baseline is not None
                else DEFAULT_BASELINE)
         all_found = report.findings + report.baselined
+        stale = len(report.stale_baseline)
         path = Baseline.from_findings(all_found).write(out)
-        print(f"wrote {path} ({len(all_found)} finding(s) baselined)")
+        print(f"wrote {path} ({len(all_found)} finding(s) baselined, "
+              f"{stale} stale key(s) pruned)")
         return 0
 
     if args.lint_format == "json":
@@ -606,7 +626,7 @@ def _run_lint(args: argparse.Namespace, argv: list[str]) -> int:
         )
         path = obs.write_manifest(manifest, run_dir)
         print(f"wrote {path}")
-    return 0 if report.clean else 1
+    return 0 if report.clean and not report.stale_baseline else 1
 
 
 def _run_build(args: argparse.Namespace, argv: list[str]) -> int:

@@ -1,0 +1,441 @@
+"""Per-function control-flow graphs for flow-sensitive lint rules.
+
+The syntactic rules (RL001–RL007) walk the AST node by node; the
+protocol rules (RL008–RL011) need *orderings* — "was fsync reached
+before the rename on every path", "is there an await between this read
+and that write", "is the store closed on the exception path too".
+:func:`build_cfg` turns one ``def``/``async def`` into a graph precise
+enough to answer those questions and nothing more:
+
+* one node per simple statement; compound statements contribute a
+  *header* node (the ``if``/``while`` test, the ``for`` iterable, the
+  ``with`` context expressions) plus the nodes of their blocks;
+* explicit ``entry``, ``exit`` (normal returns / fall-through) and
+  ``raise-exit`` (escaping exceptions) nodes;
+* exception edges from every statement that can raise to the innermost
+  enclosing handler entries / ``finally`` / ``raise-exit``.  An
+  exceptional edge means "the exception escaped *mid-statement*":
+  dataflow propagates the statement's **in**-state along it, so a
+  half-executed acquisition is treated as not having happened;
+* ``with`` blocks get dedicated ``with-exit`` nodes on both the normal
+  and the exceptional path, so a rule can model ``__exit__`` effects
+  (closing a store) exactly once per path.  Context-manager exits are
+  modelled as non-raising: an edge *out of* a ``with-exit`` node —
+  even one leading to a handler — is a normal edge carrying the
+  out-state, because ``__exit__`` ran to completion before the
+  original exception continued outward;
+* ``finally`` bodies are duplicated per path (normal completion,
+  escaping exception, and once per ``return``/``break``/``continue``
+  that jumps across them), mirroring how CPython compiles them.  The
+  duplication keeps states on distinct paths from merging inside the
+  ``finally`` — the whole point of flow sensitivity;
+* each node records the stack of ``with`` regions it executes under
+  (:class:`WithRegion`), which is how the lock-discipline rule decides
+  whether a statement runs inside ``with self._lock:``.
+
+Nodes never reached by dataflow (code after ``raise``, say) keep a
+``None`` in-state; rules must skip them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = [
+    "CFG",
+    "CFGNode",
+    "Edge",
+    "WithRegion",
+    "build_cfg",
+    "calls_in",
+    "functions",
+    "header_exprs",
+    "stmt_awaits",
+]
+
+FunctionNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+_TRY_NODES: tuple[type, ...] = (ast.Try,)
+if hasattr(ast, "TryStar"):  # 3.11+
+    _TRY_NODES = (ast.Try, ast.TryStar)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef,
+                ast.Lambda)
+
+#: Statements that cannot raise; everything else gets exception edges.
+_NO_RAISE = (ast.Pass, ast.Break, ast.Continue, ast.Global, ast.Nonlocal)
+
+
+@dataclass(frozen=True)
+class WithRegion:
+    """One ``with``/``async with`` a node executes under."""
+
+    node: int                       #: id of the ``with`` header node
+    is_async: bool
+    context_names: tuple[str, ...]  #: unparse of each context expression
+
+
+@dataclass(frozen=True)
+class Edge:
+    dst: int
+    #: True when this edge models an exception escaping mid-statement.
+    #: Dataflow propagates the source's *in*-state along it (or the
+    #: rule's ``exc_transfer`` of the in-state).
+    exceptional: bool = False
+
+
+@dataclass
+class CFGNode:
+    id: int
+    #: "entry" | "exit" | "raise-exit" | "stmt" | "with-exit" |
+    #: "except" | "finally-entry"
+    kind: str
+    stmt: ast.stmt | None
+    with_stack: tuple[WithRegion, ...] = ()
+    edges: list[Edge] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    func: FunctionNode
+    nodes: list[CFGNode]
+    entry: int
+    exit: int
+    raise_exit: int
+
+    def node(self, node_id: int) -> CFGNode:
+        """The node with id ``node_id`` (ids index ``nodes``)."""
+        return self.nodes[node_id]
+
+
+# --------------------------------------------------------------------------
+# builder internals
+
+
+@dataclass(frozen=True)
+class _WithCleanup:
+    """A ``with`` region a jump must exit through."""
+
+    stmt: ast.stmt
+    outer_with: tuple[WithRegion, ...]
+
+
+@dataclass(frozen=True)
+class _FinallyCleanup:
+    """A ``finally`` body a jump must execute a fresh copy of."""
+
+    finalbody: tuple[ast.stmt, ...]
+    env: "_Env"  # environment *outside* the try
+
+
+@dataclass
+class _LoopCtx:
+    header: int
+    cleanup_depth: int
+    breaks: list[int] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class _Env:
+    """Immutable build context for one block."""
+
+    exc: tuple[int, ...]                 # exception edge targets
+    with_stack: tuple[WithRegion, ...]
+    cleanups: tuple[_WithCleanup | _FinallyCleanup, ...]
+    loop: _LoopCtx | None
+
+
+class _Builder:
+    def __init__(self, func: FunctionNode):
+        self.func = func
+        self.nodes: list[CFGNode] = []
+        self.entry = self._new("entry", None, ())
+        self.exit = self._new("exit", None, ())
+        self.raise_exit = self._new("raise-exit", None, ())
+
+    # -- node/edge plumbing ------------------------------------------------
+
+    def _new(self, kind: str, stmt: ast.stmt | None,
+             with_stack: tuple[WithRegion, ...]) -> int:
+        node = CFGNode(len(self.nodes), kind, stmt, with_stack)
+        self.nodes.append(node)
+        return node.id
+
+    def _connect(self, preds: list[int], dst: int, *,
+                 exceptional: bool = False) -> None:
+        for pred in preds:
+            self.nodes[pred].edges.append(Edge(dst, exceptional))
+
+    def _stmt_node(self, stmt: ast.stmt, env: _Env,
+                   preds: list[int]) -> int:
+        node = self._new("stmt", stmt, env.with_stack)
+        self._connect(preds, node)
+        if not isinstance(stmt, _NO_RAISE):
+            for target in env.exc:
+                self.nodes[node].edges.append(Edge(target, True))
+        return node
+
+    # -- cleanup routing for return/break/continue -------------------------
+
+    def _run_cleanups(self, preds: list[int], env: _Env,
+                      down_to: int) -> list[int]:
+        """Emit the cleanup chain a jump crosses, innermost first."""
+        for frame in reversed(env.cleanups[down_to:]):
+            if isinstance(frame, _WithCleanup):
+                wexit = self._new("with-exit", frame.stmt, frame.outer_with)
+                self._connect(preds, wexit)
+                preds = [wexit]
+            else:
+                preds = self._block(list(frame.finalbody), preds, frame.env)
+        return preds
+
+    # -- statement dispatch ------------------------------------------------
+
+    def _block(self, stmts: list[ast.stmt], preds: list[int],
+               env: _Env) -> list[int]:
+        for stmt in stmts:
+            preds = self._statement(stmt, preds, env)
+        return preds
+
+    def _statement(self, stmt: ast.stmt, preds: list[int],
+                   env: _Env) -> list[int]:
+        if isinstance(stmt, ast.Return):
+            node = self._stmt_node(stmt, env, preds)
+            tail = self._run_cleanups([node], env, 0)
+            self._connect(tail, self.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            self._stmt_node(stmt, env, preds)
+            return []
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            node = self._stmt_node(stmt, env, preds)
+            loop = env.loop
+            if loop is None:      # syntactically impossible in valid code
+                return []
+            tail = self._run_cleanups([node], env, loop.cleanup_depth)
+            if isinstance(stmt, ast.Break):
+                loop.breaks.extend(tail)
+            else:
+                self._connect(tail, loop.header)
+            return []
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, preds, env)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, preds, env)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, preds, env)
+        if isinstance(stmt, _TRY_NODES):
+            return self._try(stmt, preds, env)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, preds, env)
+        # simple statement (incl. nested def/class, which bind a name)
+        return [self._stmt_node(stmt, env, preds)]
+
+    def _if(self, stmt: ast.If, preds: list[int], env: _Env) -> list[int]:
+        header = self._stmt_node(stmt, env, preds)
+        out = self._block(stmt.body, [header], env)
+        if stmt.orelse:
+            out += self._block(stmt.orelse, [header], env)
+        else:
+            out += [header]
+        return out
+
+    def _loop(self, stmt: ast.While | ast.For | ast.AsyncFor,
+              preds: list[int], env: _Env) -> list[int]:
+        header = self._stmt_node(stmt, env, preds)
+        loop = _LoopCtx(header, cleanup_depth=len(env.cleanups))
+        body_env = _Env(env.exc, env.with_stack, env.cleanups, loop)
+        body_out = self._block(stmt.body, [header], body_env)
+        self._connect(body_out, header)        # back edge
+        exits: list[int] = []
+        if not (isinstance(stmt, ast.While) and _always_true(stmt.test)):
+            exits.append(header)               # condition false / exhausted
+        if stmt.orelse:
+            exits = self._block(stmt.orelse, exits, env)
+        return exits + loop.breaks
+
+    def _with(self, stmt: ast.With | ast.AsyncWith, preds: list[int],
+              env: _Env) -> list[int]:
+        header = self._stmt_node(stmt, env, preds)
+        region = WithRegion(
+            node=header,
+            is_async=isinstance(stmt, ast.AsyncWith),
+            context_names=tuple(ast.unparse(item.context_expr)
+                                for item in stmt.items),
+        )
+        # The exceptional exit exists before the body is built so body
+        # exceptions route through __exit__.  Header exceptions (the
+        # context expression or __enter__ raising) bypass it: they use
+        # env.exc via _stmt_node above.
+        wexc = self._new("with-exit", stmt, env.with_stack)
+        for target in env.exc:
+            # Normal edge: __exit__ completed, then the exception
+            # continued outward — carry the out-state.
+            self.nodes[wexc].edges.append(Edge(target, False))
+        body_env = _Env(
+            exc=(wexc,),
+            with_stack=env.with_stack + (region,),
+            cleanups=env.cleanups + (
+                _WithCleanup(stmt, env.with_stack),),
+            loop=env.loop,
+        )
+        body_out = self._block(stmt.body, [header], body_env)
+        wnorm = self._new("with-exit", stmt, env.with_stack)
+        self._connect(body_out, wnorm)
+        return [wnorm]
+
+    def _try(self, stmt: ast.Try, preds: list[int],
+             env: _Env) -> list[int]:
+        finalbody = tuple(stmt.finalbody)
+        if finalbody:
+            # Exception path: a synthetic anchor, then a fresh copy of
+            # the finally body, then onward to the outer targets (the
+            # exception resumes after the finally completes — normal
+            # edges carrying the out-state).
+            fexc = self._new("finally-entry", stmt, env.with_stack)
+            fexc_out = self._block(list(finalbody), [fexc], env)
+            for target in env.exc:
+                self._connect(fexc_out, target)
+            escape: tuple[int, ...] = (fexc,)
+            inner_cleanups = env.cleanups + (
+                _FinallyCleanup(finalbody, env),)
+        else:
+            escape = env.exc
+            inner_cleanups = env.cleanups
+
+        handler_entries = []
+        for handler in stmt.handlers:
+            entry = self._new("except", handler, env.with_stack)
+            handler_entries.append(entry)
+
+        body_env = _Env(tuple(handler_entries) + escape,
+                        env.with_stack, inner_cleanups, env.loop)
+        body_out = self._block(stmt.body, preds, body_env)
+
+        # else and handler bodies are not protected by this try's
+        # handlers; their exceptions go through the finally (or out).
+        rest_env = _Env(escape, env.with_stack, inner_cleanups, env.loop)
+        if stmt.orelse:
+            body_out = self._block(stmt.orelse, body_out, rest_env)
+        normal_out = list(body_out)
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            normal_out += self._block(handler.body, [entry], rest_env)
+
+        if finalbody:
+            return self._block(list(finalbody), normal_out, env)
+        return normal_out
+
+    def _match(self, stmt: ast.Match, preds: list[int],
+               env: _Env) -> list[int]:
+        header = self._stmt_node(stmt, env, preds)
+        out = [header]              # conservatively: no case may match
+        for case in stmt.cases:
+            out += self._block(case.body, [header], env)
+        return out
+
+    # -- entry point -------------------------------------------------------
+
+    def build(self) -> CFG:
+        env = _Env(exc=(self.raise_exit,), with_stack=(),
+                   cleanups=(), loop=None)
+        out = self._block(self.func.body, [self.entry], env)
+        self._connect(out, self.exit)          # implicit return None
+        return CFG(self.func, self.nodes, self.entry, self.exit,
+                   self.raise_exit)
+
+
+def _always_true(test: ast.expr) -> bool:
+    return isinstance(test, ast.Constant) and bool(test.value)
+
+
+def build_cfg(func: FunctionNode) -> CFG:
+    """Build the control-flow graph of one function body."""
+    return _Builder(func).build()
+
+
+# --------------------------------------------------------------------------
+# statement-level helpers shared by the flow-sensitive rules
+
+
+def header_exprs(stmt: ast.AST) -> list[ast.expr]:
+    """The expressions a statement's CFG node actually evaluates.
+
+    For compound statements that is the header only (the ``if`` test,
+    the ``for`` iterable and target, the ``with`` items); the block
+    bodies belong to their own nodes.  Nested function/class
+    definitions evaluate nothing at the definition site beyond
+    defaults/decorators, which no current rule models — they are
+    opaque.
+    """
+    if isinstance(stmt, _SCOPE_NODES):
+        return []
+    if isinstance(stmt, (ast.If, ast.While)):
+        return [stmt.test]
+    if isinstance(stmt, (ast.For, ast.AsyncFor)):
+        return [stmt.iter, stmt.target]
+    if isinstance(stmt, (ast.With, ast.AsyncWith)):
+        out: list[ast.expr] = []
+        for item in stmt.items:
+            out.append(item.context_expr)
+            if item.optional_vars is not None:
+                out.append(item.optional_vars)
+        return out
+    if isinstance(stmt, _TRY_NODES):
+        return []
+    if isinstance(stmt, ast.Match):
+        return [stmt.subject]
+    if isinstance(stmt, ast.ExceptHandler):
+        return [stmt.type] if stmt.type is not None else []
+    return [child for child in ast.iter_child_nodes(stmt)
+            if isinstance(child, ast.expr)]
+
+
+def _walk_expr_postorder(expr: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(expr, _SCOPE_NODES):
+        return
+    for child in ast.iter_child_nodes(expr):
+        if isinstance(child, _SCOPE_NODES):
+            continue
+        yield from _walk_expr_postorder(child)
+    yield expr
+
+
+def walk_exprs(stmt: ast.AST) -> Iterator[ast.AST]:
+    """Post-order walk (≈ evaluation order) of a node's header
+    expressions, skipping nested scopes."""
+    for expr in header_exprs(stmt):
+        yield from _walk_expr_postorder(expr)
+
+
+def calls_in(stmt: ast.AST) -> list[ast.Call]:
+    """Calls a statement's node evaluates, in ≈ evaluation order."""
+    return [node for node in walk_exprs(stmt)
+            if isinstance(node, ast.Call)]
+
+
+def stmt_awaits(stmt: ast.AST) -> bool:
+    """True when executing this statement's node suspends the
+    coroutine (an ``await`` expression, or an ``async for`` /
+    ``async with`` header's implicit awaits)."""
+    if isinstance(stmt, (ast.AsyncFor, ast.AsyncWith)):
+        return True
+    return any(isinstance(node, ast.Await) for node in walk_exprs(stmt))
+
+
+def functions(tree: ast.AST) -> Iterator[tuple[str, FunctionNode]]:
+    """Yield ``(qualname, func)`` for every function in a module,
+    outermost first."""
+    def visit(node: ast.AST, stack: tuple[str, ...]) -> Iterator[
+            tuple[str, FunctionNode]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = ".".join(stack + (child.name,))
+                yield qualname, child
+                yield from visit(child, stack + (child.name, "<locals>"))
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, stack + (child.name,))
+            else:
+                yield from visit(child, stack)
+    yield from visit(tree, ())

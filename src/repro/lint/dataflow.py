@@ -1,0 +1,109 @@
+"""A small forward dataflow framework over :mod:`repro.lint.cfg`.
+
+A rule supplies the lattice: an initial state at the function entry, a
+``transfer`` function per node, and a ``merge`` at join points.
+:func:`run_forward` iterates a worklist to a fixpoint and returns the
+state *before* and *after* every node.  Loops converge because rule
+lattices are finite (small tuples and enums per tracked name); a step
+cap turns a non-converging lattice into a loud
+:class:`DataflowDivergence` instead of a hung lint run.
+
+Edge semantics (see :mod:`repro.lint.cfg`): a normal edge propagates
+the source node's out-state; an *exceptional* edge propagates the
+in-state — the exception escaped mid-statement, so the statement's
+effects are treated as not applied.  A rule for which some effects
+survive an exception (closing a file handle does, even when
+``close()`` itself raises) passes ``exc_transfer`` to apply exactly
+those effects on exceptional edges.
+
+States must be treated as immutable: ``transfer`` returns a fresh
+state (or its input unchanged), never mutates in place.  States are
+compared with ``==`` unless ``equals`` is given.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, TypeVar
+
+from .cfg import CFG, CFGNode
+
+__all__ = ["DataflowDivergence", "Solution", "merge_dicts", "run_forward"]
+
+State = Any
+V = TypeVar("V")
+
+
+class DataflowDivergence(RuntimeError):
+    """The fixpoint iteration exceeded its step cap — the rule's
+    lattice is not finite-height (or merge is not monotone)."""
+
+
+@dataclass
+class Solution:
+    """Fixpoint states; ``None`` marks a node dataflow never reached
+    (unreachable code) — rules must skip those."""
+
+    before: dict[int, State | None]
+    after: dict[int, State | None]
+
+
+def run_forward(
+    cfg: CFG,
+    *,
+    init: State,
+    transfer: Callable[[CFGNode, State], State],
+    merge: Callable[[State, State], State],
+    equals: Callable[[State, State], bool] | None = None,
+    exc_transfer: Callable[[CFGNode, State], State] | None = None,
+    max_steps: int | None = None,
+) -> Solution:
+    """Iterate ``transfer`` over ``cfg`` to a forward fixpoint."""
+    eq = equals if equals is not None else lambda a, b: a == b
+    cap = max_steps if max_steps is not None else 32 * len(cfg.nodes) + 1024
+
+    before: dict[int, State | None] = {n.id: None for n in cfg.nodes}
+    after: dict[int, State | None] = {n.id: None for n in cfg.nodes}
+    before[cfg.entry] = init
+
+    queue: deque[int] = deque([cfg.entry])
+    queued = {cfg.entry}
+    steps = 0
+    while queue:
+        steps += 1
+        if steps > cap:
+            raise DataflowDivergence(
+                f"dataflow did not converge within {cap} steps in "
+                f"{cfg.func.name!r}")
+        node_id = queue.popleft()
+        queued.discard(node_id)
+        node = cfg.nodes[node_id]
+        state_in = before[node_id]
+        assert state_in is not None
+        state_out = transfer(node, state_in)
+        after[node_id] = state_out
+        for edge in node.edges:
+            if edge.exceptional:
+                contrib = (exc_transfer(node, state_in)
+                           if exc_transfer is not None else state_in)
+            else:
+                contrib = state_out
+            old = before[edge.dst]
+            new = contrib if old is None else merge(old, contrib)
+            if old is None or not eq(new, old):
+                before[edge.dst] = new
+                if edge.dst not in queued:
+                    queued.add(edge.dst)
+                    queue.append(edge.dst)
+    return Solution(before, after)
+
+
+def merge_dicts(a: Mapping[str, V], b: Mapping[str, V],
+                join: Callable[[V, V], V], default: V) -> dict[str, V]:
+    """Pointwise merge of two per-name state maps over the union of
+    their keys; a name absent from one side contributes ``default``."""
+    out: dict[str, V] = {}
+    for key in a.keys() | b.keys():
+        out[key] = join(a.get(key, default), b.get(key, default))
+    return out

@@ -47,6 +47,7 @@ import ast
 import io
 import json
 import os
+import time
 import tokenize
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator
@@ -256,12 +257,24 @@ class FileContext:
     source: str
     tree: ast.Module
     aliases: dict[str, str] = field(default_factory=dict)
+    _cfgs: dict = field(default_factory=dict, repr=False)
 
     @classmethod
     def parse(cls, path: str, source: str) -> "FileContext":
         tree = ast.parse(source)
         return cls(path=path, source=source, tree=tree,
                    aliases=_collect_aliases(tree))
+
+    def cfg(self, func: ast.AST):
+        """The function's control-flow graph (built once per file
+        context, shared by every flow-sensitive rule)."""
+        key = id(func)
+        hit = self._cfgs.get(key)
+        if hit is None:
+            from .cfg import build_cfg  # lazy: most rules never need it
+            hit = (func, build_cfg(func))
+            self._cfgs[key] = hit
+        return hit[1]
 
 
 # -- baseline ----------------------------------------------------------------
@@ -320,6 +333,13 @@ class Baseline:
             (old if seen[key] <= self.counts.get(key, 0) else new).append(f)
         return new, old
 
+    def stale_keys(self, findings: list[Finding]) -> list[str]:
+        """Baseline entries matching no current finding — drift that
+        means the grandfathered violation was fixed (or moved) and the
+        entry should be pruned so it cannot mask a future regression."""
+        live = {f.key() for f in findings}
+        return sorted(key for key in self.counts if key not in live)
+
 
 # -- engine ------------------------------------------------------------------
 
@@ -333,6 +353,10 @@ class LintReport:
     suppressed: int = 0
     files_checked: int = 0
     rules: list[str] = field(default_factory=list)
+    #: wall seconds spent in each rule's check(), summed over files
+    rule_seconds: dict[str, float] = field(default_factory=dict)
+    #: baseline keys matching no current finding (drift; fails the run)
+    stale_baseline: list[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -344,9 +368,12 @@ class LintReport:
             "clean": self.clean,
             "files_checked": self.files_checked,
             "rules": list(self.rules),
+            "rule_seconds": {rule: round(secs, 6) for rule, secs
+                             in sorted(self.rule_seconds.items())},
             "suppressed": self.suppressed,
             "baselined": [f.as_dict() for f in self.baselined],
             "findings": [f.as_dict() for f in self.findings],
+            "stale_baseline": list(self.stale_baseline),
         }
 
     def to_json(self) -> str:
@@ -356,13 +383,20 @@ class LintReport:
     def render(self) -> str:
         """One line per finding plus a trailing verdict summary line."""
         lines = [f.render() for f in self.findings]
+        for key in self.stale_baseline:
+            lines.append(f"stale baseline entry (no matching finding): "
+                         f"{key}")
         verdict = ("clean" if self.clean
                    else f"{len(self.findings)} finding(s)")
-        lines.append(
+        summary = (
             f"repro lint: {verdict} — {self.files_checked} file(s), "
             f"{len(self.rules)} rule(s), {self.suppressed} suppressed, "
             f"{len(self.baselined)} baselined"
         )
+        if self.stale_baseline:
+            summary += (f", {len(self.stale_baseline)} stale baseline "
+                        f"key(s)")
+        lines.append(summary)
         return "\n".join(lines)
 
 
@@ -376,6 +410,7 @@ class LintEngine:
         self.rules = list(rules) if rules is not None else all_rules()
         self.root = os.fspath(root)
         self.baseline = baseline if baseline is not None else Baseline()
+        self._rule_seconds: dict[str, float] = {}
 
     # -- discovery -----------------------------------------------------------
 
@@ -418,7 +453,11 @@ class LintEngine:
         raw: list[Finding] = []
         for rule in self.rules:
             if rule.applies_to(rel_path):
+                started = time.perf_counter()
                 raw.extend(rule.check(ctx))
+                self._rule_seconds[rule.id] = (
+                    self._rule_seconds.get(rule.id, 0.0)
+                    + time.perf_counter() - started)
         findings: list[Finding] = []
         suppressed = 0
         for f in sorted(raw, key=lambda f: (f.line, f.col, f.rule)):
@@ -434,6 +473,7 @@ class LintEngine:
             *, read: Callable[[str], str] | None = None) -> LintReport:
         """Lint every file under ``paths`` against the baseline."""
         report = LintReport(rules=[r.id for r in self.rules])
+        self._rule_seconds = {}
         collected: list[Finding] = []
         for rel in self.discover(paths):
             if read is not None:
@@ -447,4 +487,6 @@ class LintEngine:
             report.suppressed += suppressed
             report.files_checked += 1
         report.findings, report.baselined = self.baseline.split(collected)
+        report.stale_baseline = self.baseline.stale_keys(collected)
+        report.rule_seconds = dict(self._rule_seconds)
         return report

@@ -16,6 +16,10 @@ from . import (  # noqa: F401  (registration side effects)
     rl005_async,
     rl006_pickle,
     rl007_sealed_wal,
+    rl008_durability,
+    rl009_await,
+    rl010_resources,
+    rl011_locks,
 )
 
 __all__ = [
@@ -26,4 +30,8 @@ __all__ = [
     "rl005_async",
     "rl006_pickle",
     "rl007_sealed_wal",
+    "rl008_durability",
+    "rl009_await",
+    "rl010_resources",
+    "rl011_locks",
 ]

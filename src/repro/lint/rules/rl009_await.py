@@ -1,0 +1,195 @@
+"""RL009 await-atomicity: no suspension point between a read and a
+dependent write of guarded serving state.
+
+An ``async def`` body is atomic *between* awaits — that is the whole
+concurrency model of the serving layer.  The moment a coroutine reads
+``self.pool``, awaits something, and then writes ``self.pool`` (or
+calls ``ingest.begin_merge()``), another task may have swapped the
+pool or begun a merge during the suspension: the classic
+check-then-act race, invisible to tests because it needs two tasks
+interleaved at exactly that await.
+
+The guarded attributes per file live in
+:data:`repro.lint.rules.guards.AWAIT_GUARDS` — a design annotation,
+not an inference.  The analysis walks each coroutine's CFG with a
+per-attribute state: CLEAN, READ (read since the last write), or
+STALE (read, then suspended).  An await inside ``async with <lock>:``
+does not stale-ify (holding the lock across the suspension is the
+sanctioned way to make a multi-await section atomic — the write
+executor does exactly this); note the lock *acquisition* await itself
+still stales earlier reads, which is correct — state read before the
+lock is untrusted inside it.
+
+Flagged: a write to a STALE attribute, a guarded-mutator call (see
+the annotation map) whose subject attribute is STALE, and an
+``await`` *inside* an augmented assignment of a guarded attribute
+(``self.x += await f()`` is a read-suspend-write in one statement).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..cfg import CFGNode, stmt_awaits, walk_exprs
+from ..dataflow import merge_dicts, run_forward
+from ..engine import FileContext, Finding, Rule, register
+from .guards import AWAIT_GUARDS, AwaitGuard
+
+__all__ = ["AwaitAtomicity"]
+
+CLEAN, READ, STALE = 0, 1, 2
+
+State = dict[str, int]
+
+
+def _attr_of(node: ast.expr, guard: AwaitGuard,
+             aliases: set[str]) -> str | None:
+    """The guarded attribute ``node`` denotes, for ``self.<attr>``."""
+    if isinstance(node, ast.Attribute) and node.attr in guard.attrs \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def _local_aliases(func: ast.AST, guard: AwaitGuard) -> dict[str, str]:
+    """Locals bound (anywhere) to a guarded attribute: ``pool =
+    self.pool`` makes later ``pool.…`` touches count against ``pool``.
+    Flow-insensitive on purpose — an alias is a read that stays live."""
+    out: dict[str, str] = {}
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Attribute) \
+                and isinstance(node.value.value, ast.Name) \
+                and node.value.value.id == "self" \
+                and node.value.attr in guard.attrs:
+            out[node.targets[0].id] = node.value.attr
+    return out
+
+
+@register
+class AwaitAtomicity(Rule):
+    id = "RL009"
+    name = "await-atomicity"
+    invariant = ("no await between a read and a dependent write of "
+                 "guarded serving state (check-then-act across a "
+                 "suspension point)")
+    path_fragments = ("repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        guard = None
+        for frag, g in AWAIT_GUARDS.items():
+            if frag in ctx.path:
+                guard = g
+        if guard is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncFunctionDef):
+                yield from self._check_coroutine(ctx, node, guard)
+
+    def _check_coroutine(self, ctx: FileContext,
+                         func: ast.AsyncFunctionDef,
+                         guard: AwaitGuard) -> Iterator[Finding]:
+        cfg = ctx.cfg(func)
+        aliases = _local_aliases(func, guard)
+        findings: dict[tuple[int, str], Finding] = {}
+
+        def reads(stmt: ast.stmt) -> set[str]:
+            out = set()
+            for node in walk_exprs(stmt):
+                attr = _attr_of(node, guard, set(aliases))
+                if attr is not None and isinstance(node.ctx, ast.Load):
+                    out.add(attr)
+                if isinstance(node, ast.Name) \
+                        and isinstance(node.ctx, ast.Load) \
+                        and node.id in aliases:
+                    out.add(aliases[node.id])
+            return out
+
+        def writes(stmt: ast.stmt) -> set[str]:
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+                targets = [stmt.target]
+            out = set()
+            for target in targets:
+                attr = _attr_of(target, guard, set(aliases))
+                if attr is not None:
+                    out.add(attr)
+            return out
+
+        def mutator_acts(stmt: ast.stmt) -> Iterator[tuple[str, ast.AST]]:
+            """Guarded-mutator *references*: ``self.ingest.begin_merge(…)``,
+            ``ingest.apply(…)`` on an alias, and
+            ``run_in_executor(None, self._begin_merge_blocking)`` —
+            a reference counts, so executor dispatch is seen too."""
+            for node in walk_exprs(stmt):
+                if not (isinstance(node, ast.Attribute)
+                        and isinstance(node.ctx, ast.Load)
+                        and node.attr in guard.mutators):
+                    continue
+                base = node.value
+                owner = guard.mutators[node.attr]
+                if _attr_of(base, guard, set(aliases)) == owner:
+                    yield owner, node
+                elif isinstance(base, ast.Name) \
+                        and aliases.get(base.id) == owner:
+                    yield owner, node
+                elif isinstance(base, ast.Name) and base.id == "self":
+                    yield owner, node
+
+        def under_async_lock(node: CFGNode) -> bool:
+            return any(region.is_async and
+                       any("lock" in name.lower()
+                           for name in region.context_names)
+                       for region in node.with_stack)
+
+        def transfer(node: CFGNode, state: State) -> State:
+            stmt = node.stmt
+            if stmt is None or node.kind not in ("stmt",):
+                return state
+            out = dict(state)
+            for attr in reads(stmt):
+                out[attr] = READ
+            for attr, call in mutator_acts(stmt):
+                if out.get(attr, CLEAN) == STALE:
+                    findings[(getattr(call, "lineno", 0), attr)] = \
+                        self.finding(
+                            ctx, call,
+                            f"acts on {attr!r} state read before an "
+                            f"await in {func.name!r}; re-check after "
+                            f"the suspension or hold the lock across "
+                            f"it")
+                out[attr] = READ
+            if stmt_awaits(stmt) and not under_async_lock(node):
+                for attr, val in out.items():
+                    if val == READ:
+                        out[attr] = STALE
+            written = writes(stmt)
+            for attr in written:
+                if isinstance(stmt, ast.AugAssign):
+                    # the read and write are one statement: atomic
+                    # unless the statement itself suspends.
+                    if stmt_awaits(stmt):
+                        findings[(stmt.lineno, attr)] = self.finding(
+                            ctx, stmt,
+                            f"augmented assignment of guarded "
+                            f"{attr!r} awaits mid-statement in "
+                            f"{func.name!r}")
+                elif state.get(attr, CLEAN) == STALE \
+                        or out.get(attr, CLEAN) == STALE:
+                    findings[(stmt.lineno, attr)] = self.finding(
+                        ctx, stmt,
+                        f"writes {attr!r} from state read before an "
+                        f"await in {func.name!r} (check-then-act "
+                        f"across a suspension point); re-check after "
+                        f"the await or hold the lock across it")
+                out[attr] = CLEAN
+            return out
+
+        run_forward(cfg, init={}, transfer=transfer,
+                    merge=lambda a, b: merge_dicts(a, b, max, CLEAN))
+        yield from findings.values()

@@ -1,0 +1,309 @@
+"""RL010 resource-lifecycle: every store/file/mmap opened in the
+durable packages is closed on every path — exception paths included —
+unless ownership is explicitly transferred.
+
+A leaked ``FilePageStore`` is not an aesthetic problem here: the
+journal replay on next open assumes the previous holder released the
+file, mmap handles pin address space for the life of the worker, and
+the reload path's whole contract is "the rejected store is closed
+before ``ReloadRejected`` propagates".  The dynamic suites catch the
+leak only when the leaked fd changes later behaviour; the CFG makes
+the ``finally`` (or ``with``) obligation a structural fact.
+
+Per function, each acquisition site (``open``/``os.fdopen``/
+``mmap.mmap``/``FilePageStore``/``FilePageStore.open_existing``/
+``MmapPageStore``) is tracked through OPEN → CLOSED/ESCAPED:
+
+* ``v.close()`` closes; a ``with v:`` or ``with open(…) as v:`` block
+  (or ``contextlib.closing(v)``) closes at the block's exit on both
+  the normal and the exceptional path;
+* ownership escapes when the value is returned or yielded, stored
+  into an attribute/container (``self._file = open(…)`` hands the
+  handle to the object's ``close``), or constructed *inline* in a
+  call argument.  Passing an open *variable* to a callee is a borrow,
+  not a transfer — ``PagedRTree.from_store(store)`` does not relieve
+  the caller of closing ``store``;
+* exceptional edges carry the in-state, so ``store = open_existing(p)``
+  raising inside ``open_existing`` does not count as a leak, while an
+  exception one statement later does.  Close effects survive onto
+  exception edges (``close()`` releases even when it raises).
+
+A site still OPEN when the exit or raise-exit node is reached is a
+finding, anchored at the acquisition.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..cfg import CFG, CFGNode, calls_in, functions, walk_exprs
+from ..dataflow import run_forward
+from ..engine import FileContext, Finding, Rule, register, resolve_call_name
+
+__all__ = ["ResourceLifecycle"]
+
+#: Fully-resolved call names that acquire a closeable resource.
+ACQUIRERS = ("open", "io.open", "os.fdopen", "mmap.mmap")
+#: Suffix-matched (class methods reached through import aliases).
+ACQUIRER_SUFFIXES = ("FilePageStore", "FilePageStore.open_existing",
+                     "MmapPageStore")
+
+CLOSED, ESCAPED, OPEN = 0, 1, 2
+
+#: site id (acquisition lineno/col) -> lifecycle state
+State = dict[tuple[int, int], int]
+
+
+def _is_acquire(call: ast.Call, aliases: dict[str, str]) -> bool:
+    name = resolve_call_name(call.func, aliases)
+    if name is None:
+        return False
+    if name in ACQUIRERS:
+        return True
+    return any(name == suffix or name.endswith("." + suffix)
+               for suffix in ACQUIRER_SUFFIXES)
+
+
+def _merge(a: State, b: State) -> State:
+    out = dict(a)
+    for site, state in b.items():
+        out[site] = max(out.get(site, CLOSED), state)
+    return out
+
+
+def _site(call: ast.Call) -> tuple[int, int]:
+    return (call.lineno, call.col_offset)
+
+
+@register
+class ResourceLifecycle(Rule):
+    id = "RL010"
+    name = "resource-lifecycle"
+    invariant = ("resources opened in the durable packages are closed "
+                 "on every path, including exception edges, unless "
+                 "ownership is transferred")
+    path_fragments = ("repro/storage/", "repro/pipeline/",
+                      "repro/ingest/")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for _qualname, func in functions(ctx.tree):
+            yield from self._check_function(ctx, ctx.cfg(func))
+
+    def _check_function(self, ctx: FileContext,
+                        cfg: CFG) -> Iterator[Finding]:
+        sites: dict[tuple[int, int], ast.Call] = {}
+        # var -> sites it may hold (flow-insensitive alias sets; precise
+        # enough because acquisition vars are single-assignment in
+        # practice, and over-approximation only *closes* more).
+        var_sites: dict[str, set[tuple[int, int]]] = {}
+        # -- one syntactic pre-pass collects the acquisition sites ---------
+        for node in cfg.nodes:
+            stmt = node.stmt
+            if stmt is None or node.kind != "stmt":
+                continue
+            for call in calls_in(stmt):
+                if _is_acquire(call, ctx.aliases):
+                    sites[_site(call)] = call
+
+        def transfer(node: CFGNode, state: State) -> State:
+            stmt = node.stmt
+            if stmt is None:
+                return state
+            if node.kind == "with-exit":
+                out = dict(state)
+                for site in self._with_bound_sites(stmt, ctx):
+                    if out.get(site) == OPEN:
+                        out[site] = CLOSED
+                for var in self._with_closed_vars(stmt):
+                    for site in var_sites.get(var, ()):
+                        if out.get(site) == OPEN:
+                            out[site] = CLOSED
+                return out
+            if node.kind != "stmt":
+                return state
+            out = dict(state)
+
+            # acquisitions first: inline-in-call-arg escapes immediately
+            for call in calls_in(stmt):
+                if not _is_acquire(call, ctx.aliases):
+                    continue
+                out[_site(call)] = OPEN
+
+            # v.close() / v.aclose()
+            for call in calls_in(stmt):
+                func = call.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in ("close", "aclose") \
+                        and isinstance(func.value, ast.Name):
+                    for site in var_sites.get(func.value.id, ()):
+                        if out.get(site) == OPEN:
+                            out[site] = CLOSED
+
+            # escapes
+            for site in self._escaped_sites(stmt, ctx, var_sites):
+                if out.get(site) == OPEN:
+                    out[site] = ESCAPED
+
+            # bindings: remember which vars hold which sites
+            self._record_bindings(stmt, ctx, var_sites)
+            return out
+
+        def exc_transfer(node: CFGNode, state: State) -> State:
+            # close and escape effects survive an exception
+            # mid-statement: `f.close()` raising still released, and a
+            # `return f` raising mid-evaluation is not this function's
+            # leak to report
+            stmt = node.stmt
+            if stmt is None or node.kind != "stmt":
+                return state
+            out = dict(state)
+            for call in calls_in(stmt):
+                func = call.func
+                if isinstance(func, ast.Attribute) \
+                        and func.attr in ("close", "aclose") \
+                        and isinstance(func.value, ast.Name):
+                    for site in var_sites.get(func.value.id, ()):
+                        if out.get(site) == OPEN:
+                            out[site] = CLOSED
+            for site in self._escaped_sites(stmt, ctx, var_sites):
+                if out.get(site) == OPEN:
+                    out[site] = ESCAPED
+            return out
+
+        sol = run_forward(cfg, init={}, transfer=transfer, merge=_merge,
+                          exc_transfer=exc_transfer)
+        leaks: dict[tuple[int, int], str] = {}
+        for exit_id, where in ((cfg.exit, "at function exit"),
+                               (cfg.raise_exit, "on an exception path")):
+            state = sol.before[exit_id]
+            if state is None:
+                continue
+            for site, value in state.items():
+                if value == OPEN and site not in leaks:
+                    leaks[site] = where
+        for site, where in sorted(leaks.items()):
+            call = sites.get(site)
+            if call is None:
+                continue
+            name = resolve_call_name(call.func, ctx.aliases) or "resource"
+            yield self.finding(
+                ctx, call,
+                f"{name} opened here is not closed {where} in "
+                f"{cfg.func.name!r}; close it on every path (with/"
+                f"finally) or transfer ownership explicitly")
+
+    # -- syntactic helpers -------------------------------------------------
+
+    def _with_bound_sites(self, stmt: ast.stmt,
+                          ctx: FileContext) -> Iterator[tuple[int, int]]:
+        """Acquisitions made in this ``with`` header (``with open(…)
+        as f:`` and the unbound ``with open(…):`` alike) — the block
+        exit closes them."""
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                if _is_acquire(expr, ctx.aliases):
+                    yield _site(expr)
+                # contextlib.closing(v) handled via _with_closed_vars
+
+    def _with_closed_vars(self, stmt: ast.stmt) -> Iterator[str]:
+        """Variables whose resource this ``with`` exit closes:
+        ``with v:`` and ``with contextlib.closing(v):``."""
+        if not isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return
+        for item in stmt.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Name):
+                yield expr.id
+            elif isinstance(expr, ast.Call) and expr.args \
+                    and isinstance(expr.args[0], ast.Name) \
+                    and isinstance(expr.func, (ast.Name, ast.Attribute)):
+                attr = (expr.func.attr if isinstance(expr.func,
+                                                     ast.Attribute)
+                        else expr.func.id)
+                if attr == "closing":
+                    yield expr.args[0].id
+
+    def _record_bindings(self, stmt: ast.stmt, ctx: FileContext,
+                         var_sites: dict[str, set[tuple[int, int]]]
+                         ) -> None:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            var = stmt.targets[0].id
+            if isinstance(stmt.value, ast.Call) \
+                    and _is_acquire(stmt.value, ctx.aliases):
+                var_sites.setdefault(var, set()).add(_site(stmt.value))
+            elif isinstance(stmt.value, ast.Name):
+                src = var_sites.get(stmt.value.id)
+                if src:
+                    var_sites.setdefault(var, set()).update(src)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name) \
+                        and isinstance(item.context_expr, ast.Call) \
+                        and _is_acquire(item.context_expr, ctx.aliases):
+                    var_sites.setdefault(item.optional_vars.id,
+                                         set()).add(
+                        _site(item.context_expr))
+
+    def _escaped_sites(self, stmt: ast.stmt, ctx: FileContext,
+                       var_sites: dict[str, set[tuple[int, int]]]
+                       ) -> Iterator[tuple[int, int]]:
+        # return/yield of the variable, an expression containing it, or
+        # an inline acquisition (`return open(p)` hands off ownership)
+        for node in walk_exprs(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom)):
+                value = node.value
+                if value is not None:
+                    yield from self._sites_in(value, var_sites)
+                    yield from self._inline_acquires(value, ctx)
+        if isinstance(stmt, ast.Return) and stmt.value is not None:
+            yield from self._sites_in(stmt.value, var_sites)
+            yield from self._inline_acquires(stmt.value, ctx)
+        # assignment to a non-Name target: attribute/subscript stores
+        # transfer ownership (self._file = f; registry[k] = store)
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)) \
+                and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                value = getattr(stmt, "value", None)
+                if value is not None:
+                    yield from self._sites_in(value, var_sites)
+                    for call in ast.walk(value):
+                        if isinstance(call, ast.Call) \
+                                and _is_acquire(call, ctx.aliases):
+                            yield _site(call)
+        # tuple-unpacking or value containing the var beyond a bare name
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name) \
+                and not isinstance(stmt.value, (ast.Call, ast.Name)):
+            yield from self._sites_in(stmt.value, var_sites)
+        # inline construction in a call argument: handed to the callee
+        for call in calls_in(stmt):
+            for arg in [*call.args,
+                        *(kw.value for kw in call.keywords)]:
+                for sub in ast.walk(arg):
+                    if isinstance(sub, ast.Call) \
+                            and _is_acquire(sub, ctx.aliases):
+                        yield _site(sub)
+
+    def _inline_acquires(self, expr: ast.expr, ctx: FileContext
+                         ) -> Iterator[tuple[int, int]]:
+        for call in ast.walk(expr):
+            if isinstance(call, ast.Call) \
+                    and _is_acquire(call, ctx.aliases):
+                yield _site(call)
+
+    def _sites_in(self, expr: ast.expr,
+                  var_sites: dict[str, set[tuple[int, int]]]
+                  ) -> Iterator[tuple[int, int]]:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name):
+                yield from var_sites.get(node.id, ())

@@ -1,0 +1,131 @@
+"""RL011 lock-discipline: guarded attributes are touched only inside
+the ``with`` region of their declared lock.
+
+The server's swap protocol (searcher swap on reload, frozen-layer drop
+on merge cutover) is documented as "under the search lock" in half a
+dozen docstrings; this rule makes the documentation enforceable.  The
+annotation map (:data:`repro.lint.rules.guards.LOCK_GUARDS`) declares
+which attributes each file's lock guards and which methods on owned
+objects require it; each CFG node carries its stack of enclosing
+``with`` regions, so the check is a containment test — no dataflow
+needed, but very much flow-*scoped*: the same statement is fine inside
+``with self._search_lock:`` and a finding outside it.
+
+Flagged, outside the declared lock's region: assignments (plain,
+annotated, augmented) to a guarded ``self.<attr>``; mutating container
+calls on one (``self.quarantine.add(…)``); and calls to declared
+lock-required methods on the owning attribute
+(``self.ingest.begin_merge()``).  ``__init__``/``__new__`` are exempt —
+no concurrent reader exists during construction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..cfg import CFGNode, walk_exprs
+from ..engine import FileContext, Finding, Rule, register
+from .guards import LOCK_GUARDS, LockGuard
+
+__all__ = ["LockDiscipline"]
+
+#: Mutating methods on guarded container attributes.
+CONTAINER_MUTATORS = frozenset({
+    "add", "append", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update",
+})
+
+EXEMPT_FUNCTIONS = ("__init__", "__new__")
+
+
+@register
+class LockDiscipline(Rule):
+    id = "RL011"
+    name = "lock-discipline"
+    invariant = ("declared guarded-by attributes are only mutated "
+                 "inside the corresponding `with lock:` region")
+    path_fragments = ("repro/serve/",)
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        guard = None
+        for frag, g in LOCK_GUARDS.items():
+            if frag in ctx.path:
+                guard = g
+        if guard is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node.name not in EXEMPT_FUNCTIONS:
+                yield from self._check_function(ctx, node, guard)
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.FunctionDef | ast.AsyncFunctionDef,
+                        guard: LockGuard) -> Iterator[Finding]:
+        cfg = ctx.cfg(func)
+        for node in cfg.nodes:
+            if node.kind != "stmt" or node.stmt is None:
+                continue
+            if self._holds_lock(node, guard):
+                continue
+            yield from self._touches(ctx, node.stmt, func, guard)
+
+    def _holds_lock(self, node: CFGNode, guard: LockGuard) -> bool:
+        return any(guard.lock in region.context_names
+                   for region in node.with_stack)
+
+    def _touches(self, ctx: FileContext, stmt: ast.stmt,
+                 func: ast.FunctionDef | ast.AsyncFunctionDef,
+                 guard: LockGuard) -> Iterator[Finding]:
+        # assignments to self.<guarded>
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = list(stmt.targets)
+            for t in list(targets):
+                if isinstance(t, (ast.Tuple, ast.List)):
+                    targets.extend(t.elts)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            attr = self._guarded_attr(target, guard)
+            if attr is not None:
+                yield self.finding(
+                    ctx, target,
+                    f"writes guarded attribute {attr!r} outside "
+                    f"`with {guard.lock}:` in {func.name!r}")
+        for node in walk_exprs(stmt):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            base = node.func.value
+            method = node.func.attr
+            # container mutation: self.<guarded>.add(...)
+            if method in CONTAINER_MUTATORS:
+                attr = self._guarded_attr(base, guard)
+                if attr is not None:
+                    yield self.finding(
+                        ctx, node,
+                        f"mutates guarded container {attr!r} "
+                        f"({method}) outside `with {guard.lock}:` "
+                        f"in {func.name!r}")
+            # declared lock-required method on its owner:
+            # self.ingest.begin_merge()
+            if method in guard.mutators:
+                owner = guard.mutators[method]
+                if isinstance(base, ast.Attribute) \
+                        and base.attr == owner \
+                        and isinstance(base.value, ast.Name) \
+                        and base.value.id == "self":
+                    yield self.finding(
+                        ctx, node,
+                        f"calls lock-required {owner}.{method}() "
+                        f"outside `with {guard.lock}:` in "
+                        f"{func.name!r}")
+
+    def _guarded_attr(self, node: ast.expr,
+                      guard: LockGuard) -> str | None:
+        if isinstance(node, ast.Attribute) and node.attr in guard.attrs \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node.attr
+        return None

@@ -37,7 +37,7 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -265,7 +265,7 @@ class _Supervisor:
 
     # -- subprocess mode -----------------------------------------------------
 
-    def _launch(self, ctx, shard: int):
+    def _launch(self, ctx: Any, shard: int) -> Any:
         start, stop = self.plan.shard_ranges()[shard]
         spec = {
             "staging_path": self.staging.path,

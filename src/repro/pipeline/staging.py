@@ -28,6 +28,7 @@ from __future__ import annotations
 import json
 import os
 import shutil
+from typing import Any
 
 from ..storage.integrity import crc32c
 
@@ -47,33 +48,33 @@ class StagingError(RuntimeError):
     """Raised for unusable staging directories or corrupt staged files."""
 
 
-def atomic_write_bytes(path: str | os.PathLike, data: bytes, *,
-                       sync: bool = True) -> str:
+def atomic_write_bytes(path: str | os.PathLike, data: bytes) -> str:
     """Write ``data`` to ``path`` atomically (tmp + fsync + rename).
 
     The temporary name carries the writer's pid so two processes
     publishing the same logical file never tear each other's buffers;
-    ``os.replace`` makes the last complete image win.
+    ``os.replace`` makes the last complete image win.  The fsync is
+    unconditional: a rename of still-buffered bytes can publish a torn
+    file after a crash, which is exactly what RL008 proves cannot
+    happen here.
     """
     path = os.fspath(path)
     tmp = f"{path}.tmp-{os.getpid()}"
     with open(tmp, "wb") as f:
         f.write(data)
-        if sync:
-            f.flush()
-            os.fsync(f.fileno())
+        f.flush()
+        os.fsync(f.fileno())
     os.replace(tmp, path)
     return path
 
 
-def atomic_write_json(path: str | os.PathLike, payload: dict, *,
-                      sync: bool = True) -> str:
+def atomic_write_json(path: str | os.PathLike, payload: dict) -> str:
     """Atomically publish ``payload`` as pretty-printed JSON."""
     data = (json.dumps(payload, indent=2, sort_keys=True) + "\n").encode()
-    return atomic_write_bytes(path, data, sync=sync)
+    return atomic_write_bytes(path, data)
 
 
-def atomic_save_npy(path: str | os.PathLike, array) -> str:
+def atomic_save_npy(path: str | os.PathLike, array: Any) -> str:
     """Atomically publish a numpy array as a ``.npy`` file."""
     import numpy as np
 
@@ -178,7 +179,8 @@ class StagingDir:
     def __enter__(self) -> "StagingDir":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None, tb: object) -> None:
         if self._keep:
             return
         if exc_type is None:

@@ -237,5 +237,5 @@ class QueryClient:
     async def __aenter__(self) -> "QueryClient":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()

@@ -31,6 +31,8 @@ striping) report the innermost real device's recovery/corruption counters.
 
 from __future__ import annotations
 
+from typing import Any, Iterator
+
 from ..obs.slo import SloTarget
 
 __all__ = [
@@ -41,7 +43,7 @@ __all__ = [
 ]
 
 
-def _store_chain(store):
+def _store_chain(store: Any) -> Iterator[Any]:
     """The store and every ``inner`` store beneath it (wrappers first)."""
     seen = set()
     while store is not None and id(store) not in seen:
@@ -50,7 +52,7 @@ def _store_chain(store):
         store = getattr(store, "inner", None)
 
 
-def store_health(store) -> dict:
+def store_health(store: Any) -> dict:
     """Durability/recovery counters summed over the wrapper chain."""
     chain = list(_store_chain(store))
     out = {
@@ -69,7 +71,7 @@ def store_health(store) -> dict:
     return out
 
 
-def _pool_block(server) -> dict | None:
+def _pool_block(server: Any) -> dict | None:
     """The worker-pool health block, or ``None`` for in-process servers."""
     pool = getattr(server, "pool", None)
     if pool is not None:
@@ -87,7 +89,7 @@ def _pool_block(server) -> dict | None:
     return None
 
 
-def _ingest_block(server) -> dict | None:
+def _ingest_block(server: Any) -> dict | None:
     """The full ingest snapshot, or ``None`` for read-only servers."""
     ingest = getattr(server, "ingest", None)
     if ingest is None:
@@ -97,7 +99,7 @@ def _ingest_block(server) -> dict | None:
     return block
 
 
-def _latency_block(server) -> dict:
+def _latency_block(server: Any) -> dict:
     latency = server.latency.summary()
     slo: SloTarget | None = server.slo
     block = {"latency_s": latency}
@@ -106,7 +108,7 @@ def _latency_block(server) -> dict:
     return block
 
 
-def healthz_payload(server) -> dict:
+def healthz_payload(server: Any) -> dict:
     """Liveness + operational snapshot (always ``ok`` while answering)."""
     payload = {
         "ok": True,
@@ -145,7 +147,7 @@ def healthz_payload(server) -> dict:
     return payload
 
 
-def readyz_payload(server) -> dict:
+def readyz_payload(server: Any) -> dict:
     """Readiness: drain while the breaker is open or a reload is
     draining the worker pool, serve otherwise."""
     breaker = server.breaker.snapshot()
@@ -191,7 +193,7 @@ def readyz_payload(server) -> dict:
     return payload
 
 
-def stats_payload(server) -> dict:
+def stats_payload(server: Any) -> dict:
     """The full numeric dump: healthz plus readiness and shed/trip detail."""
     payload = healthz_payload(server)
     pool = getattr(server, "pool", None)

@@ -56,6 +56,7 @@ up, but is never handed a silently wrong answer.
 from __future__ import annotations
 
 import json
+from typing import Any
 from dataclasses import asdict, dataclass
 
 from ..core.geometry import GeometryError, Rect
@@ -176,7 +177,7 @@ def rect_to_wire(rect: Rect) -> list:
     return [list(map(float, rect.lo)), list(map(float, rect.hi))]
 
 
-def rect_from_wire(value) -> Rect:
+def rect_from_wire(value: Any) -> Rect:
     """``[[lo...], [hi...]]`` -> ``Rect`` (raises :class:`BadRequest`)."""
     if (not isinstance(value, (list, tuple)) or len(value) != 2
             or not all(isinstance(side, (list, tuple)) for side in value)

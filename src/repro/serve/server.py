@@ -66,12 +66,12 @@ import time
 from collections import Counter as TallyCounter
 from concurrent.futures import ThreadPoolExecutor
 from threading import Lock
-from typing import Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from ..core.geometry import GeometryError, Rect
 from ..ingest.overlay import OverlaySearcher
 from ..ingest.state import IngestState
-from ..ingest.wal import IngestError
+from ..ingest.wal import IngestError, WalOp
 from ..obs import runtime as obs
 from ..obs.slo import RollingWindow, SloTarget
 from ..rtree.knn import knn_detailed
@@ -84,6 +84,9 @@ from .admission import AdmissionController
 from .deadline import Deadline
 from .health import healthz_payload, readyz_payload, stats_payload
 from .pool import PoolUnavailable, TreeSpec, WorkerPool
+if TYPE_CHECKING:
+    from ..ingest.merge import MergeReport
+
 from .protocol import (
     PROTOCOL_VERSION,
     QUERY_OPS,
@@ -377,7 +380,8 @@ class QueryServer:
                         data={"lsn": walop.lsn,
                               "generation": self.generation})
 
-    def _write_blocking(self, op: str, data_id: int, rect: Rect | None):
+    def _write_blocking(self, op: str, data_id: int,
+                        rect: Rect | None) -> WalOp:
         """Append (fsync) then make visible; runs on the executor."""
         ingest = self.ingest
         assert ingest is not None
@@ -405,10 +409,13 @@ class QueryServer:
         if ingest is None:
             raise MergeFailed("this server has no ingest state (start "
                               "it with --ingest)")
-        if ingest.merging:
-            raise MergeFailed("a merge is already in flight")
         loop = asyncio.get_running_loop()
         async with self._write_lock:
+            # Checked under the write lock: two concurrent merge
+            # requests that both read `merging == False` before
+            # suspending would otherwise both begin_merge (RL009).
+            if ingest.merging:
+                raise MergeFailed("a merge is already in flight")
             await loop.run_in_executor(self._executor,
                                        self._begin_merge_blocking)
         try:
@@ -436,14 +443,14 @@ class QueryServer:
         with self._search_lock:
             ingest.begin_merge()
 
-    def _merge_blocking(self):
+    def _merge_blocking(self) -> MergeReport | None:
         from ..ingest.merge import merge_segments
 
         ingest = self.ingest
         assert ingest is not None
         return merge_segments(ingest.tree_path)
 
-    def _cutover_blocking(self, report) -> dict:
+    def _cutover_blocking(self, report: MergeReport) -> dict:
         """Swap in the merged generation and drop the frozen layers.
 
         Reuses the reload path (fsck, open, swap under the search
@@ -487,24 +494,32 @@ class QueryServer:
     async def _remap_pool(self) -> dict:
         """Drain the pool and cut every worker over to the (already
         swapped-in) new generation; in-process serving covers the drain
-        window, so clients only ever see the generation counter move."""
-        pool = self.pool
-        assert pool is not None
-        spec = TreeSpec.for_tree(self.tree,
-                                 buffer_pages=self.buffer_pages,
-                                 generation=self.generation)
-        if spec is None:  # new generation not file-backed: pool retires
-            await pool.aclose()
-            self.pool = None
-            self.pool_start_error = (
-                "reloaded tree is not file-backed; pool retired")
-            return {"remapped": 0, "retired": True}
-        self.reload_draining = True
-        try:
-            remapped = await pool.remap(spec)
-        finally:
-            self.reload_draining = False
-        return {"remapped": remapped, "workers_live": pool.workers_live}
+        window, so clients only ever see the generation counter move.
+
+        Serialised under the write lock: a reload and a merge cutover
+        finishing together would otherwise race their pool swaps —
+        both read ``self.pool``, both await, and the loser publishes a
+        pool mapped to the wrong generation (RL009's check-then-act).
+        """
+        async with self._write_lock:
+            pool = self.pool
+            assert pool is not None
+            spec = TreeSpec.for_tree(self.tree,
+                                     buffer_pages=self.buffer_pages,
+                                     generation=self.generation)
+            if spec is None:  # new generation not file-backed: retire
+                await pool.aclose()
+                self.pool = None
+                self.pool_start_error = (
+                    "reloaded tree is not file-backed; pool retired")
+                return {"remapped": 0, "retired": True}
+            self.reload_draining = True
+            try:
+                remapped = await pool.remap(spec)
+            finally:
+                self.reload_draining = False
+            return {"remapped": remapped,
+                    "workers_live": pool.workers_live}
 
     def _reload_blocking(self, path: str) -> dict:
         """Verify + open the candidate, then swap generations atomically.
@@ -538,11 +553,21 @@ class QueryServer:
             raise ReloadRejected(
                 f"fsck found {len(set(report.bad_pages))} bad page(s) "
                 f"in {path}; refusing to cut over")
+        store = None
         try:
             store = FilePageStore.open_existing(path)
             tree = PagedRTree.from_store(store)
             searcher = tree.searcher(self.buffer_pages)
         except Exception as exc:
+            # The candidate store must not outlive its rejection: a
+            # leaked fd per failed reload adds up under a flapping
+            # deployer, and the journal replay on the *next* attempt
+            # assumes the previous holder released the file.
+            if store is not None:
+                try:
+                    store.close()
+                except _STORE_FAILURES:
+                    obs.inc("serve.reload.close_errors")
             raise ReloadRejected(
                 f"cannot open {path}: "
                 f"{type(exc).__name__}: {exc}") from None
@@ -698,8 +723,8 @@ class QueryServer:
         obs.inc("serve.degraded_pages", fault=type(exc).__name__)
         if (isinstance(exc, _QUARANTINABLE)
                 and page_id not in self.quarantine):
-            self.quarantine.add(page_id)
-            self.quarantined_runtime += 1
+            self.quarantine.add(page_id)  # repro-lint: disable=RL011 -- on_page_error callback: every caller is a search already holding _search_lock
+            self.quarantined_runtime += 1  # repro-lint: disable=RL011 -- same: runs under the caller's _search_lock
             obs.inc("serve.quarantined_pages")
 
     def _error_response(self, req: Request, code: str,
@@ -724,7 +749,8 @@ class QueryServer:
     async def _start_pool(self) -> None:
         """Bring up the worker-process pool, or record why we could not
         (serving then stays in-process — degraded latency, never down)."""
-        self._scatter_roots = self._subtree_roots()
+        with self._search_lock:
+            self._scatter_roots = self._subtree_roots()
         if self.workers < 1 or self.pool is not None:
             return
         spec = TreeSpec.for_tree(self.tree,
@@ -743,7 +769,7 @@ class QueryServer:
             self.pool_start_error = str(exc)
             obs.inc("serve.pool.start_failures")
             return
-        self.pool = pool
+        self.pool = pool  # repro-lint: disable=RL009 -- start() runs once, before the server accepts clients; no second task exists yet
         self.pool_start_error = None
 
     def _subtree_roots(self) -> tuple[int, ...]:
@@ -793,14 +819,20 @@ class QueryServer:
                 pass
 
     async def aclose(self) -> None:
-        """Stop accepting clients and release the search pools."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        if self.pool is not None:
-            await self.pool.aclose()
-            self.pool = None
+        """Stop accepting clients and release the search pools.
+
+        Swap-then-close: each reference is detached *before* the first
+        await, so a concurrent (or re-entrant) aclose never
+        double-closes a pool the first call is still awaiting on —
+        the check-then-act shape RL009 flags.
+        """
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()
+        pool, self.pool = self.pool, None
+        if pool is not None:
+            await pool.aclose()
         self._executor.shutdown(wait=True)
         if self.ingest is not None:
             self.ingest.close()
@@ -810,5 +842,5 @@ class QueryServer:
             await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.aclose()

@@ -1,0 +1,370 @@
+"""CFG-builder unit tests: the graph shapes the flow-sensitive rules
+stand on.
+
+Each test parses a small function, builds its CFG, and asserts the
+structural facts a rule would rely on: which nodes exist, where normal
+and exceptional edges lead, which ``with`` regions a node executes
+under, and that jumps (`return`/`break`/`continue`) run their cleanup
+chains.  Reachability is probed with a trivial dataflow pass rather
+than hand-walked edge lists, so the assertions survive node-numbering
+changes.
+"""
+
+import ast
+
+import pytest
+
+from repro.lint.cfg import (
+    build_cfg,
+    calls_in,
+    functions,
+    header_exprs,
+    stmt_awaits,
+)
+from repro.lint.dataflow import run_forward
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(source)
+    funcs = dict(functions(tree))
+    func = funcs[name] if name else next(iter(funcs.values()))
+    return build_cfg(func)
+
+
+def reachable_before(cfg):
+    """node id -> set of statement texts on some path before it."""
+    def text(node):
+        return ast.unparse(node.stmt).split("\n")[0] if node.stmt else ""
+
+    sol = run_forward(
+        cfg, init=frozenset(),
+        transfer=lambda node, s: s | {text(node)} if text(node) else s,
+        merge=lambda a, b: a | b)
+    return sol
+
+
+def stmt_nodes(cfg, fragment):
+    # match on the first line only: a compound statement's unparse
+    # includes its whole body, which would shadow body fragments
+    return [n for n in cfg.nodes
+            if n.stmt is not None and n.kind == "stmt"
+            and fragment in ast.unparse(n.stmt).split("\n")[0]]
+
+
+# -- basic shapes -------------------------------------------------------------
+
+
+def test_straight_line_reaches_exit():
+    cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+    sol = reachable_before(cfg)
+    assert sol.before[cfg.exit] == {"a = 1", "b = 2"}
+
+
+def test_branch_joins_at_exit():
+    cfg = cfg_of(
+        "def f(p):\n"
+        "    if p:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    c = 3\n")
+    sol = reachable_before(cfg)
+    # both arms reach the join; neither dominates it
+    assert "c = 3" in sol.before[cfg.exit]
+    (c_node,) = stmt_nodes(cfg, "c = 3")
+    assert "a = 1" in sol.before[c_node.id]
+    assert "b = 2" in sol.before[c_node.id]
+
+
+def test_if_without_else_keeps_fallthrough_edge():
+    cfg = cfg_of("def f(p):\n    if p:\n        a = 1\n    b = 2\n")
+    (b_node,) = stmt_nodes(cfg, "b = 2")
+    # a path skipping the body exists: dataflow must merge {} in
+    sol = run_forward(
+        cfg, init=True,
+        transfer=lambda node, s: (False if node.stmt is not None
+                                  and ast.unparse(node.stmt).startswith("a = 1")
+                                  and node.kind == "stmt"
+                                  else s),
+        merge=lambda a, b: a or b)
+    assert sol.before[b_node.id] is True  # the skip path survives
+
+
+def test_loop_has_back_edge_and_exit():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    while n:\n"
+        "        n -= 1\n"
+        "    return n\n")
+    (header,) = stmt_nodes(cfg, "while n")
+    (body,) = stmt_nodes(cfg, "n -= 1")
+    assert any(e.dst == header.id for e in body.edges)  # back edge
+    sol = reachable_before(cfg)
+    assert "n -= 1" in sol.before[cfg.exit]  # loop body reaches exit
+
+
+def test_while_true_without_break_never_falls_through():
+    cfg = cfg_of(
+        "def f():\n"
+        "    while True:\n"
+        "        pass\n"
+        "    unreachable = 1\n")
+    (after,) = stmt_nodes(cfg, "unreachable = 1")
+    sol = reachable_before(cfg)
+    assert sol.before[after.id] is None
+
+
+def test_break_exits_the_loop():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    while True:\n"
+        "        if n:\n"
+        "            break\n"
+        "    after = 1\n")
+    (after,) = stmt_nodes(cfg, "after = 1")
+    sol = reachable_before(cfg)
+    assert sol.before[after.id] is not None
+
+
+def test_continue_returns_to_header():
+    cfg = cfg_of(
+        "def f(xs):\n"
+        "    for x in xs:\n"
+        "        if x:\n"
+        "            continue\n"
+        "        body = 1\n")
+    (header,) = stmt_nodes(cfg, "for x in xs")
+    cont = [n for n in cfg.nodes
+            if isinstance(n.stmt, ast.Continue)][0]
+    assert any(e.dst == header.id for e in cont.edges)
+
+
+# -- exception edges ----------------------------------------------------------
+
+
+def test_statements_have_exception_edges_to_raise_exit():
+    cfg = cfg_of("def f(p):\n    x = g(p)\n")
+    (node,) = stmt_nodes(cfg, "x = g(p)")
+    assert any(e.dst == cfg.raise_exit and e.exceptional
+               for e in node.edges)
+
+
+def test_try_except_routes_body_exceptions_to_handler():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        risky()\n"
+        "    except ValueError:\n"
+        "        handled = 1\n")
+    (risky,) = stmt_nodes(cfg, "risky()")
+    handler_entries = [n for n in cfg.nodes if n.kind == "except"]
+    assert len(handler_entries) == 1
+    assert any(e.dst == handler_entries[0].id and e.exceptional
+               for e in risky.edges)
+    sol = reachable_before(cfg)
+    assert "handled = 1" in sol.before[cfg.exit]
+
+
+def test_exceptional_edge_carries_in_state():
+    # The acquiring statement's own exception edge must NOT carry the
+    # acquisition: `x = open(p)` raising inside open() acquired nothing.
+    cfg = cfg_of("def f(p):\n    x = acquire(p)\n")
+    (node,) = stmt_nodes(cfg, "x = acquire(p)")
+    sol = run_forward(
+        cfg, init="clean",
+        transfer=lambda n, s: ("acquired" if n.stmt is not None
+                               and "acquire" in ast.unparse(n.stmt)
+                               else s),
+        merge=lambda a, b: a if a == b else "merged")
+    assert sol.before[cfg.raise_exit] == "clean"
+    assert sol.before[cfg.exit] == "acquired"
+
+
+def test_finally_runs_on_normal_return_and_exception_paths():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        x = risky()\n"
+        "        return x\n"
+        "    finally:\n"
+        "        cleanup()\n")
+    sol = reachable_before(cfg)
+    # the return path runs the finally copy before reaching exit…
+    assert "cleanup()" in sol.before[cfg.exit]
+    # …and the exception path runs its own copy before raise-exit
+    assert "cleanup()" in sol.before[cfg.raise_exit]
+
+
+def test_finally_copies_keep_paths_apart():
+    # Flow-sensitivity point: the return-path finally copy must not
+    # inherit the exception path's state.  Count distinct cleanup()
+    # statement nodes: one per path.
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        return risky()\n"
+        "    finally:\n"
+        "        cleanup()\n")
+    copies = stmt_nodes(cfg, "cleanup()")
+    assert len(copies) >= 2
+
+
+def test_except_else_finally_all_reach_exit():
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        body()\n"
+        "    except OSError:\n"
+        "        handled()\n"
+        "    else:\n"
+        "        succeeded()\n"
+        "    finally:\n"
+        "        cleanup()\n")
+    sol = reachable_before(cfg)
+    assert {"handled()", "succeeded()", "cleanup()"} <= sol.before[cfg.exit]
+
+
+# -- with regions -------------------------------------------------------------
+
+
+def test_with_body_records_the_region():
+    cfg = cfg_of(
+        "def f(lock):\n"
+        "    before = 1\n"
+        "    with lock:\n"
+        "        inside = 1\n"
+        "    after = 1\n")
+    (before,) = stmt_nodes(cfg, "before = 1")
+    (inside,) = stmt_nodes(cfg, "inside = 1")
+    (after,) = stmt_nodes(cfg, "after = 1")
+    assert before.with_stack == ()
+    assert after.with_stack == ()
+    assert len(inside.with_stack) == 1
+    assert inside.with_stack[0].context_names == ("lock",)
+    assert inside.with_stack[0].is_async is False
+
+
+def test_async_with_region_is_marked_async():
+    cfg = cfg_of(
+        "async def f(self):\n"
+        "    async with self._lock:\n"
+        "        inside = 1\n")
+    (inside,) = stmt_nodes(cfg, "inside = 1")
+    assert inside.with_stack[0].is_async is True
+    assert inside.with_stack[0].context_names == ("self._lock",)
+
+
+def test_with_header_is_outside_its_own_region():
+    # The lock-acquire await happens before the region exists.
+    cfg = cfg_of(
+        "async def f(self):\n"
+        "    async with self._lock:\n"
+        "        inside = 1\n")
+    headers = [n for n in cfg.nodes
+               if isinstance(n.stmt, ast.AsyncWith) and n.kind == "stmt"]
+    assert headers and all(h.with_stack == () for h in headers)
+
+
+def test_with_exit_nodes_exist_on_both_paths():
+    cfg = cfg_of(
+        "def f(p):\n"
+        "    with open(p) as f:\n"
+        "        f.read()\n")
+    exits = [n for n in cfg.nodes if n.kind == "with-exit"]
+    assert len(exits) == 2  # normal + exceptional
+    # the exceptional one forwards to raise-exit NON-exceptionally
+    # (__exit__ completed before the exception continued outward)
+    forwarding = [n for n in exits
+                  if any(e.dst == cfg.raise_exit for e in n.edges)]
+    assert forwarding
+    assert all(not e.exceptional for n in forwarding for e in n.edges)
+
+
+def test_return_inside_with_runs_the_with_exit():
+    cfg = cfg_of(
+        "def f(p):\n"
+        "    with open(p) as f:\n"
+        "        return f.read()\n")
+    ret = [n for n in cfg.nodes if isinstance(n.stmt, ast.Return)][0]
+    # the return's successor chain passes a with-exit before exit
+    (succ,) = [e.dst for e in ret.edges if not e.exceptional]
+    assert cfg.nodes[succ].kind == "with-exit"
+    assert any(e.dst == cfg.exit for e in cfg.nodes[succ].edges)
+
+
+def test_break_inside_with_inside_loop_runs_the_with_exit():
+    cfg = cfg_of(
+        "def f(xs, lock):\n"
+        "    for x in xs:\n"
+        "        with lock:\n"
+        "            if x:\n"
+        "                break\n"
+        "    after = 1\n")
+    brk = [n for n in cfg.nodes if isinstance(n.stmt, ast.Break)][0]
+    (succ,) = [e.dst for e in brk.edges]
+    assert cfg.nodes[succ].kind == "with-exit"
+
+
+# -- helpers ------------------------------------------------------------------
+
+
+def test_functions_yields_qualnames():
+    tree = ast.parse(
+        "class A:\n"
+        "    def m(self):\n"
+        "        def inner():\n"
+        "            pass\n"
+        "async def top():\n"
+        "    pass\n")
+    names = [qn for qn, _ in functions(tree)]
+    assert names == ["A.m", "A.m.<locals>.inner", "top"]
+
+
+def test_header_exprs_compound_statements():
+    stmt = ast.parse("if a > b:\n    x = 1\n").body[0]
+    assert [ast.unparse(e) for e in header_exprs(stmt)] == ["a > b"]
+    stmt = ast.parse("for i in range(3):\n    pass\n").body[0]
+    assert "range(3)" in [ast.unparse(e) for e in header_exprs(stmt)]
+    stmt = ast.parse("with open(p) as f:\n    pass\n").body[0]
+    texts = [ast.unparse(e) for e in header_exprs(stmt)]
+    assert "open(p)" in texts and "f" in texts
+
+
+def test_header_exprs_skip_block_bodies():
+    stmt = ast.parse("if p:\n    hidden()\n").body[0]
+    assert all("hidden" not in ast.unparse(e)
+               for e in header_exprs(stmt))
+
+
+def test_calls_in_evaluation_order_and_scope_opacity():
+    stmt = ast.parse("x = outer(inner())\n").body[0]
+    names = [ast.unparse(c.func) for c in calls_in(stmt)]
+    assert names == ["inner", "outer"]  # args before the call
+    stmt = ast.parse("f = lambda: hidden()\n").body[0]
+    assert calls_in(stmt) == []
+
+
+@pytest.mark.parametrize("source, expected", [
+    ("await f()\n", True),
+    ("x = await f()\n", True),
+    ("x = f()\n", False),
+    ("async for i in it:\n    pass\n", True),
+    ("async with cm:\n    pass\n", True),
+])
+def test_stmt_awaits(source, expected):
+    module = ast.parse(f"async def f():\n"
+                       + "".join(f"    {line}\n"
+                                 for line in source.splitlines()))
+    stmt = module.body[0].body[0]
+    assert stmt_awaits(stmt) is expected
+
+
+def test_stmt_awaits_is_header_only():
+    # an await in the body must not make the `if` header a suspension
+    module = ast.parse(
+        "async def f(p):\n"
+        "    if p:\n"
+        "        await g()\n")
+    if_stmt = module.body[0].body[0]
+    assert stmt_awaits(if_stmt) is False
+    assert stmt_awaits(if_stmt.body[0]) is True

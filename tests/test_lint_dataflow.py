@@ -1,0 +1,244 @@
+"""Dataflow framework tests: fixpoint convergence, join semantics,
+exceptional-edge state, and the divergence guard.
+
+The framework under test (:mod:`repro.lint.dataflow`) is deliberately
+small — a forward worklist solver over the CFGs of
+:mod:`repro.lint.cfg` — but every flow-sensitive rule leans on the
+same four contracts exercised here:
+
+* loops converge to a fixpoint (states merge at the back edge until
+  stable) and ``before``/``after`` are consistent with ``transfer``;
+* joins use the caller's ``merge``, pointwise for dict states via
+  :func:`merge_dicts`;
+* exceptional edges carry the *in*-state of the raising node by
+  default (the statement never completed), or ``exc_transfer``'s
+  output when the rule needs partial effects to survive a raise;
+* a transfer that never stabilises trips :class:`DataflowDivergence`
+  instead of hanging the lint run.
+"""
+
+import ast
+import itertools
+
+import pytest
+
+from repro.lint.cfg import build_cfg
+from repro.lint.dataflow import (
+    DataflowDivergence,
+    merge_dicts,
+    run_forward,
+)
+
+
+def cfg_of(source):
+    func = ast.parse(source).body[0]
+    return build_cfg(func)
+
+
+def node_named(cfg, fragment):
+    (node,) = [n for n in cfg.nodes
+               if n.stmt is not None and n.kind == "stmt"
+               and fragment in ast.unparse(n.stmt).split("\n")[0]]
+    return node
+
+
+# -- fixpoint convergence -----------------------------------------------------
+
+
+def test_loop_converges_to_the_merged_state():
+    # classic reaching-values shape: x is 0 before the loop and 1
+    # inside it; at the header both reach, so the merge must hold {0, 1}.
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    x = 0\n"
+        "    while n:\n"
+        "        x = 1\n"
+        "    return x\n")
+
+    def transfer(node, state):
+        if node.stmt is None or node.kind != "stmt":
+            return state
+        text = ast.unparse(node.stmt).split("\n")[0]
+        if text == "x = 0":
+            return frozenset({0})
+        if text == "x = 1":
+            return frozenset({1})
+        return state
+
+    sol = run_forward(cfg, init=frozenset(), transfer=transfer,
+                      merge=lambda a, b: a | b)
+    header = node_named(cfg, "while n")
+    ret = node_named(cfg, "return x")
+    assert sol.before[header.id] == {0, 1}
+    assert sol.before[ret.id] == {0, 1}
+
+
+def test_nested_loops_converge():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    total = 0\n"
+        "    for i in range(n):\n"
+        "        for j in range(n):\n"
+        "            total += 1\n"
+        "    return total\n")
+    counter = itertools.count()
+
+    def transfer(node, state):
+        next(counter)
+        return min(state + 1, 5)  # monotone, bounded: must converge
+
+    sol = run_forward(cfg, init=0, transfer=transfer, merge=max)
+    assert sol.before[cfg.exit] == 5
+    # the solver stopped: no step-cap explosion on a 2-deep loop nest
+    assert next(counter) < 32 * len(cfg.nodes) + 1024
+
+
+def test_after_is_transfer_of_before():
+    cfg = cfg_of("def f():\n    a = 1\n    b = 2\n")
+
+    def transfer(node, state):
+        return state + 1 if node.kind == "stmt" else state
+
+    sol = run_forward(cfg, init=0, transfer=transfer, merge=max)
+    for node in cfg.nodes:
+        if sol.before[node.id] is not None:
+            assert sol.after[node.id] == transfer(node, sol.before[node.id])
+
+
+def test_unreachable_nodes_stay_none():
+    cfg = cfg_of(
+        "def f():\n"
+        "    return 1\n"
+        "    dead = 2\n")
+    dead = node_named(cfg, "dead = 2")
+    sol = run_forward(cfg, init=0, transfer=lambda n, s: s, merge=max)
+    assert sol.before[dead.id] is None
+    assert sol.after[dead.id] is None
+
+
+# -- join semantics -----------------------------------------------------------
+
+
+def test_branches_merge_with_the_given_join():
+    cfg = cfg_of(
+        "def f(p):\n"
+        "    if p:\n"
+        "        a = 1\n"
+        "    else:\n"
+        "        b = 2\n"
+        "    c = 3\n")
+
+    def transfer(node, state):
+        if node.stmt is None or node.kind != "stmt":
+            return state
+        text = ast.unparse(node.stmt).split("\n")[0]
+        return {**state, text[0]: True} if text[1:2] == " " else state
+
+    sol = run_forward(
+        cfg, init={}, transfer=transfer,
+        merge=lambda x, y: merge_dicts(x, y, lambda p, q: p and q, False))
+    join = node_named(cfg, "c = 3")
+    # must-analysis: neither arm's binding survives the pointwise AND
+    assert sol.before[join.id] == {"a": False, "b": False}
+
+
+def test_merge_dicts_is_a_pointwise_union():
+    joined = merge_dicts({"x": 1, "y": 5}, {"y": 2, "z": 3}, max, 0)
+    assert joined == {"x": 1, "y": 5, "z": 3}
+    # default fills the missing side: max(absent=0, 3) == 3
+    assert merge_dicts({}, {"z": -1}, max, 0) == {"z": 0}
+
+
+def test_merge_dicts_does_not_mutate_inputs():
+    a, b = {"x": 1}, {"x": 2}
+    merge_dicts(a, b, max, 0)
+    assert a == {"x": 1} and b == {"x": 2}
+
+
+# -- exceptional edges --------------------------------------------------------
+
+
+def test_exceptional_edges_carry_in_state_by_default():
+    # `x = acquire()` raising mid-call acquired nothing: the handler
+    # must see the state from *before* the statement.
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        x = acquire()\n"
+        "        use(x)\n"
+        "    except OSError:\n"
+        "        handler()\n")
+
+    def transfer(node, state):
+        if node.stmt is not None and node.kind == "stmt" \
+                and "acquire" in ast.unparse(node.stmt):
+            return state | {"open"}
+        return state
+
+    sol = run_forward(cfg, init=frozenset(), transfer=transfer,
+                      merge=lambda a, b: a | b)
+    handler = node_named(cfg, "handler()")
+    # the handler merges the acquire stmt's IN (clean) with use(x)'s
+    # IN (open) — so "open" is possible but not guaranteed
+    assert sol.before[handler.id] == {"open"}
+    use = node_named(cfg, "use(x)")
+    assert sol.before[use.id] == {"open"}
+
+
+def test_exc_transfer_overrides_the_exceptional_contribution():
+    # RL010's shape: a close() completes its effect even when a later
+    # statement raises — exc_transfer lets close-effects survive while
+    # open-effects still roll back.
+    cfg = cfg_of(
+        "def f():\n"
+        "    try:\n"
+        "        risky()\n"
+        "    except OSError:\n"
+        "        handler()\n")
+
+    sol = run_forward(
+        cfg, init="in",
+        transfer=lambda n, s: ("normal" if n.stmt is not None
+                               and "risky" in ast.unparse(n.stmt) else s),
+        merge=lambda a, b: a if a == b else f"{a}|{b}",
+        exc_transfer=lambda n, s: ("exceptional" if n.stmt is not None
+                                   and "risky" in ast.unparse(n.stmt)
+                                   else s))
+    handler = node_named(cfg, "handler()")
+    assert sol.before[handler.id] == "exceptional"
+    assert sol.before[cfg.exit] != "exceptional"
+
+
+# -- divergence guard ---------------------------------------------------------
+
+
+def test_divergence_raises_instead_of_hanging():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    while n:\n"
+        "        n -= 1\n")
+    with pytest.raises(DataflowDivergence):
+        # strictly growing state on a loop: no fixpoint exists
+        run_forward(cfg, init=0, transfer=lambda n, s: s + 1, merge=max)
+
+
+def test_max_steps_caps_the_run():
+    cfg = cfg_of("def f():\n    a = 1\n")
+    with pytest.raises(DataflowDivergence):
+        run_forward(cfg, init=0, transfer=lambda n, s: s + 1,
+                    merge=max, max_steps=1)
+
+
+def test_custom_equals_decides_stability():
+    cfg = cfg_of(
+        "def f(n):\n"
+        "    while n:\n"
+        "        n -= 1\n")
+    # states are floats that keep shrinking; equals-by-epsilon lets
+    # the solver declare convergence
+    sol = run_forward(
+        cfg, init=1.0,
+        transfer=lambda n, s: s * 0.5 if n.kind == "stmt" else s,
+        merge=max,
+        equals=lambda a, b: abs(a - b) < 1e-3)
+    assert sol.before[cfg.exit] < 1.0

@@ -57,11 +57,11 @@ def write(tmp_path, rel, source):
 # -- registry / rule basics ---------------------------------------------------
 
 
-def test_all_rules_registers_the_six_project_rules():
+def test_all_rules_registers_the_eleven_project_rules():
     ids = [r.id for r in all_rules()]
     assert ids == sorted(ids)
-    assert {"RL001", "RL002", "RL003", "RL004", "RL005",
-            "RL006"} <= set(ids)
+    assert {"RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009", "RL010", "RL011"} <= set(ids)
 
 
 def test_every_rule_documents_its_invariant():
@@ -301,3 +301,95 @@ def test_cli_manifest_records_the_report(tmp_path, monkeypatch, capsys):
     assert data["experiment"] == "lint"
     assert data["extra"]["lint"]["clean"] is False
     assert data["extra"]["lint"]["findings"][0]["rule"] == "RL001"
+
+
+# -- stale baseline entries ---------------------------------------------------
+
+
+def test_baseline_stale_keys_lists_unmatched_entries():
+    live = Finding(rule="RLTEST", path="m.py", line=1, col=1,
+                   message="a call")
+    gone = Finding(rule="RLTEST", path="deleted.py", line=9, col=1,
+                   message="a call")
+    base = Baseline.from_findings([live, gone])
+    assert base.stale_keys([live]) == [gone.key()]
+    assert base.stale_keys([live, gone]) == []
+
+
+def test_run_reports_stale_baseline_and_render_names_the_key(tmp_path):
+    gone = Finding(rule="RLTEST", path="deleted.py", line=9, col=1,
+                   message="a call")
+    engine = engine_for(tmp_path, baseline=Baseline.from_findings([gone]))
+    write(tmp_path, "m.py", "x = 1\n")
+    report = engine.run(["m.py"])
+    assert report.stale_baseline == [gone.key()]
+    text = report.render()
+    assert "stale baseline entry" in text
+    assert gone.key() in text
+    assert "1 stale baseline key(s)" in text
+    assert json.loads(report.to_json())["stale_baseline"] == [gone.key()]
+
+
+def test_cli_stale_baseline_exits_nonzero(tmp_path, monkeypatch, capsys):
+    write(tmp_path, "src/repro/storage/ok.py", "x = 1\n")
+    gone = Finding(rule="RL001", path="deleted.py", line=9, col=1,
+                   message="calls time.time")
+    Baseline.from_findings([gone]).write(tmp_path / "stale.json")
+    monkeypatch.chdir(tmp_path)
+    code = main(["lint", "--baseline", "stale.json"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "stale baseline entry" in out
+
+
+def test_cli_write_baseline_prunes_stale_keys(tmp_path, monkeypatch,
+                                              capsys):
+    seed_violation(tmp_path)
+    monkeypatch.chdir(tmp_path)
+    assert main(["lint", "repro", "--write-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "1 finding(s) baselined" in out
+    # fix the violation: the rewrite must drop the now-dead key
+    write(tmp_path, "repro/storage/bad.py", "x = 1\n")
+    assert main(["lint", "repro", "--write-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s) baselined" in out
+    assert "1 stale key(s) pruned" in out
+    data = json.loads((tmp_path / DEFAULT_BASELINE).read_text())
+    assert data["findings"] == {}
+
+
+# -- rule selection and timing ------------------------------------------------
+
+
+def test_cli_rules_filter_runs_only_the_named_rules(tmp_path, monkeypatch,
+                                                    capsys):
+    seed_violation(tmp_path)  # an RL001 violation
+    monkeypatch.chdir(tmp_path)
+    code = main(["lint", "repro", "--rules", "RL002"])
+    out = capsys.readouterr().out
+    assert code == 0  # RL001 never ran
+    assert "1 rule(s)" in out
+    capsys.readouterr()
+    assert main(["lint", "repro", "--rules", "rl001,RL002"]) == 1
+    assert "RL001" in capsys.readouterr().out
+
+
+def test_cli_rules_filter_rejects_unknown_ids(tmp_path, monkeypatch,
+                                              capsys):
+    write(tmp_path, "src/repro/storage/ok.py", "x = 1\n")
+    monkeypatch.chdir(tmp_path)
+    code = main(["lint", "--rules", "RL999"])
+    err = capsys.readouterr().err
+    assert code == 2
+    assert "RL999" in err
+    assert "RL001" in err  # the known ids are listed
+
+
+def test_report_records_per_rule_wall_time(tmp_path):
+    write(tmp_path, "m.py", "print(1)\n")
+    report = engine_for(tmp_path).run(["m.py"])
+    assert set(report.rule_seconds) == {"RLTEST"}
+    assert report.rule_seconds["RLTEST"] >= 0.0
+    data = json.loads(report.to_json())
+    assert "RLTEST" in data["rule_seconds"]

@@ -1,0 +1,504 @@
+"""Flow-sensitive rule fixtures: what RL008–RL011 flag, and what they
+must permit.
+
+Same shape as ``test_lint_rules.py`` — in-memory sources with
+repo-shaped paths — but every fixture here encodes a *path property*:
+a branch that skips the fsync, an await between the read and the
+write, an exception edge that bypasses the ``close()``, a statement
+inside vs. outside a lock's ``with`` region.  The true-negative
+fixtures are the sanctioned idioms from the live tree (the staging
+helpers' write/flush/fsync/rename dance, the swap-then-close
+``aclose``, ``try/finally`` closes, the write-lock executor hop);
+none of them may ever flag.
+"""
+
+import pytest
+
+from repro.lint import LintEngine, all_rules
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LintEngine(all_rules())
+
+
+def findings_for(engine, path, source, rule=None):
+    found, _ = engine.check_source(path, source)
+    if rule is not None:
+        found = [f for f in found if f.rule == rule]
+    return found
+
+
+# -- RL008 durability-ordering ------------------------------------------------
+
+RL008_PATH = "src/repro/pipeline/staging.py"
+RL008_WAL_PATH = "src/repro/ingest/wal.py"
+
+
+def test_rl008_flags_rename_without_fsync(engine):
+    source = (
+        "import os\n"
+        "def publish(path, data):\n"
+        "    tmp = path + '.tmp'\n"
+        "    with open(tmp, 'wb') as f:\n"
+        "        f.write(data)\n"
+        "        f.flush()\n"
+        "    os.replace(tmp, path)\n")
+    found = findings_for(engine, RL008_PATH, source, "RL008")
+    assert len(found) == 1
+    assert "os.replace" in found[0].message
+    assert "flushed and fsynced" in found[0].message
+
+
+def test_rl008_flags_fsync_on_only_one_branch(engine):
+    # the pre-fix staging.py shape: a `sync` flag that lets one branch
+    # publish unfsynced bytes — the join poisons the rename
+    source = (
+        "import os\n"
+        "def publish(path, data, sync):\n"
+        "    tmp = path + '.tmp'\n"
+        "    with open(tmp, 'wb') as f:\n"
+        "        f.write(data)\n"
+        "        f.flush()\n"
+        "        if sync:\n"
+        "            os.fsync(f.fileno())\n"
+        "    os.replace(tmp, path)\n")
+    found = findings_for(engine, RL008_PATH, source, "RL008")
+    assert len(found) == 1
+    assert found[0].line == 9
+
+
+def test_rl008_flags_rename_of_tmp_with_no_live_handle(engine):
+    source = (
+        "import os\n"
+        "def promote(path):\n"
+        "    os.replace(path + '.tmp', path)\n")
+    found = findings_for(engine, RL008_PATH, source, "RL008")
+    assert len(found) == 1
+    assert "no handle" in found[0].message
+
+
+def test_rl008_permits_the_full_durable_order(engine):
+    # exactly the live atomic_write_bytes: write, flush, fsync, rename
+    source = (
+        "import os\n"
+        "def publish(path, data):\n"
+        "    tmp = path + '.tmp'\n"
+        "    with open(tmp, 'wb') as f:\n"
+        "        f.write(data)\n"
+        "        f.flush()\n"
+        "        os.fsync(f.fileno())\n"
+        "    os.replace(tmp, path)\n")
+    assert findings_for(engine, RL008_PATH, source, "RL008") == []
+
+
+def test_rl008_permits_handle_passed_to_writer_then_fsynced(engine):
+    # the atomic_save_npy shape: np.save(f, a) dirties via the
+    # passed-handle heuristic, and the fsync still cleans it
+    source = (
+        "import os\n"
+        "import numpy as np\n"
+        "def save(path, array):\n"
+        "    tmp = path + '.tmp'\n"
+        "    with open(tmp, 'wb') as f:\n"
+        "        np.save(f, array)\n"
+        "        f.flush()\n"
+        "        os.fsync(f.fileno())\n"
+        "    os.replace(tmp, path)\n")
+    assert findings_for(engine, RL008_PATH, source, "RL008") == []
+
+
+def test_rl008_permits_moving_already_durable_files(engine):
+    # no writable handle, no temporary in the source expression:
+    # segment GC / directory shuffles are RL002's business, not ours
+    source = (
+        "import os\n"
+        "def rotate(old, new):\n"
+        "    os.replace(old, new)\n")
+    assert findings_for(engine, RL008_PATH, source, "RL008") == []
+
+
+def test_rl008_flags_ack_without_durability_call(engine):
+    source = (
+        "class WriteAheadLog:\n"
+        "    def append(self, op):\n"
+        "        self._pending.append(op)\n"
+        "        return op\n")
+    found = findings_for(engine, RL008_WAL_PATH, source, "RL008")
+    assert len(found) == 1
+    assert "ack" in found[0].message
+
+
+def test_rl008_flags_ack_durable_on_only_one_branch(engine):
+    source = (
+        "class WriteAheadLog:\n"
+        "    def append(self, op):\n"
+        "        if self.buffering:\n"
+        "            self._pending.append(op)\n"
+        "        else:\n"
+        "            self._physical_append(self._file, op)\n"
+        "        return op\n")
+    found = findings_for(engine, RL008_WAL_PATH, source, "RL008")
+    assert len(found) == 1
+
+
+def test_rl008_permits_ack_dominated_by_physical_append(engine):
+    source = (
+        "class WriteAheadLog:\n"
+        "    def append(self, op):\n"
+        "        line = self._encode(op)\n"
+        "        self._physical_append(self._file, line)\n"
+        "        self.records += 1\n"
+        "        return op\n")
+    assert findings_for(engine, RL008_WAL_PATH, source, "RL008") == []
+
+
+def test_rl008_ack_protocol_is_keyed_by_qualname(engine):
+    # an unrelated append in the same file is not an ack point
+    source = (
+        "class Buffer:\n"
+        "    def append(self, op):\n"
+        "        self._items.append(op)\n"
+        "        return op\n")
+    assert findings_for(engine, RL008_WAL_PATH, source, "RL008") == []
+
+
+# -- RL009 await-atomicity ----------------------------------------------------
+
+RL009_PATH = "src/repro/serve/server.py"
+
+
+def test_rl009_flags_read_await_write(engine):
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    async def toggle(self):\n"
+        "        pool = self.pool\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.pool = pool\n")
+    found = findings_for(engine, RL009_PATH, source, "RL009")
+    assert len(found) == 1
+    assert found[0].line == 6
+    assert "pool" in found[0].message
+
+
+def test_rl009_flags_mutator_after_stale_read(engine):
+    # check-then-act across the lock acquisition: `merging` was read
+    # before the suspension, so the in-flight check is stale inside
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    async def merge(self):\n"
+        "        if self.ingest.merging:\n"
+        "            raise RuntimeError('busy')\n"
+        "        async with self._write_lock:\n"
+        "            loop = asyncio.get_running_loop()\n"
+        "            await loop.run_in_executor(\n"
+        "                None, self._begin_merge_blocking)\n")
+    found = findings_for(engine, RL009_PATH, source, "RL009")
+    assert len(found) == 1
+    assert "ingest" in found[0].message
+
+
+def test_rl009_flags_augassign_that_awaits_mid_statement(engine):
+    source = (
+        "class Server:\n"
+        "    async def bump(self):\n"
+        "        self.generation += await self._next_gen()\n")
+    found = findings_for(engine, RL009_PATH, source, "RL009")
+    assert len(found) == 1
+    assert "augmented" in found[0].message
+
+
+def test_rl009_permits_recheck_after_the_await(engine):
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    async def merge(self):\n"
+        "        async with self._write_lock:\n"
+        "            if self.ingest.merging:\n"
+        "                raise RuntimeError('busy')\n"
+        "            loop = asyncio.get_running_loop()\n"
+        "            await loop.run_in_executor(\n"
+        "                None, self._begin_merge_blocking)\n")
+    assert findings_for(engine, RL009_PATH, source, "RL009") == []
+
+
+def test_rl009_permits_await_under_the_lock(engine):
+    # holding the lock across the suspension is the sanctioned way to
+    # make a read-await-write section atomic
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    async def swap(self):\n"
+        "        async with self._write_lock:\n"
+        "            pool = self.pool\n"
+        "            await asyncio.sleep(0)\n"
+        "            self.pool = pool\n")
+    assert findings_for(engine, RL009_PATH, source, "RL009") == []
+
+
+def test_rl009_permits_write_without_prior_read(engine):
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    async def install(self, tree):\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.tree = tree\n")
+    assert findings_for(engine, RL009_PATH, source, "RL009") == []
+
+
+def test_rl009_permits_swap_then_close(engine):
+    # the aclose idiom: take the attribute and null it in one
+    # statement (atomic — no await between read and write), then await
+    # on the local only
+    source = (
+        "class Server:\n"
+        "    async def aclose(self):\n"
+        "        pool, self.pool = self.pool, None\n"
+        "        if pool is not None:\n"
+        "            await pool.aclose()\n")
+    assert findings_for(engine, RL009_PATH, source, "RL009") == []
+
+
+def test_rl009_only_guarded_files_are_checked(engine):
+    source = (
+        "import asyncio\n"
+        "class Client:\n"
+        "    async def toggle(self):\n"
+        "        pool = self.pool\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.pool = pool\n")
+    assert findings_for(
+        engine, "src/repro/serve/client.py", source, "RL009") == []
+
+
+def test_rl009_suppression_comment(engine):
+    source = (
+        "import asyncio\n"
+        "class Server:\n"
+        "    async def toggle(self):\n"
+        "        pool = self.pool\n"
+        "        await asyncio.sleep(0)\n"
+        "        self.pool = pool  "
+        "# repro-lint: disable=RL009 -- single-task startup\n")
+    assert findings_for(engine, RL009_PATH, source, "RL009") == []
+
+
+# -- RL010 resource-lifecycle -------------------------------------------------
+
+RL010_PATH = "src/repro/storage/cache.py"
+
+
+def test_rl010_flags_leak_at_function_exit(engine):
+    source = (
+        "def read_all(path):\n"
+        "    f = open(path, 'rb')\n"
+        "    data = f.read()\n"
+        "    return len(data)\n")
+    found = findings_for(engine, RL010_PATH, source, "RL010")
+    assert len(found) == 1
+    assert found[0].line == 2
+    assert "at function exit" in found[0].message
+
+
+def test_rl010_flags_leak_on_the_exception_path(engine):
+    # the close is there — but f.read(16) raising skips it
+    source = (
+        "def read_header(path):\n"
+        "    f = open(path, 'rb')\n"
+        "    magic = f.read(16)\n"
+        "    f.close()\n"
+        "    return magic\n")
+    found = findings_for(engine, RL010_PATH, source, "RL010")
+    assert len(found) == 1
+    assert "on an exception path" in found[0].message
+
+
+def test_rl010_flags_leaked_store(engine):
+    # passing the open store to a callee is a borrow, not a transfer
+    source = (
+        "from repro.storage.store import FilePageStore\n"
+        "def load(path):\n"
+        "    store = FilePageStore(path)\n"
+        "    tree = attach(store)\n"
+        "    return tree.height\n")
+    found = findings_for(engine, RL010_PATH, source, "RL010")
+    assert len(found) == 1
+    assert "FilePageStore" in found[0].message
+
+
+def test_rl010_permits_with_block(engine):
+    source = (
+        "def read_all(path):\n"
+        "    with open(path, 'rb') as f:\n"
+        "        return f.read()\n")
+    assert findings_for(engine, RL010_PATH, source, "RL010") == []
+
+
+def test_rl010_permits_try_finally_close(engine):
+    source = (
+        "def read_all(path):\n"
+        "    f = open(path, 'rb')\n"
+        "    try:\n"
+        "        return f.read()\n"
+        "    finally:\n"
+        "        f.close()\n")
+    assert findings_for(engine, RL010_PATH, source, "RL010") == []
+
+
+def test_rl010_permits_returning_the_resource(engine):
+    # ownership transfers to the caller — both `return open(…)` and
+    # bind-then-return
+    source = (
+        "def acquire(path):\n"
+        "    return open(path, 'rb')\n"
+        "def acquire_named(path):\n"
+        "    f = open(path, 'rb')\n"
+        "    return f\n")
+    assert findings_for(engine, RL010_PATH, source, "RL010") == []
+
+
+def test_rl010_permits_storing_into_an_attribute(engine):
+    source = (
+        "class Holder:\n"
+        "    def attach(self, path):\n"
+        "        self._file = open(path, 'rb')\n")
+    assert findings_for(engine, RL010_PATH, source, "RL010") == []
+
+
+def test_rl010_permits_inline_acquire_in_a_call_argument(engine):
+    source = (
+        "import contextlib\n"
+        "from repro.storage.store import FilePageStore\n"
+        "def load(path):\n"
+        "    with contextlib.closing(FilePageStore(path)) as store:\n"
+        "        return store.height\n")
+    assert findings_for(engine, RL010_PATH, source, "RL010") == []
+
+
+def test_rl010_permits_yielding_the_resource(engine):
+    source = (
+        "def handles(paths):\n"
+        "    for path in paths:\n"
+        "        yield open(path, 'rb')\n")
+    assert findings_for(engine, RL010_PATH, source, "RL010") == []
+
+
+def test_rl010_only_durable_packages_are_checked(engine):
+    source = (
+        "def read_all(path):\n"
+        "    f = open(path, 'rb')\n"
+        "    return len(f.read())\n")
+    assert findings_for(
+        engine, "src/repro/obs/report.py", source, "RL010") == []
+
+
+# -- RL011 lock-discipline ----------------------------------------------------
+
+RL011_PATH = "src/repro/serve/server.py"
+
+
+def test_rl011_flags_unlocked_write(engine):
+    source = (
+        "class Server:\n"
+        "    def drop(self):\n"
+        "        self.searcher = None\n")
+    found = findings_for(engine, RL011_PATH, source, "RL011")
+    assert len(found) == 1
+    assert "searcher" in found[0].message
+    assert "_search_lock" in found[0].message
+
+
+def test_rl011_flags_unlocked_container_mutation(engine):
+    source = (
+        "class Server:\n"
+        "    def poison(self, page_id):\n"
+        "        self.quarantine.add(page_id)\n")
+    found = findings_for(engine, RL011_PATH, source, "RL011")
+    assert len(found) == 1
+    assert "quarantine" in found[0].message
+
+
+def test_rl011_flags_unlocked_mutator_method(engine):
+    source = (
+        "class Server:\n"
+        "    def cutover(self, report):\n"
+        "        self.ingest.finish_merge(report)\n")
+    found = findings_for(engine, RL011_PATH, source, "RL011")
+    assert len(found) == 1
+    assert "finish_merge" in found[0].message
+
+
+def test_rl011_flags_the_wrong_lock(engine):
+    source = (
+        "class Server:\n"
+        "    def drop(self):\n"
+        "        with self._write_lock:\n"
+        "            self.searcher = None\n")
+    found = findings_for(engine, RL011_PATH, source, "RL011")
+    assert len(found) == 1
+
+
+def test_rl011_flags_augmented_assignment(engine):
+    source = (
+        "class Server:\n"
+        "    def note(self):\n"
+        "        self.reloads_total += 1\n")
+    found = findings_for(engine, RL011_PATH, source, "RL011")
+    assert len(found) == 1
+
+
+def test_rl011_permits_writes_under_the_lock(engine):
+    source = (
+        "class Server:\n"
+        "    def swap(self, searcher, report):\n"
+        "        with self._search_lock:\n"
+        "            self.searcher = searcher\n"
+        "            self.quarantine.clear()\n"
+        "            self.ingest.finish_merge(report)\n"
+        "            self.reloads_total += 1\n")
+    assert findings_for(engine, RL011_PATH, source, "RL011") == []
+
+
+def test_rl011_permits_reads_without_the_lock(engine):
+    source = (
+        "class Server:\n"
+        "    def snapshot(self):\n"
+        "        return self.searcher\n")
+    assert findings_for(engine, RL011_PATH, source, "RL011") == []
+
+
+def test_rl011_permits_unguarded_attributes(engine):
+    source = (
+        "class Server:\n"
+        "    def note(self):\n"
+        "        self.last_error = 'boom'\n")
+    assert findings_for(engine, RL011_PATH, source, "RL011") == []
+
+
+def test_rl011_exempts_init(engine):
+    source = (
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self.searcher = None\n"
+        "        self.quarantine = set()\n")
+    assert findings_for(engine, RL011_PATH, source, "RL011") == []
+
+
+def test_rl011_suppression_comment(engine):
+    source = (
+        "class Server:\n"
+        "    def drop(self):\n"
+        "        self.searcher = None  "
+        "# repro-lint: disable=RL011 -- caller holds the lock\n")
+    assert findings_for(engine, RL011_PATH, source, "RL011") == []
+
+
+def test_rl011_only_guarded_files_are_checked(engine):
+    source = (
+        "class Worker:\n"
+        "    def drop(self):\n"
+        "        self.searcher = None\n")
+    assert findings_for(
+        engine, "src/repro/serve/worker.py", source, "RL011") == []
